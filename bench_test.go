@@ -1,0 +1,249 @@
+// Benchmarks that regenerate every table and figure of the paper at a
+// reduced scale (the SB-bound suite, ~120k instructions per run). Each
+// benchmark reports the figure's headline number as a custom metric, so
+// `go test -bench=. -benchmem` doubles as a shape check of the whole
+// reproduction. Full-scale tables come from `go run ./cmd/spbtables`.
+package spb
+
+import (
+	"testing"
+
+	"spb/internal/core"
+	"spb/internal/figures"
+	"spb/internal/sim"
+)
+
+// benchHarness builds a fresh harness per benchmark; within one benchmark
+// the underlying runner memoizes, so iterations beyond the first are cheap.
+func benchHarness() *figures.Harness {
+	return figures.NewHarness(figures.Quick)
+}
+
+// runFigure executes gen b.N times, reporting vals from the last run via
+// report (which maps a figure's tables to named headline metrics).
+func runFigure(b *testing.B, gen func() ([]figures.Table, error),
+	report func(b *testing.B, tabs []figures.Table)) {
+	b.Helper()
+	var tabs []figures.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tabs, err = gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if report != nil {
+		report(b, tabs)
+	}
+}
+
+func BenchmarkTableI_Config(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.TableI, nil)
+}
+
+func BenchmarkTableII_Cores(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.TableII, nil)
+}
+
+func BenchmarkFig01_SBStallRatio(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig1, func(b *testing.B, tabs []figures.Table) {
+		bound := tabs[0].Rows[1].Vals
+		b.ReportMetric(bound[0], "stall-ratio-SB56")
+		b.ReportMetric(bound[2], "stall-ratio-SB14")
+	})
+}
+
+func BenchmarkFig03_StallPCs(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig3, func(b *testing.B, tabs []figures.Table) {
+		if len(tabs[0].Rows) > 0 {
+			// Fraction of stalls in library code for the first app.
+			b.ReportMetric(tabs[0].Rows[0].Vals[1], "lib-frac")
+		}
+	})
+}
+
+func reportFig5(b *testing.B, tabs []figures.Table) {
+	for _, tab := range tabs {
+		for _, r := range tab.Rows {
+			if r.Name == "spb" {
+				b.ReportMetric(r.Vals[1], "spb-vs-ideal-"+tab.Title[8:12])
+			}
+		}
+	}
+}
+
+func BenchmarkFig05_NormPerf(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig5, reportFig5)
+}
+
+func BenchmarkFig06_PerApp(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig6, nil)
+}
+
+func BenchmarkFig07_Energy(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig7, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[len(tabs)-1].Rows {
+			if r.Name == "spb" {
+				b.ReportMetric(r.Vals[3], "spb-energy-vs-atcommit-SB14")
+			}
+		}
+	})
+}
+
+func BenchmarkFig08_SBStalls(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig8, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[0].Rows {
+			if r.Name == "spb" {
+				b.ReportMetric(r.Vals[5], "spb-stalls-vs-atcommit-SB14")
+			}
+		}
+	})
+}
+
+func BenchmarkFig09_PerAppStalls(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig9, nil)
+}
+
+func BenchmarkFig10_IssueStalls(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig10, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[len(tabs)-1].Rows {
+			if r.Name == "spb" {
+				b.ReportMetric(r.Vals[2], "spb-net-stalls-SB14")
+			}
+		}
+	})
+}
+
+func BenchmarkFig11_PrefetchAccuracy(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig11, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[0].Rows {
+			switch r.Name {
+			case "at-commit":
+				b.ReportMetric(r.Vals[0], "atcommit-success-frac")
+			case "spb":
+				b.ReportMetric(r.Vals[0], "spb-success-frac")
+			}
+		}
+	})
+}
+
+func BenchmarkFig12_Traffic(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig12, func(b *testing.B, tabs []figures.Table) {
+		b.ReportMetric(tabs[0].Rows[2].Vals[1], "spb-req-ratio-SB14")
+	})
+}
+
+func BenchmarkFig13_TagOverhead(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig13, func(b *testing.B, tabs []figures.Table) {
+		b.ReportMetric(tabs[0].Rows[2].Vals[1], "spb-tag-ratio-SB14")
+	})
+}
+
+func BenchmarkFig14_ExecStalls(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig14, func(b *testing.B, tabs []figures.Table) {
+		b.ReportMetric(tabs[0].Rows[2].Vals[1], "spb-l1dstalls-ratio-SB14")
+	})
+}
+
+func BenchmarkFig15_PerAppExecStalls(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig15, nil)
+}
+
+func BenchmarkFig16_GenericPrefetchers(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig16, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[len(tabs)-1].Rows {
+			if r.Name == "spb" {
+				b.ReportMetric(r.Vals[3], "spb-vs-ideal-adaptive-SB14")
+			}
+		}
+	})
+}
+
+func BenchmarkFig17_CoreSweep(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig17, func(b *testing.B, tabs []figures.Table) {
+		// SLM at half SB: the paper's worst case for at-commit.
+		b.ReportMetric(tabs[1].Rows[0].Vals[0], "atcommit-SLM-halfSB")
+		b.ReportMetric(tabs[1].Rows[0].Vals[1], "spb-SLM-halfSB")
+	})
+}
+
+func BenchmarkFig18_Parsec(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Fig18, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[1].Rows {
+			if r.Name == "spb" {
+				b.ReportMetric(r.Vals[1], "spb-vs-ideal-SB14-bound")
+			}
+		}
+	})
+}
+
+func BenchmarkClaim_SB20EqualsSB56(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.SB20, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[0].Rows {
+			if r.Name == "spb SB20" {
+				b.ReportMetric(r.Vals[0], "spb-SB20-vs-atcommit-SB56")
+			}
+		}
+	})
+}
+
+func BenchmarkAblation_WindowN(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.SensN, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[0].Rows {
+			if r.Name == "N=48" {
+				b.ReportMetric(r.Vals[0], "spb-N48-vs-ideal")
+			}
+		}
+	})
+}
+
+func BenchmarkAblation_Extensions(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.Extensions, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[0].Rows {
+			switch r.Name {
+			case "spb (paper)":
+				b.ReportMetric(r.Vals[0], "spb-plain")
+			case "spb + backward bursts":
+				b.ReportMetric(r.Vals[0], "spb-backward")
+			case "spb + coalescing SB":
+				b.ReportMetric(r.Vals[0], "spb-coalesce")
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// instructions per wall-clock second for one representative run.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec := sim.RunSpec{
+		Workload: "roms", Policy: core.PolicySPB, SQSize: 28, Insts: 100_000,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(spec.Insts)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}

@@ -1,0 +1,128 @@
+// Command spbsim runs a single simulation point and prints its statistics:
+// one workload, one store-prefetch policy, one store-buffer size.
+//
+// Examples:
+//
+//	spbsim -workload bwaves -policy spb -sb 14
+//	spbsim -workload dedup -cores 8 -policy at-commit -sb 56 -insts 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/sim"
+	"spb/internal/stats"
+)
+
+func parsePolicy(s string) (core.Policy, error) {
+	for _, p := range core.Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (want none|at-execute|at-commit|spb|ideal)", s)
+}
+
+func parsePrefetcher(s string) (config.PrefetcherKind, error) {
+	for _, k := range []config.PrefetcherKind{
+		config.PrefetchStream, config.PrefetchAggressive,
+		config.PrefetchAdaptive, config.PrefetchNone,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown prefetcher %q (want stream|aggressive|adaptive|none)", s)
+}
+
+func main() {
+	var (
+		workload   = flag.String("workload", "bwaves", "workload name (SPEC-like for 1 core, PARSEC-like for >1)")
+		policy     = flag.String("policy", "spb", "store-prefetch policy: none|at-execute|at-commit|spb|ideal")
+		sb         = flag.Int("sb", 56, "store-buffer (store-queue) entries")
+		prefetcher = flag.String("prefetcher", "stream", "generic L1 prefetcher: stream|aggressive|adaptive|none")
+		coreName   = flag.String("core", "", "Table II core config (SLM|NHL|HSW|SKL|SNC); empty = Table I Skylake")
+		cores      = flag.Int("cores", 1, "core count (PARSEC workloads)")
+		insts      = flag.Uint64("insts", 500_000, "committed instructions per core")
+		windowN    = flag.Int("spb-n", 48, "SPB window N")
+		dynamic    = flag.Bool("spb-dynamic", false, "enable the dynamic store-size SPB ablation")
+		backward   = flag.Bool("spb-backward", false, "enable the backward-burst extension (paper §IV.A)")
+		crossPage  = flag.Bool("spb-crosspage", false, "enable the cross-page burst extension (paper footnote 2)")
+		coalesce   = flag.Bool("coalesce-sb", false, "enable the store-coalescing SB ablation (related work)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		dump       = flag.Bool("stats", false, "dump every raw counter (stable sorted format)")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsim:", err)
+		os.Exit(2)
+	}
+	pf, err := parsePrefetcher(*prefetcher)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsim:", err)
+		os.Exit(2)
+	}
+
+	res, err := sim.Run(sim.RunSpec{
+		Workload:        *workload,
+		Policy:          pol,
+		SQSize:          *sb,
+		Prefetcher:      pf,
+		CoreName:        *coreName,
+		Cores:           *cores,
+		Insts:           *insts,
+		WindowN:         *windowN,
+		DynamicSPB:      *dynamic,
+		BackwardBursts:  *backward,
+		CrossPageBursts: *crossPage,
+		CoalesceSB:      *coalesce,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsim:", err)
+		os.Exit(1)
+	}
+
+	c, m := res.CPU, res.Mem
+	fmt.Printf("workload            %s (policy %s, SB %d, %s prefetcher)\n",
+		*workload, pol, *sb, pf)
+	fmt.Printf("cycles              %d\n", c.Cycles)
+	fmt.Printf("committed           %d (IPC %.3f)\n", c.Committed, res.IPC())
+	fmt.Printf("loads/stores        %d / %d (forwarded %d, partial %d)\n",
+		c.Loads, c.Stores, c.ForwardedLoads, c.PartialForwards)
+	fmt.Printf("branches            %d (mispredicted %d, wrong-path insts %d)\n",
+		c.Branches, c.Mispredicts, c.WrongPathInsts)
+	fmt.Printf("SB stalls           %d cycles (%.2f%% of cycles; app %d, lib %d, kernel %d)\n",
+		c.SBStallCycles, 100*res.TD.SBStallRatio, c.SBStallApp, c.SBStallLib, c.SBStallKernel)
+	fmt.Printf("other stalls        ROB %d, IQ %d, LQ %d, frontend %d\n",
+		c.ROBStallCycles, c.IQStallCycles, c.LQStallCycles, c.FrontendStallCycles)
+	fmt.Printf("exec stalls w/ L1D miss pending  %d (%.2f%%)\n",
+		c.ExecStallL1DPending, 100*res.TD.ExecStallL1DPendingRatio)
+	fmt.Printf("SB-bound            %v (threshold %.0f%%)\n", res.TD.SBBound, 100.0*2/100)
+	fmt.Printf("SPB bursts          %d\n", c.SPBBursts)
+	fmt.Printf("store prefetches    issued %d (burst %d), discarded %d, to-L2 %d\n",
+		m.SPFIssued, m.SPFBurst, m.SPFDiscarded, m.SPFMissToL2)
+	fmt.Printf("  outcomes          successful %d, late %d, early %d, never-used %d\n",
+		m.SPFSuccessful, m.SPFLate, m.SPFEarly, m.SPFNeverUsed())
+	fmt.Printf("generic prefetches  issued %d, used %d, late %d, polluted %d\n",
+		m.GPFIssued, m.GPFUsed, m.GPFLate, m.GPFPolluted)
+	fmt.Printf("L1D                 tags %d, hits %d, misses %d\n",
+		m.L1TagAccesses, m.L1Hits, m.L1Misses)
+	fmt.Printf("L2/L3/DRAM          %d / %d / %d reads + %d writes\n",
+		m.L2Accesses, m.L3Accesses, m.DRAMReads, m.DRAMWrites)
+	fmt.Printf("coherence           %d invalidations, %d writebacks\n",
+		m.Invalidations, m.Writebacks)
+	fmt.Printf("energy              cache %.3g J, core %.3g J, static %.3g J, total %.3g J\n",
+		res.Energy.CacheDynamic, res.Energy.CoreDynamic, res.Energy.Static, res.Energy.Total())
+	if *dump {
+		set := stats.NewSet()
+		res.ExportStats(set)
+		fmt.Print("\n", set.String())
+	}
+}

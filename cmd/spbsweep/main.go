@@ -1,0 +1,182 @@
+// Command spbsweep runs a parameter sweep and emits one CSV row per
+// simulation point, ready for plotting: every workload of the selected
+// suite × every requested policy × every requested SB size.
+//
+// Examples:
+//
+//	spbsweep -sb 8,14,20,28,40,56 -policies at-commit,spb,ideal > sweep.csv
+//	spbsweep -suite parsec -cores 8 -sb 14,56 > parsec.csv
+//	spbsweep -suite sbbound -insts 1000000 -spb-n 8,16,24,32,48,64
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spb/internal/core"
+	"spb/internal/sim"
+	"spb/internal/workloads"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]core.Policy, error) {
+	var out []core.Policy
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		found := false
+		for _, p := range core.Policies {
+			if p.String() == part {
+				out = append(out, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown policy %q", part)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		suite    = flag.String("suite", "spec", "workload suite: spec|sbbound|parsec")
+		sbList   = flag.String("sb", "14,28,56", "comma-separated SB sizes")
+		policies = flag.String("policies", "at-commit,spb,ideal", "comma-separated policies")
+		nList    = flag.String("spb-n", "48", "comma-separated SPB window sizes")
+		cores    = flag.Int("cores", 0, "core count (default: 1 for spec, 8 for parsec)")
+		insts    = flag.Uint64("insts", 200_000, "committed instructions per core")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	sbs, err := parseInts(*sbList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsweep:", err)
+		os.Exit(2)
+	}
+	pols, err := parsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsweep:", err)
+		os.Exit(2)
+	}
+	ns, err := parseInts(*nList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsweep:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	nCores := *cores
+	switch *suite {
+	case "spec":
+		for _, w := range workloads.SPEC() {
+			names = append(names, w.Name)
+		}
+		if nCores == 0 {
+			nCores = 1
+		}
+	case "sbbound":
+		for _, w := range workloads.SBBoundSPEC() {
+			names = append(names, w.Name)
+		}
+		if nCores == 0 {
+			nCores = 1
+		}
+	case "parsec":
+		for _, p := range workloads.PARSEC() {
+			names = append(names, p.Name)
+		}
+		if nCores == 0 {
+			nCores = 8
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "spbsweep: unknown suite %q (want spec|sbbound|parsec)\n", *suite)
+		os.Exit(2)
+	}
+
+	var specs []sim.RunSpec
+	for _, name := range names {
+		for _, sb := range sbs {
+			for _, p := range pols {
+				for _, n := range ns {
+					specs = append(specs, sim.RunSpec{
+						Workload: name, Policy: p, SQSize: sb,
+						Cores: nCores, Insts: *insts, WindowN: n, Seed: *seed,
+					})
+				}
+			}
+		}
+	}
+
+	runner := sim.NewRunner()
+	results, err := runner.GetAll(specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsweep:", err)
+		os.Exit(1)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{
+		"workload", "policy", "sb", "spb_n", "cores", "insts",
+		"cycles", "ipc", "sb_stall_ratio", "sb_stall_cycles", "other_stall_cycles",
+		"exec_stall_l1d_pending", "spb_bursts",
+		"spf_issued", "spf_successful", "spf_late", "spf_early",
+		"l1_tag_accesses", "dram_reads", "invalidations",
+		"energy_cache_dyn_j", "energy_core_dyn_j", "energy_static_j", "energy_total_j",
+	}
+	if err := w.Write(header); err != nil {
+		fmt.Fprintln(os.Stderr, "spbsweep:", err)
+		os.Exit(1)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, r := range results {
+		row := []string{
+			r.Spec.Workload,
+			r.Spec.Policy.String(),
+			strconv.Itoa(r.Spec.SQSize),
+			strconv.Itoa(r.Spec.WindowN),
+			strconv.Itoa(r.Spec.Cores),
+			u(r.Spec.Insts),
+			u(r.CPU.Cycles),
+			f(r.IPC()),
+			f(r.TD.SBStallRatio),
+			u(r.CPU.SBStallCycles),
+			u(r.CPU.OtherStallCycles()),
+			u(r.CPU.ExecStallL1DPending),
+			u(r.CPU.SPBBursts),
+			u(r.Mem.SPFIssued),
+			u(r.Mem.SPFSuccessful),
+			u(r.Mem.SPFLate),
+			u(r.Mem.SPFEarly),
+			u(r.Mem.L1TagAccesses),
+			u(r.Mem.DRAMReads),
+			u(r.Mem.Invalidations),
+			f(r.Energy.CacheDynamic),
+			f(r.Energy.CoreDynamic),
+			f(r.Energy.Static),
+			f(r.Energy.Total()),
+		}
+		if err := w.Write(row); err != nil {
+			fmt.Fprintln(os.Stderr, "spbsweep:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command spbtables regenerates the paper's tables and figures from the
+// simulator. With no flags it runs every experiment at full scale; -exp
+// selects a single one, -quick switches to the reduced benchmark scale.
+//
+// Examples:
+//
+//	spbtables -exp fig5
+//	spbtables -quick
+//	spbtables -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spb/internal/figures"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (tableI, fig1, fig5, ... sensN); empty = all")
+		quick = flag.Bool("quick", false, "reduced scale (SB-bound apps only, fewer instructions)")
+		insts = flag.Uint64("insts", 0, "override the per-run instruction budget")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(figures.Order, "\n"))
+		return
+	}
+
+	scale := figures.Full
+	if *quick {
+		scale = figures.Quick
+	}
+	if *insts > 0 {
+		scale.Insts = *insts
+	}
+	h := figures.NewHarness(scale)
+	all := h.All()
+
+	ids := figures.Order
+	if *exp != "" {
+		if _, ok := all[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "spbtables: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		tables, err := all[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spbtables: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+	}
+}

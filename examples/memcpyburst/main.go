@@ -1,0 +1,53 @@
+// memcpyburst compares every store-prefetch policy on the paper's central
+// scenario: library memcpy bursts interleaved with compute, across the three
+// store-buffer sizes of the evaluation (56, 28, 14 entries). It prints the
+// Fig. 5-style normalized-performance matrix for one workload, plus the
+// prefetch-outcome taxonomy of Fig. 11.
+//
+// Run with: go run ./examples/memcpyburst
+package main
+
+import (
+	"fmt"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/sim"
+)
+
+func main() {
+	const workload = "bwaves" // memcpy-dominated, the paper's hardest case
+	fmt.Printf("workload %s, %d instructions per run\n\n", workload, 400_000)
+
+	for _, sb := range config.StandardSQSizes {
+		ideal, err := sim.Run(sim.RunSpec{
+			Workload: workload, Policy: core.PolicyIdeal, SQSize: sb, Insts: 400_000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("SB%-3d                cycles    vs ideal   SB-stall%%   late-PF   successful-PF\n", sb)
+		for _, p := range []core.Policy{core.PolicyNone, core.PolicyAtExecute, core.PolicyAtCommit, core.PolicySPB} {
+			r, err := sim.Run(sim.RunSpec{
+				Workload: workload, Policy: p, SQSize: sb, Insts: 400_000,
+			})
+			if err != nil {
+				panic(err)
+			}
+			usable := r.Mem.SPFIssued - r.Mem.SPFDiscarded
+			late, succ := 0.0, 0.0
+			if usable > 0 {
+				late = float64(r.Mem.SPFLate) / float64(usable)
+				succ = float64(r.Mem.SPFSuccessful) / float64(usable)
+			}
+			fmt.Printf("  %-12s %12d    %6.1f%%     %5.1f%%     %5.1f%%     %5.1f%%\n",
+				p, r.CPU.Cycles,
+				100*float64(ideal.CPU.Cycles)/float64(r.CPU.Cycles),
+				100*r.TD.SBStallRatio, 100*late, 100*succ)
+		}
+		fmt.Println()
+	}
+	fmt.Println("at-commit's prefetches are mostly late (issued at the end of the store's")
+	fmt.Println("life); SPB's page bursts are issued early enough to be successful, which")
+	fmt.Println("is why it keeps small store buffers near ideal performance.")
+}

@@ -1,0 +1,62 @@
+// parsec runs an 8-core coherent system (directory MESI over private L1/L2
+// hierarchies) on the PARSEC-like multithreaded workloads, reproducing the
+// paper's Fig. 18 experiment for one benchmark: store bursts exist in
+// parallel applications too, and SPB improves them without hurting
+// coherence (bursts never form on contended shared blocks, whose accesses
+// are scattered, so SPB stays quiet where it could do harm).
+//
+// Run with: go run ./examples/parsec [workload]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spb/internal/core"
+	"spb/internal/sim"
+	"spb/internal/workloads"
+)
+
+func main() {
+	name := "dedup"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	if _, err := workloads.PARSECByName(name); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "available PARSEC-like workloads:")
+		for _, p := range workloads.PARSEC() {
+			fmt.Fprintf(os.Stderr, "  %s\n", p.Name)
+		}
+		os.Exit(2)
+	}
+
+	const (
+		threads = 8
+		insts   = 100_000 // per thread
+	)
+	fmt.Printf("%s, %d threads, %d instructions per thread, SB14 (SMT-4 share)\n\n",
+		name, threads, insts)
+	fmt.Printf("%-12s %10s %8s %12s %14s %12s\n",
+		"policy", "cycles", "IPC", "SB-stall%", "invalidations", "SPB bursts")
+	for _, p := range []core.Policy{core.PolicyAtCommit, core.PolicySPB, core.PolicyIdeal} {
+		r, err := sim.Run(sim.RunSpec{
+			Workload: name,
+			Policy:   p,
+			SQSize:   14,
+			Cores:    threads,
+			Insts:    insts,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %10d %8.2f %11.1f%% %14d %12d\n",
+			p, r.CPU.Cycles, r.IPC(),
+			100*float64(r.CPU.SBStallCycles)/float64(r.CPU.Cycles*threads),
+			r.Mem.Invalidations, r.CPU.SPBBursts)
+	}
+	fmt.Println()
+	fmt.Println("the invalidation counts stay flat across policies: SPB's page bursts")
+	fmt.Println("only form on private streaming data, so they add no coherence traffic.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a single-core Skylake-like system, run the paper's
+// motivating pattern (a memset store burst through a small store buffer),
+// and print what the store buffer did — first with the baseline at-commit
+// store prefetcher, then with Store-Prefetch Bursts.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/cpu"
+	"spb/internal/mem"
+	"spb/internal/memsys"
+	"spb/internal/trace"
+)
+
+func run(policy core.Policy) *cpu.Core {
+	// A Skylake-X machine (Table I of the paper) with the SMT-4 share of
+	// the store buffer: 14 entries.
+	machine := config.Skylake().WithSQ(14)
+
+	// The workload: memset-style bursts of contiguous 8-byte stores over
+	// 64 pages — the exact pattern of the paper's Fig. 2.
+	region := trace.NewMemRegion(0x1000_0000, 64*mem.PageSize)
+	burst := trace.MemsetBurst(region, 64*mem.PageSize, 8, trace.PCLib)
+
+	sys := memsys.New(machine, 1)
+	c := cpu.New(machine.Core, policy, machine.SPB, sys.Port(0), burst(), 1)
+	if err := c.Run(32768); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func main() {
+	fmt.Println("memset burst through a 14-entry store buffer (SMT-4 share):")
+	fmt.Println()
+	for _, policy := range []core.Policy{core.PolicyAtCommit, core.PolicySPB} {
+		c := run(policy)
+		st := c.St
+		fmt.Printf("%-10s  %8d cycles  IPC %.2f  SB-stall cycles %8d (%.1f%%)  SPB bursts %d\n",
+			policy, st.Cycles, st.IPC(), st.SBStallCycles,
+			100*float64(st.SBStallCycles)/float64(st.Cycles), st.SPBBursts)
+	}
+	fmt.Println()
+	fmt.Println("SPB detects the contiguous pattern after one 48-store window and")
+	fmt.Println("prefetches ownership of every remaining block in the page at once,")
+	fmt.Println("so the store buffer drains one store per cycle instead of stalling.")
+}

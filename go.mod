@@ -1,0 +1,3 @@
+module spb
+
+go 1.22

@@ -1,0 +1,155 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spb/internal/trace"
+)
+
+func small() *Predictor {
+	return New(Config{PHTEntries: 1 << 10, HistoryBits: 8, BTBEntries: 1 << 6})
+}
+
+func TestAlwaysTakenLearns(t *testing.T) {
+	p := small()
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		pred, _ := p.Predict(0x4000)
+		if p.Update(0x4000, true) {
+			miss++
+		}
+		_ = pred
+	}
+	if miss > 2 {
+		t.Fatalf("always-taken branch mispredicted %d times, want <= 2", miss)
+	}
+}
+
+func TestAlternatingPatternLearns(t *testing.T) {
+	// T,N,T,N... is trivially captured by one history bit.
+	p := small()
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		p.Predict(0x5000)
+		if p.Update(0x5000, taken) {
+			miss++
+		}
+	}
+	if rate := float64(miss) / 2000; rate > 0.05 {
+		t.Fatalf("alternating branch mispredict rate %.3f, want < 0.05", rate)
+	}
+}
+
+func TestLoopBranchMissesOncePerTrip(t *testing.T) {
+	// An 8-iteration loop branch (7 taken, 1 not) should settle near a
+	// 1-in-8 mispredict rate or better with history.
+	p := small()
+	miss := 0
+	total := 0
+	for trip := 0; trip < 200; trip++ {
+		for i := 0; i < 8; i++ {
+			taken := i != 7
+			p.Predict(0x6000)
+			if p.Update(0x6000, taken) {
+				miss++
+			}
+			total++
+		}
+	}
+	if rate := float64(miss) / float64(total); rate > 0.2 {
+		t.Fatalf("loop branch mispredict rate %.3f, want < 0.2", rate)
+	}
+}
+
+func TestRandomBranchMispredictsOften(t *testing.T) {
+	p := small()
+	rng := trace.NewRNG(7)
+	miss := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p.Predict(0x7000)
+		if p.Update(0x7000, rng.Bool(0.5)) {
+			miss++
+		}
+	}
+	if rate := float64(miss) / n; rate < 0.3 {
+		t.Fatalf("random branch mispredict rate %.3f, want >= 0.3", rate)
+	}
+}
+
+func TestBTBWarmup(t *testing.T) {
+	p := small()
+	if _, hit := p.Predict(0x8000); hit {
+		t.Fatal("cold BTB must miss")
+	}
+	p.Update(0x8000, true)
+	if _, hit := p.Predict(0x8000); !hit {
+		t.Fatal("trained BTB must hit")
+	}
+	if p.BTBMisses != 1 {
+		t.Fatalf("BTBMisses = %d, want 1", p.BTBMisses)
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	p := small()
+	if p.MispredictRate() != 0 {
+		t.Fatal("idle predictor rate should be 0")
+	}
+	p.Predict(0x9000)
+	p.Update(0x9000, false) // init weakly-taken: this mispredicts
+	if p.MispredictRate() != 1 {
+		t.Fatalf("rate = %v, want 1", p.MispredictRate())
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{PHTEntries: 0, HistoryBits: 8, BTBEntries: 64},
+		{PHTEntries: 100, HistoryBits: 8, BTBEntries: 64},
+		{PHTEntries: 64, HistoryBits: 0, BTBEntries: 64},
+		{PHTEntries: 64, HistoryBits: 8, BTBEntries: 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: counters stay within the 2-bit range whatever the stream.
+func TestCountersBounded(t *testing.T) {
+	f := func(outcomes []bool, pcs []uint16) bool {
+		p := small()
+		for i, taken := range outcomes {
+			pc := uint64(0x1000)
+			if i < len(pcs) {
+				pc += uint64(pcs[i]) * 4
+			}
+			p.Predict(pc)
+			p.Update(pc, taken)
+		}
+		for _, c := range p.pht {
+			if c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableIConfigValid(t *testing.T) {
+	p := New(TableI())
+	if p == nil {
+		t.Fatal("Table I predictor failed to build")
+	}
+}

@@ -1,0 +1,321 @@
+// Package cache implements the set-associative cache arrays used at every
+// level of the hierarchy: MESI line states, LRU replacement, tag-access
+// accounting, in-flight fills (a line knows when its data/permission
+// actually arrives, which is how late prefetches are detected), and an
+// MSHR capacity model that bounds outstanding misses per cache.
+package cache
+
+import (
+	"fmt"
+
+	"spb/internal/mem"
+)
+
+// State is a MESI coherence state. Levels below the L1 mostly use
+// Shared/Modified; the full set exists so the directory protocol in
+// package memsys can be expressed uniformly.
+type State uint8
+
+const (
+	// Invalid: the line holds no valid block.
+	Invalid State = iota
+	// Shared: read-only copy; other caches may hold it too.
+	Shared
+	// Exclusive: only copy, clean; may be written without a request.
+	Exclusive
+	// Modified: only copy, dirty; must be written back on eviction.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Writable reports whether a store may perform against this state without a
+// coherence request.
+func (s State) Writable() bool { return s == Exclusive || s == Modified }
+
+// Line is one cache line. The zero value is an invalid line.
+type Line struct {
+	Block mem.Block
+	State State
+	// ReadyAt is the cycle at which the fill (data and/or permission)
+	// completes. A demand access finding ReadyAt in the future has hit an
+	// in-flight miss — for prefetched lines, that is a late prefetch.
+	ReadyAt uint64
+	// Prefetched marks a line filled by a prefetch that no demand access
+	// has consumed yet; used for the Fig. 11 accuracy taxonomy.
+	Prefetched bool
+	// PrefetchWrite records that the prefetch requested ownership
+	// (prefetch-exclusive), as the at-commit/at-execute/SPB policies do.
+	PrefetchWrite bool
+	lastUse       uint64
+	valid         bool
+}
+
+// Valid reports whether the line holds a block.
+func (l *Line) Valid() bool { return l.valid && l.State != Invalid }
+
+// Cache is one set-associative cache array.
+type Cache struct {
+	name    string
+	ways    int
+	setMask uint64
+	lines   []Line // sets*ways, set-major
+	clock   uint64
+
+	mshrs       int
+	outstanding minHeap // ready cycles of in-flight misses
+
+	// Statistics, read by the memory system's reporting layer.
+	TagAccesses uint64
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Writebacks  uint64
+}
+
+// New constructs a cache with the given geometry. Sets must be a power of
+// two; sizeBytes = sets * ways * 64.
+func New(name string, sizeBytes, ways, mshrs int) *Cache {
+	sets := sizeBytes / (mem.BlockSize * ways)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d is not a positive power of two", name, sets))
+	}
+	if mshrs <= 0 {
+		panic(fmt.Sprintf("cache %s: MSHR count must be positive", name))
+	}
+	return &Cache{
+		name:    name,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		lines:   make([]Line, sets*ways),
+		mshrs:   mshrs,
+	}
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.lines) / c.ways }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(b mem.Block) []Line {
+	idx := (uint64(b) & c.setMask) * uint64(c.ways)
+	return c.lines[idx : idx+uint64(c.ways)]
+}
+
+// Lookup performs a tag access for block b and returns the line holding it,
+// or nil on a miss. When touch is true the access updates LRU state and the
+// hit/miss counters (demand accesses); probe-only lookups (snoops,
+// duplicate-prefetch filtering) pass false.
+func (c *Cache) Lookup(b mem.Block, touch bool) *Line {
+	c.TagAccesses++
+	set := c.setOf(b)
+	for i := range set {
+		l := &set[i]
+		if l.Valid() && l.Block == b {
+			if touch {
+				c.clock++
+				l.lastUse = c.clock
+				c.Hits++
+			}
+			return l
+		}
+	}
+	if touch {
+		c.Misses++
+	}
+	return nil
+}
+
+// Peek returns the line holding b without counting a tag access or touching
+// LRU. For invariant checks and directory consistency audits.
+func (c *Cache) Peek(b mem.Block) *Line {
+	set := c.setOf(b)
+	for i := range set {
+		l := &set[i]
+		if l.Valid() && l.Block == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// Insert fills block b in state st, with the fill completing at readyAt.
+// It returns the victim line (by value) and whether a valid victim was
+// evicted; the caller handles the writeback if victim.State == Modified.
+// Inserting a block already present updates that line in place instead.
+func (c *Cache) Insert(b mem.Block, st State, readyAt uint64, prefetched, pfWrite bool) (victim Line, evicted bool) {
+	set := c.setOf(b)
+	c.clock++
+	// Already present (e.g. an upgrade miss): update in place.
+	for i := range set {
+		l := &set[i]
+		if l.Valid() && l.Block == b {
+			l.State = st
+			if readyAt > l.ReadyAt {
+				l.ReadyAt = readyAt
+			}
+			l.Prefetched = prefetched
+			l.PrefetchWrite = pfWrite
+			l.lastUse = c.clock
+			return Line{}, false
+		}
+	}
+	// Free way, if any.
+	vi := -1
+	for i := range set {
+		if !set[i].Valid() {
+			vi = i
+			break
+		}
+	}
+	// Otherwise evict LRU.
+	if vi == -1 {
+		vi = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[vi].lastUse {
+				vi = i
+			}
+		}
+		victim = set[vi]
+		evicted = true
+		c.Evictions++
+		if victim.State == Modified {
+			c.Writebacks++
+		}
+	}
+	set[vi] = Line{
+		Block:         b,
+		State:         st,
+		ReadyAt:       readyAt,
+		Prefetched:    prefetched,
+		PrefetchWrite: pfWrite,
+		lastUse:       c.clock,
+		valid:         true,
+	}
+	return victim, evicted
+}
+
+// Invalidate removes block b, returning the invalidated line and whether it
+// was present (the caller handles a dirty writeback / data transfer).
+func (c *Cache) Invalidate(b mem.Block) (Line, bool) {
+	set := c.setOf(b)
+	for i := range set {
+		l := &set[i]
+		if l.Valid() && l.Block == b {
+			old := *l
+			*l = Line{}
+			return old, true
+		}
+	}
+	return Line{}, false
+}
+
+// Downgrade moves block b to Shared (directory fetched the data for a remote
+// reader). Returns whether the block was present and was dirty.
+func (c *Cache) Downgrade(b mem.Block) (present, wasDirty bool) {
+	set := c.setOf(b)
+	for i := range set {
+		l := &set[i]
+		if l.Valid() && l.Block == b {
+			wasDirty = l.State == Modified
+			l.State = Shared
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// OutstandingAt returns the number of misses still in flight at cycle t.
+func (c *Cache) OutstandingAt(t uint64) int {
+	c.outstanding.expire(t)
+	return c.outstanding.len()
+}
+
+// MSHRAvailable returns the cycle at which a miss issued at t can actually
+// allocate an MSHR: t itself when a slot is free, otherwise the completion
+// of the earliest outstanding fill. The caller computes the downstream
+// latency from the returned cycle and then records it with NoteMiss.
+func (c *Cache) MSHRAvailable(t uint64) (issueAt uint64) {
+	c.outstanding.expire(t)
+	issueAt = t
+	for c.outstanding.len() >= c.mshrs {
+		earliest := c.outstanding.popMin()
+		if earliest > issueAt {
+			issueAt = earliest
+		}
+	}
+	return issueAt
+}
+
+// NoteMiss records an outstanding miss whose fill completes at ready.
+func (c *Cache) NoteMiss(ready uint64) {
+	c.outstanding.push(ready)
+}
+
+// minHeap is a tiny binary min-heap of ready cycles; capacities are ≤64 so
+// no interface indirection (container/heap) is warranted on this hot path.
+type minHeap struct {
+	a []uint64
+}
+
+func (h *minHeap) len() int { return len(h.a) }
+
+func (h *minHeap) push(v uint64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *minHeap) popMin() uint64 {
+	v := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < last && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return v
+}
+
+// expire drops fills that completed at or before t.
+func (h *minHeap) expire(t uint64) {
+	for len(h.a) > 0 && h.a[0] <= t {
+		h.popMin()
+	}
+}

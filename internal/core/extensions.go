@@ -1,0 +1,63 @@
+package core
+
+import "spb/internal/mem"
+
+// Options selects the detector's optional extensions. The paper evaluates
+// plain SPB only; these knobs implement the variants it discusses:
+//
+//   - Dynamic is the §IV.C store-size ablation (threshold N/S with a
+//     learned S instead of N/8) — the paper found it slightly worse.
+//   - Backward detects descending block patterns (e.g. stack writes) and
+//     bursts from the current block down to the start of the page. The
+//     paper judged it implementable but found no workload where backward
+//     bursts cause SB stalls (§IV.A).
+//   - CrossPage lets a forward burst continue into the next page, which a
+//     virtual-address prefetcher could do (footnote 2); the paper did not
+//     explore it because consecutive virtual pages need not map to
+//     consecutive physical pages. The simulator's flat address space makes
+//     it a clean what-if ablation.
+type Options struct {
+	Dynamic   bool
+	Backward  bool
+	CrossPage bool
+}
+
+// NewDetectorWithOptions returns a detector with the given extensions.
+func NewDetectorWithOptions(n int, o Options) *Detector {
+	d := NewDetector(n, o.Dynamic)
+	d.backward = o.Backward
+	d.crossPage = o.CrossPage
+	return d
+}
+
+// observeBackward updates the descending-pattern counter; mirror image of
+// the forward path in Observe.
+func (d *Detector) observeBackward(block mem.Block) {
+	if d.lastBlock-block == 1 {
+		if d.backCounter < satCounterMax {
+			d.backCounter++
+		}
+	} else if block != d.lastBlock {
+		d.backCounter = 0
+	}
+}
+
+// backwardBurst builds the burst for a confirmed descending pattern: every
+// block of the page strictly before the current one, ascending order (the
+// L1 controller issues them oldest-address-first; ordering among prefetches
+// is immaterial).
+func (d *Detector) backwardBurst(block mem.Block) (Burst, bool) {
+	first := block &^ (mem.BlocksPerPage - 1)
+	count := int(block - first)
+	if count == 0 {
+		return Burst{}, false
+	}
+	page := mem.PageOfBlock(block)
+	if d.hasLastBurstPage && page == d.lastBurstPage {
+		return Burst{}, false
+	}
+	d.Triggers++
+	d.lastBurstPage = page
+	d.hasLastBurstPage = true
+	return Burst{Start: first, Count: count}, true
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"spb/internal/mem"
+)
+
+func TestBackwardBurstDetection(t *testing.T) {
+	d := NewDetectorWithOptions(8, Options{Backward: true})
+	// Descending 64-bit stores from near the end of a page (stack-like):
+	// one store per block so every diff is -1.
+	base := mem.AddrOfBlock(mem.Block(mem.BlocksPerPage - 1)) // block 63 of page 0
+	var burst Burst
+	var got bool
+	for i := 0; i < 16; i++ {
+		a := base - mem.Addr(i*mem.BlockSize)
+		if b, ok := d.Observe(a, 8); ok {
+			burst, got = b, true
+			break
+		}
+	}
+	if !got {
+		t.Fatal("descending block stream must trigger a backward burst")
+	}
+	// The burst must cover blocks of page 0 strictly below the current one,
+	// and never leave the page.
+	if mem.PageOfBlock(burst.Start) != 0 {
+		t.Fatalf("backward burst starts in page %d", mem.PageOfBlock(burst.Start))
+	}
+	last := burst.Start + mem.Block(burst.Count-1)
+	if mem.PageOfBlock(last) != 0 {
+		t.Fatal("backward burst crossed the page")
+	}
+	if burst.Count <= 0 {
+		t.Fatal("empty backward burst")
+	}
+}
+
+func TestBackwardDisabledByDefault(t *testing.T) {
+	d := NewDetector(8, false)
+	base := mem.AddrOfBlock(mem.Block(mem.BlocksPerPage - 1))
+	for i := 0; i < 64; i++ {
+		if _, ok := d.Observe(base-mem.Addr(i*mem.BlockSize), 8); ok {
+			t.Fatal("plain SPB must not trigger on descending patterns (paper §IV.A)")
+		}
+	}
+}
+
+func TestBackwardDoesNotBreakForward(t *testing.T) {
+	d := NewDetectorWithOptions(8, Options{Backward: true})
+	if _, ok := feedStores(d, 0, 512); !ok {
+		t.Fatal("forward detection must still work with the backward extension on")
+	}
+}
+
+func TestCrossPageBurstExtends(t *testing.T) {
+	plain := NewDetector(8, false)
+	cross := NewDetectorWithOptions(8, Options{CrossPage: true})
+	bp, okP := feedStores(plain, 0, 512)
+	bx, okX := feedStores(cross, 0, 512)
+	if !okP || !okX {
+		t.Fatal("both detectors must trigger on a dense stream")
+	}
+	if bx.Count != bp.Count+mem.BlocksPerPage {
+		t.Fatalf("cross-page burst = %d blocks, want plain %d + %d",
+			bx.Count, bp.Count, mem.BlocksPerPage)
+	}
+	if bx.Start != bp.Start {
+		t.Fatal("cross-page burst must start at the same block")
+	}
+}
+
+func TestBackwardAtPageStartHasNothingToFetch(t *testing.T) {
+	d := NewDetectorWithOptions(8, Options{Backward: true})
+	// Walk down across a page boundary so the check lands at block 0 of a
+	// page: backwardBurst must return nothing rather than underflow.
+	start := mem.AddrOfBlock(mem.Block(mem.BlocksPerPage + 7)) // block 7 of page 1
+	for i := 0; i < 64; i++ {
+		a := start - mem.Addr(i*mem.BlockSize)
+		if b, ok := d.Observe(a, 8); ok {
+			last := b.Start + mem.Block(b.Count-1)
+			if mem.PageOfBlock(b.Start) != mem.PageOfBlock(last) {
+				t.Fatal("backward burst crossed a page")
+			}
+		}
+	}
+}
+
+func TestBackwardBurstRespectsPageFilter(t *testing.T) {
+	d := NewDetectorWithOptions(8, Options{Backward: true})
+	base := mem.AddrOfBlock(mem.Block(mem.BlocksPerPage - 1))
+	triggers := 0
+	for i := 0; i < 60; i++ {
+		if _, ok := d.Observe(base-mem.Addr(i*mem.BlockSize), 8); ok {
+			triggers++
+		}
+	}
+	if triggers != 1 {
+		t.Fatalf("one page should burst once, got %d", triggers)
+	}
+}
+
+func TestOptionsResetClearsBackwardState(t *testing.T) {
+	d := NewDetectorWithOptions(8, Options{Backward: true})
+	base := mem.AddrOfBlock(mem.Block(mem.BlocksPerPage - 1))
+	for i := 0; i < 5; i++ {
+		d.Observe(base-mem.Addr(i*mem.BlockSize), 8)
+	}
+	d.Reset()
+	if d.backCounter != 0 {
+		t.Fatal("Reset must clear the backward counter")
+	}
+}

@@ -1,0 +1,617 @@
+// Package cpu models the out-of-order core of Table I: a trace-driven
+// pipeline with dispatch/commit width, ROB/IQ/LQ occupancy limits, a unified
+// store queue that blocks dispatch when full (the SB-induced stall the paper
+// measures), dependency- and memory-latency-driven completion times, branch
+// misprediction with wrong-path memory traffic, and the commit-stage hooks
+// where the store-prefetch policies (at-execute, at-commit, SPB, ideal) act.
+//
+// The model is deliberately not microarchitecturally exact — it is the
+// substrate substitution documented in DESIGN.md — but every mechanism the
+// paper's figures measure is present and interacts the way the paper
+// describes: stores serialize on ownership misses, the SB fills and stalls
+// dispatch, prefetch policies hide (or fail to hide) the ownership latency,
+// and faster branch-feeding loads shrink wrong-path work.
+package cpu
+
+import (
+	"fmt"
+
+	"spb/internal/bpred"
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/mem"
+	"spb/internal/memsys"
+	"spb/internal/storebuf"
+	"spb/internal/tlb"
+	"spb/internal/trace"
+)
+
+// partialForwardPenalty is the extra latency of a load that overlaps an SB
+// store without being covered by it.
+const partialForwardPenalty = 8
+
+// btbMissBubble is the front-end redirect delay when a branch misses in the
+// BTB (modelled predictor only).
+const btbMissBubble = 2
+
+// maxHeadRetries bounds how often the SB-head store re-requests ownership
+// after losing it to a remote steal before the forward-progress guarantee
+// retires it by force.
+const maxHeadRetries = 8
+
+// Caps on synthesized wrong-path memory traffic per misprediction, bounding
+// simulation cost while preserving the proportionality to wrong-path span.
+const (
+	maxWrongPathLoads    = 16
+	maxWrongPathStorePFs = 4
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	kind   trace.Kind
+	size   uint8
+	addr   mem.Addr
+	pc     uint64
+	doneAt uint64
+	sbSeq  uint64
+}
+
+// Stats aggregates the per-core counters the figures are built from.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	Loads          uint64
+	Stores         uint64
+	Branches       uint64
+	Mispredicts    uint64
+	WrongPathInsts uint64
+
+	ForwardedLoads  uint64
+	PartialForwards uint64
+
+	// Issue-stall accounting: cycles in which nothing dispatched, by cause.
+	SBStallCycles       uint64 // store queue (SB) full — the paper's metric
+	ROBStallCycles      uint64
+	IQStallCycles       uint64
+	LQStallCycles       uint64
+	FrontendStallCycles uint64 // mispredict redirect refill
+
+	// SB stalls attributed to the code region of the store blocking the SB
+	// head (Fig. 3).
+	SBStallApp    uint64
+	SBStallLib    uint64
+	SBStallKernel uint64
+
+	// ExecStallL1DPending counts zero-dispatch cycles with at least one L1D
+	// miss outstanding (the Top-Down metric of Figs. 14/15).
+	ExecStallL1DPending uint64
+
+	StoresPerformed uint64
+	SPBBursts       uint64
+}
+
+// OtherStallCycles returns the non-SB resource stalls (Fig. 10's "Other").
+func (s *Stats) OtherStallCycles() uint64 {
+	return s.ROBStallCycles + s.IQStallCycles + s.LQStallCycles
+}
+
+// IssueStallCycles returns all resource-induced zero-dispatch cycles.
+func (s *Stats) IssueStallCycles() uint64 {
+	return s.SBStallCycles + s.OtherStallCycles()
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	cfg    config.CoreConfig
+	policy core.Policy
+	port   *memsys.Port
+	sb     *storebuf.StoreBuffer
+	det    *core.Detector
+	dtlb   *tlb.TLB
+	bp     *bpred.Predictor
+	reader trace.Reader
+	rng    *trace.RNG
+
+	cycle uint64
+
+	// Frontend.
+	fetchReadyAt uint64
+	pending      trace.Inst
+	havePending  bool
+	traceDone    bool
+
+	// ROB ring buffer.
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+
+	// doneHist maps recent instruction sequence numbers to completion
+	// cycles for register-dependency resolution.
+	doneHist [256]uint64
+	seq      uint64
+
+	// Occupancy trackers for IQ and LQ.
+	iq occHeap
+	lq occHeap
+
+	// SB-head ownership-request state.
+	headAcquired bool
+	headSeq      uint64
+	headReadyAt  uint64
+	headRetries  int
+
+	// Recent addresses for wrong-path traffic synthesis.
+	lastLoadAddr  mem.Addr
+	lastStoreAddr mem.Addr
+
+	St Stats
+}
+
+// Options selects the optional extensions of a core: the related-work
+// store-coalescing SB, and the SPB detector's backward/cross-page burst
+// variants (see core.Options). The zero value is the paper's configuration.
+type Options struct {
+	// CoalesceSB merges contiguous same-block junior stores into one SB
+	// entry (Ros & Kaxiras-style coalescing, §VII.B of the paper).
+	CoalesceSB bool
+	// BackwardBursts enables descending-pattern bursts (§IV.A).
+	BackwardBursts bool
+	// CrossPageBursts lets bursts continue into the next page (footnote 2).
+	CrossPageBursts bool
+	// UseBranchPredictor replaces the trace's statistical mispredict flags
+	// with a modelled gshare + BTB front end (Table I's predictor class).
+	UseBranchPredictor bool
+}
+
+// New builds a core running the given policy over the instruction stream.
+// For PolicyIdeal the configured SQ size is overridden with the
+// never-stalling 1024-entry buffer of the paper.
+func New(cfg config.CoreConfig, policy core.Policy, spbCfg config.SPBConfig,
+	port *memsys.Port, reader trace.Reader, seed uint64) *Core {
+	return NewWithOptions(cfg, policy, spbCfg,
+		config.TLBConfig{Entries: 128, Ways: 8, WalkLat: 30}, Options{},
+		port, reader, seed)
+}
+
+// NewWithTLB builds a core with an explicit data-TLB configuration.
+func NewWithTLB(cfg config.CoreConfig, policy core.Policy, spbCfg config.SPBConfig,
+	tlbCfg config.TLBConfig, port *memsys.Port, reader trace.Reader, seed uint64) *Core {
+	return NewWithOptions(cfg, policy, spbCfg, tlbCfg, Options{}, port, reader, seed)
+}
+
+// NewWithOptions builds a core with explicit TLB configuration and
+// extension options.
+func NewWithOptions(cfg config.CoreConfig, policy core.Policy, spbCfg config.SPBConfig,
+	tlbCfg config.TLBConfig, opts Options, port *memsys.Port, reader trace.Reader, seed uint64) *Core {
+	sqSize := cfg.SQSize
+	if policy == core.PolicyIdeal {
+		sqSize = config.IdealSQSize
+	}
+	sb := storebuf.New(sqSize)
+	if opts.CoalesceSB {
+		sb = storebuf.NewCoalescing(sqSize)
+	}
+	c := &Core{
+		cfg:    cfg,
+		policy: policy,
+		port:   port,
+		sb:     sb,
+		dtlb:   tlb.New(tlb.Config{Entries: tlbCfg.Entries, Ways: tlbCfg.Ways, WalkLat: tlbCfg.WalkLat}),
+		reader: reader,
+		rng:    trace.NewRNG(seed),
+		rob:    make([]robEntry, cfg.ROBSize),
+	}
+	if policy == core.PolicySPB {
+		c.det = core.NewDetectorWithOptions(spbCfg.WindowN, core.Options{
+			Dynamic:   spbCfg.DynamicSize,
+			Backward:  opts.BackwardBursts,
+			CrossPage: opts.CrossPageBursts,
+		})
+	}
+	if opts.UseBranchPredictor {
+		c.bp = bpred.New(bpred.TableI())
+	}
+	return c
+}
+
+// BranchPredictor exposes the modelled predictor (nil unless enabled).
+func (c *Core) BranchPredictor() *bpred.Predictor { return c.bp }
+
+// SB exposes the store buffer (tests and invariant checks).
+func (c *Core) SB() *storebuf.StoreBuffer { return c.sb }
+
+// DTLB exposes the data TLB (statistics).
+func (c *Core) DTLB() *tlb.TLB { return c.dtlb }
+
+// Detector exposes the SPB detector (nil unless PolicySPB).
+func (c *Core) Detector() *core.Detector { return c.det }
+
+// Cycle returns the core's current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Done reports whether the core has drained: trace exhausted, ROB empty and
+// no senior stores pending.
+func (c *Core) Done() bool {
+	return c.traceDone && !c.havePending && c.robCount == 0 && c.sb.Empty()
+}
+
+// Tick advances the core by one cycle: commit, SB drain, then dispatch.
+func (c *Core) Tick() {
+	c.commitStage()
+	c.drainSB()
+	dispatched := c.dispatchStage()
+	if dispatched == 0 && !c.Done() && c.port.OutstandingL1Misses(c.cycle) > 0 {
+		c.St.ExecStallL1DPending++
+	}
+	c.cycle++
+	c.St.Cycles = c.cycle
+}
+
+// Run executes until n instructions have committed (or the trace ends) and
+// the machine has drained. It returns an error if the core livelocks.
+func (c *Core) Run(n uint64) error {
+	limit := c.cycle + n*1000 + 1_000_000
+	for c.St.Committed < n && !c.Done() {
+		c.Tick()
+		if c.cycle > limit {
+			return fmt.Errorf("cpu: no forward progress after %d cycles (%d/%d committed)",
+				c.cycle, c.St.Committed, n)
+		}
+	}
+	return nil
+}
+
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if e.doneAt > c.cycle {
+			break
+		}
+		if e.kind == trace.KindStore {
+			c.sb.Commit(e.sbSeq)
+			c.onStoreCommit(e)
+		}
+		c.robHead++
+		if c.robHead == len(c.rob) {
+			c.robHead = 0
+		}
+		c.robCount--
+		c.St.Committed++
+	}
+}
+
+// onStoreCommit fires the at-commit prefetch and feeds the SPB detector.
+func (c *Core) onStoreCommit(e *robEntry) {
+	if c.policy.PrefetchesAtCommit() {
+		c.port.PrefetchOwn(mem.BlockOf(e.addr), c.cycle, false)
+	}
+	if c.det == nil {
+		return
+	}
+	burst, ok := c.det.Observe(e.addr, e.size)
+	if !ok {
+		return
+	}
+	c.St.SPBBursts++
+	// The burst is one request to the L1 controller; the controller works
+	// through it at one prefetch per cycle, so requests are paced rather
+	// than dumped into the memory system in a single cycle.
+	offset := uint64(0)
+	burst.Blocks(func(b mem.Block) {
+		c.port.PrefetchOwn(b, c.cycle+offset, true)
+		offset++
+	})
+}
+
+// drainSB writes the oldest senior store to the L1 when its block is owned;
+// otherwise it makes sure an ownership request is outstanding. One store
+// performs per cycle (pipelined L1 stores).
+func (c *Core) drainSB() {
+	e, ok := c.sb.Head()
+	if !ok {
+		return
+	}
+	if c.port.PerformStore(e.Addr, e.PC, c.cycle) {
+		c.sb.Pop()
+		c.St.StoresPerformed++
+		c.headAcquired = false
+		return
+	}
+	// Not performable: ensure ownership has been requested exactly once,
+	// re-issuing only if the fill was lost to an eviction or a remote
+	// steal. After bounded retries the oldest store retires by force —
+	// the forward-progress guarantee every TSO implementation provides,
+	// without which two cores hammering one block can starve each other.
+	if !c.headAcquired || c.headSeq != e.Seq {
+		res := c.port.StoreAcquire(e.Addr, e.PC, c.cycle)
+		c.headAcquired = true
+		c.headSeq = e.Seq
+		c.headReadyAt = res.Done
+		c.headRetries = 0
+		return
+	}
+	if c.cycle <= c.headReadyAt {
+		return // fill still in flight
+	}
+	c.headRetries++
+	if c.headRetries >= maxHeadRetries {
+		c.port.ForcePerform(e.Addr, e.PC, c.cycle)
+		c.sb.Pop()
+		c.St.StoresPerformed++
+		c.headAcquired = false
+		c.headRetries = 0
+		return
+	}
+	res := c.port.StoreAcquire(e.Addr, e.PC, c.cycle)
+	c.headReadyAt = res.Done
+}
+
+// dispatchStage brings up to Width new instructions into the back end and
+// returns how many it dispatched, performing the paper's stall attribution
+// when it dispatches none.
+func (c *Core) dispatchStage() int {
+	dispatched := 0
+	for dispatched < c.cfg.Width {
+		if !c.havePending {
+			if c.traceDone {
+				break
+			}
+			if !c.reader.Next(&c.pending) {
+				c.traceDone = true
+				break
+			}
+			c.havePending = true
+		}
+		if c.cycle < c.fetchReadyAt {
+			if dispatched == 0 {
+				c.St.FrontendStallCycles++
+			}
+			break
+		}
+		if c.robCount == len(c.rob) {
+			if dispatched == 0 {
+				c.St.ROBStallCycles++
+			}
+			break
+		}
+		in := &c.pending
+		if in.Kind == trace.KindStore && !c.sb.CanAccept(in.Addr, in.Size) {
+			if dispatched == 0 {
+				c.St.SBStallCycles++
+				c.attributeSBStall()
+			}
+			break
+		}
+		if in.Kind == trace.KindLoad && c.lq.occupancy(c.cycle) >= c.cfg.LQSize {
+			if dispatched == 0 {
+				c.St.LQStallCycles++
+			}
+			break
+		}
+		if c.iq.occupancy(c.cycle) >= c.cfg.IQSize {
+			if dispatched == 0 {
+				c.St.IQStallCycles++
+			}
+			break
+		}
+		c.dispatch(in)
+		c.havePending = false
+		dispatched++
+	}
+	return dispatched
+}
+
+// attributeSBStall charges the stall to the code region of the store
+// blocking the head of the SB (Fig. 3).
+func (c *Core) attributeSBStall() {
+	e, ok := c.sb.Head()
+	if !ok {
+		// Buffer full of junior stores: blame the oldest one.
+		c.St.SBStallApp++
+		return
+	}
+	switch trace.RegionOf(e.PC) {
+	case trace.RegionLib:
+		c.St.SBStallLib++
+	case trace.RegionKernel:
+		c.St.SBStallKernel++
+	default:
+		c.St.SBStallApp++
+	}
+}
+
+// dispatch allocates the instruction and computes its execution schedule.
+func (c *Core) dispatch(in *trace.Inst) {
+	ready := c.cycle + 1
+	if in.Dep1 > 0 && uint64(in.Dep1) <= c.seq {
+		if t := c.doneHist[(c.seq-uint64(in.Dep1))&255]; t > ready {
+			ready = t
+		}
+	}
+	if in.Dep2 > 0 && uint64(in.Dep2) <= c.seq {
+		if t := c.doneHist[(c.seq-uint64(in.Dep2))&255]; t > ready {
+			ready = t
+		}
+	}
+	execAt := ready
+	var doneAt uint64
+	var sbSeq uint64
+
+	switch in.Kind {
+	case trace.KindIntALU:
+		doneAt = execAt + uint64(c.cfg.IntAddLat)
+	case trace.KindIntMul:
+		doneAt = execAt + uint64(c.cfg.IntMulLat)
+	case trace.KindIntDiv:
+		doneAt = execAt + uint64(c.cfg.IntDivLat)
+	case trace.KindFPALU:
+		doneAt = execAt + uint64(c.cfg.FPAddLat)
+	case trace.KindFPMul:
+		doneAt = execAt + uint64(c.cfg.FPMulLat)
+	case trace.KindFPDiv:
+		doneAt = execAt + uint64(c.cfg.FPDivLat)
+
+	case trace.KindLoad:
+		c.St.Loads++
+		c.lastLoadAddr = in.Addr
+		execAt += c.dtlb.Translate(in.Addr) // page walk before the access can issue
+		switch c.sb.Forward(in.Addr, in.Size, c.sb.TailSeq()) {
+		case storebuf.FullForward:
+			c.St.ForwardedLoads++
+			doneAt = execAt + 1
+		case storebuf.PartialForward:
+			c.St.PartialForwards++
+			res := c.port.Load(in.Addr, in.PC, execAt+partialForwardPenalty)
+			doneAt = res.Done
+		default:
+			res := c.port.Load(in.Addr, in.PC, execAt)
+			doneAt = res.Done
+		}
+		c.lq.add(doneAt)
+
+	case trace.KindStore:
+		c.St.Stores++
+		c.lastStoreAddr = in.Addr
+		execAt += c.dtlb.Translate(in.Addr) // page walk at address generation
+		sbSeq = c.sb.Allocate(in.Addr, in.Size, in.PC)
+		doneAt = execAt + 1 // address generation; the write happens post-commit
+		if c.policy == core.PolicyAtExecute {
+			c.port.PrefetchOwn(mem.BlockOf(in.Addr), execAt, false)
+		}
+
+	case trace.KindBranch:
+		c.St.Branches++
+		doneAt = execAt + 1
+		mispredicted := in.Mispredicted
+		if c.bp != nil {
+			_, btbHit := c.bp.Predict(in.PC)
+			mispredicted = c.bp.Update(in.PC, in.Taken)
+			if !btbHit && c.fetchReadyAt < c.cycle+btbMissBubble {
+				// Unknown branch: the front end stalls briefly to redirect.
+				c.fetchReadyAt = c.cycle + btbMissBubble
+			}
+		}
+		if mispredicted {
+			c.St.Mispredicts++
+			c.resolveMispredict(doneAt)
+		}
+	default:
+		doneAt = execAt + 1
+	}
+
+	c.iq.add(execAt)
+	c.doneHist[c.seq&255] = doneAt
+	c.seq++
+
+	c.rob[c.robTail] = robEntry{
+		kind:   in.Kind,
+		size:   in.Size,
+		addr:   in.Addr,
+		pc:     in.PC,
+		doneAt: doneAt,
+		sbSeq:  sbSeq,
+	}
+	c.robTail++
+	if c.robTail == len(c.rob) {
+		c.robTail = 0
+	}
+	c.robCount++
+}
+
+// resolveMispredict models a branch found mispredicted when it resolves at
+// resolveAt: the front end refetches after the redirect penalty, and the
+// wrong-path instructions fetched in between burn fetch slots, L1D tag
+// energy, fill traffic, and — under at-execute — bogus ownership prefetches.
+// The span (and hence the waste) shrinks when the branch's inputs arrive
+// earlier, which is how SPB's load-side benefit cuts misspeculation (§VI.A).
+func (c *Core) resolveMispredict(resolveAt uint64) {
+	c.fetchReadyAt = resolveAt + uint64(c.cfg.MispredictPenalty)
+	span := c.fetchReadyAt - c.cycle
+	wasted := span * uint64(c.cfg.Width)
+	// The machine can only hold ROB + fetch-queue worth of wrong-path
+	// work, no matter how long the branch takes to resolve.
+	if maxWP := uint64(c.cfg.ROBSize + c.cfg.FetchQueue); wasted > maxWP {
+		wasted = maxWP
+	}
+	c.St.WrongPathInsts += wasted
+
+	// A quarter of wrong-path instructions are loads that reach the L1D,
+	// clustered near the most recent demand addresses.
+	nLoads := int(wasted / 4)
+	if nLoads > maxWrongPathLoads {
+		nLoads = maxWrongPathLoads
+	}
+	for i := 0; i < nLoads; i++ {
+		delta := int64(c.rng.Intn(17)-8) * mem.BlockSize
+		addr := mem.Addr(int64(c.lastLoadAddr) + delta)
+		c.port.WrongPathLoad(addr, c.cycle+uint64(i))
+	}
+	// At-execute speculatively prefetches ownership for wrong-path stores;
+	// that is its documented downside versus at-commit.
+	if c.policy == core.PolicyAtExecute {
+		nStores := int(wasted / 16)
+		if nStores > maxWrongPathStorePFs {
+			nStores = maxWrongPathStorePFs
+		}
+		for i := 0; i < nStores; i++ {
+			delta := int64(c.rng.Intn(5)-2) * mem.BlockSize
+			addr := mem.Addr(int64(c.lastStoreAddr) + delta)
+			c.port.PrefetchOwn(mem.BlockOf(addr), c.cycle+uint64(i), false)
+		}
+	}
+}
+
+// occHeap tracks structure occupancy as a min-heap of release cycles.
+type occHeap struct {
+	a []uint64
+}
+
+func (h *occHeap) add(release uint64) {
+	h.a = append(h.a, release)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+// occupancy expires entries released at or before t and returns the count
+// still held.
+func (h *occHeap) occupancy(t uint64) int {
+	for len(h.a) > 0 && h.a[0] <= t {
+		last := len(h.a) - 1
+		h.a[0] = h.a[last]
+		h.a = h.a[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && h.a[l] < h.a[small] {
+				small = l
+			}
+			if r < last && h.a[r] < h.a[small] {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h.a[i], h.a[small] = h.a[small], h.a[i]
+			i = small
+		}
+	}
+	return len(h.a)
+}

@@ -1,0 +1,77 @@
+// Package dram models main memory as a fixed access latency behind a
+// service-rate channel: each 64-byte transfer occupies the channel for a
+// configurable number of cycles, so bursts of misses queue and the effective
+// latency grows when bandwidth saturates — the effect that makes wide store
+// bursts expensive and store-prefetch overlap valuable.
+package dram
+
+// DRAM is a single-channel main-memory model.
+type DRAM struct {
+	latency uint64 // access latency once the channel accepts the request
+	gap     uint64 // channel occupancy per 64-byte transfer
+	maxQ    uint64 // controller queue depth
+
+	nextFree uint64 // first cycle at which the channel can start a transfer
+
+	// Statistics.
+	Reads      uint64
+	Writes     uint64
+	BusyCycles uint64
+	// StallCycles accumulates the queuing delay suffered by requests
+	// beyond the raw access latency.
+	StallCycles uint64
+}
+
+// New constructs a DRAM model. latency is the row access latency in cycles,
+// cyclesPerBlock the channel service interval, and maxOutstanding the
+// controller queue depth (requests beyond it are pushed back in time).
+func New(latency, cyclesPerBlock, maxOutstanding int) *DRAM {
+	if latency <= 0 || cyclesPerBlock <= 0 || maxOutstanding <= 0 {
+		panic("dram: parameters must be positive")
+	}
+	return &DRAM{
+		latency: uint64(latency),
+		gap:     uint64(cyclesPerBlock),
+		maxQ:    uint64(maxOutstanding),
+	}
+}
+
+// Read services a block read issued at cycle t and returns the cycle at
+// which the data is available at the L3.
+func (d *DRAM) Read(t uint64) (done uint64) {
+	start := d.admit(t)
+	d.Reads++
+	return start + d.latency
+}
+
+// Write services a writeback issued at cycle t. Writebacks consume channel
+// bandwidth but nothing waits for their completion.
+func (d *DRAM) Write(t uint64) {
+	d.admit(t)
+	d.Writes++
+}
+
+// admit finds the cycle at which the channel accepts a request issued at t,
+// honouring the queue depth, and occupies the channel for one transfer.
+func (d *DRAM) admit(t uint64) (start uint64) {
+	start = t
+	// If the backlog exceeds the queue depth, the request cannot even be
+	// enqueued until the backlog drains below maxQ transfers.
+	if d.nextFree > t {
+		backlog := (d.nextFree - t) / d.gap
+		if backlog >= d.maxQ {
+			start = d.nextFree - d.maxQ*d.gap
+		}
+	}
+	if d.nextFree > start {
+		d.StallCycles += d.nextFree - start
+		start = d.nextFree
+	}
+	d.nextFree = start + d.gap
+	d.BusyCycles += d.gap
+	return start
+}
+
+// NextFree reports the first cycle at which the channel is idle; exposed for
+// tests and for the bandwidth-utilization statistic.
+func (d *DRAM) NextFree() uint64 { return d.nextFree }

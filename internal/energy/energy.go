@@ -1,0 +1,94 @@
+// Package energy is the event-based substitute for the paper's McPAT flow:
+// each class of micro-architectural event carries a fixed dynamic energy and
+// each structure a leakage power, so a run's energy is a dot product over
+// the simulator's counters plus leakage × runtime. The 22 nm-flavoured
+// constants are order-of-magnitude plausible; as with the performance model,
+// only the relative effects the paper argues about matter — prefetch traffic
+// slightly raises cache dynamic energy, fewer wrong-path instructions and
+// shorter runtime cut core dynamic and leakage energy.
+package energy
+
+// Params holds the per-event dynamic energies (picojoules) and leakage
+// powers (watts) of the model.
+type Params struct {
+	// Dynamic energy per event, in picojoules.
+	L1TagAccessPJ  float64
+	L1DataAccessPJ float64
+	L2AccessPJ     float64
+	L3AccessPJ     float64
+	DRAMAccessPJ   float64
+	CoreInstPJ     float64 // per executed (committed or wrong-path) instruction
+	SBSearchPJ     float64 // per load's associative SB search, scaled by entries
+
+	// Leakage power in watts.
+	CoreLeakW  float64
+	CacheLeakW float64
+
+	// ClockHz converts cycles to seconds for leakage.
+	ClockHz float64
+}
+
+// Default22nm returns the constants used by every experiment, loosely
+// calibrated against published McPAT numbers for a 22 nm Skylake-class core
+// at 2 GHz and 0.6 V.
+func Default22nm() Params {
+	return Params{
+		L1TagAccessPJ:  2,
+		L1DataAccessPJ: 15,
+		L2AccessPJ:     45,
+		L3AccessPJ:     120,
+		DRAMAccessPJ:   2000,
+		CoreInstPJ:     35,
+		SBSearchPJ:     0.25, // per entry searched
+		CoreLeakW:      0.45,
+		CacheLeakW:     0.30,
+		ClockHz:        2e9,
+	}
+}
+
+// Events is the counter vector the model consumes, gathered from the
+// simulator's statistics after a run.
+type Events struct {
+	Cycles uint64
+
+	L1TagAccesses  uint64
+	L1DataAccesses uint64 // demand hits + fills
+	L2Accesses     uint64
+	L3Accesses     uint64
+	DRAMAccesses   uint64
+
+	CommittedInsts uint64
+	WrongPathInsts uint64
+
+	Loads     uint64 // each pays an SB search
+	SBEntries int    // associative search width
+}
+
+// Breakdown is the energy report of one run, in joules, split the way the
+// paper's Fig. 7 splits it.
+type Breakdown struct {
+	CacheDynamic float64 // L1 + L2 + L3 (+ DRAM) dynamic
+	CoreDynamic  float64 // instruction execution + SB CAM searches
+	Static       float64 // leakage over the runtime
+}
+
+// Total returns dynamic + static energy.
+func (b Breakdown) Total() float64 {
+	return b.CacheDynamic + b.CoreDynamic + b.Static
+}
+
+// Compute evaluates the model over an event vector.
+func Compute(p Params, ev Events) Breakdown {
+	const pj = 1e-12
+	var b Breakdown
+	b.CacheDynamic = pj * (float64(ev.L1TagAccesses)*p.L1TagAccessPJ +
+		float64(ev.L1DataAccesses)*p.L1DataAccessPJ +
+		float64(ev.L2Accesses)*p.L2AccessPJ +
+		float64(ev.L3Accesses)*p.L3AccessPJ +
+		float64(ev.DRAMAccesses)*p.DRAMAccessPJ)
+	b.CoreDynamic = pj * (float64(ev.CommittedInsts+ev.WrongPathInsts)*p.CoreInstPJ +
+		float64(ev.Loads)*float64(ev.SBEntries)*p.SBSearchPJ)
+	seconds := float64(ev.Cycles) / p.ClockHz
+	b.Static = (p.CoreLeakW + p.CacheLeakW) * seconds
+	return b
+}

@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroEventsZeroDynamic(t *testing.T) {
+	b := Compute(Default22nm(), Events{})
+	if b.CacheDynamic != 0 || b.CoreDynamic != 0 || b.Static != 0 {
+		t.Fatalf("zero events should cost nothing: %+v", b)
+	}
+}
+
+func TestStaticScalesWithCycles(t *testing.T) {
+	p := Default22nm()
+	a := Compute(p, Events{Cycles: 1000})
+	b := Compute(p, Events{Cycles: 2000})
+	if b.Static <= a.Static || b.Static != 2*a.Static {
+		t.Fatalf("static energy must scale linearly with cycles: %v vs %v", a.Static, b.Static)
+	}
+}
+
+func TestCacheDynamicComposition(t *testing.T) {
+	p := Default22nm()
+	b := Compute(p, Events{L1TagAccesses: 1e6})
+	if b.CacheDynamic <= 0 || b.CoreDynamic != 0 {
+		t.Fatalf("tag accesses must appear in cache dynamic only: %+v", b)
+	}
+	b2 := Compute(p, Events{DRAMAccesses: 1e6})
+	if b2.CacheDynamic <= b.CacheDynamic {
+		t.Fatal("a DRAM access must cost far more than an L1 tag access")
+	}
+}
+
+func TestWrongPathCostsCoreEnergy(t *testing.T) {
+	p := Default22nm()
+	base := Compute(p, Events{CommittedInsts: 1e6})
+	wp := Compute(p, Events{CommittedInsts: 1e6, WrongPathInsts: 2e5})
+	if wp.CoreDynamic <= base.CoreDynamic {
+		t.Fatal("wrong-path instructions must add core dynamic energy")
+	}
+}
+
+func TestSBSearchScalesWithEntries(t *testing.T) {
+	p := Default22nm()
+	small := Compute(p, Events{Loads: 1e6, SBEntries: 14})
+	big := Compute(p, Events{Loads: 1e6, SBEntries: 56})
+	if big.CoreDynamic <= small.CoreDynamic {
+		t.Fatal("a larger SB CAM must cost more per load search")
+	}
+}
+
+func TestTotalIsSum(t *testing.T) {
+	f := func(cyc, tags, insts uint32) bool {
+		b := Compute(Default22nm(), Events{
+			Cycles:         uint64(cyc),
+			L1TagAccesses:  uint64(tags),
+			CommittedInsts: uint64(insts),
+		})
+		want := b.CacheDynamic + b.CoreDynamic + b.Static
+		return b.Total() == want && b.Total() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyMonotoneInEvents(t *testing.T) {
+	f := func(n uint16) bool {
+		p := Default22nm()
+		a := Compute(p, Events{L2Accesses: uint64(n)})
+		b := Compute(p, Events{L2Accesses: uint64(n) + 1})
+		return b.CacheDynamic > a.CacheDynamic
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,812 @@
+package figures
+
+import (
+	"fmt"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/sim"
+	"spb/internal/workloads"
+)
+
+// sbSizes are the store-buffer sizes of the main evaluation.
+var sbSizes = config.StandardSQSizes // 56, 28, 14
+
+// comparedPolicies are the store-prefetch policies every normalized figure
+// sweeps (ideal is the normalization target).
+var comparedPolicies = []core.Policy{core.PolicyAtExecute, core.PolicyAtCommit, core.PolicySPB}
+
+// TableI renders the machine configuration (Table I).
+func (h *Harness) TableI() ([]Table, error) {
+	m := config.Skylake()
+	c := m.Core
+	t := Table{
+		Title: "Table I: configuration parameters (Skylake-X-like, Table I of the paper)",
+		Cols:  []string{"value"},
+		Rows: []Row{
+			{Name: "width (fetch/dispatch/issue/commit)", Vals: []float64{float64(c.Width)}},
+			{Name: "ROB entries", Vals: []float64{float64(c.ROBSize)}},
+			{Name: "issue queue entries", Vals: []float64{float64(c.IQSize)}},
+			{Name: "load queue entries", Vals: []float64{float64(c.LQSize)}},
+			{Name: "store queue (SB) entries", Vals: []float64{float64(c.SQSize)}},
+			{Name: "int add/mul/div latency", Vals: []float64{float64(c.IntAddLat), float64(c.IntMulLat), float64(c.IntDivLat)}},
+			{Name: "fp add/mul/div latency", Vals: []float64{float64(c.FPAddLat), float64(c.FPMulLat), float64(c.FPDivLat)}},
+			{Name: "L1D size KB / ways / latency", Vals: []float64{float64(m.L1D.SizeBytes >> 10), float64(m.L1D.Ways), float64(m.L1D.LatencyCyc)}},
+			{Name: "L2 size KB / ways / latency", Vals: []float64{float64(m.L2.SizeBytes >> 10), float64(m.L2.Ways), float64(m.L2.LatencyCyc)}},
+			{Name: "L3 size KB / ways / latency", Vals: []float64{float64(m.L3.SizeBytes >> 10), float64(m.L3.Ways), float64(m.L3.LatencyCyc)}},
+			{Name: "MSHRs per cache", Vals: []float64{float64(m.L1D.MSHRs)}},
+			{Name: "DRAM latency / cycles-per-block", Vals: []float64{float64(m.DRAM.LatencyCyc), float64(m.DRAM.CyclesPerBlock)}},
+			{Name: "SPB window N / storage bits", Vals: []float64{float64(m.SPB.WindowN), float64(core.StorageBits)}},
+		},
+	}
+	return []Table{t}, nil
+}
+
+// TableII renders the five core configurations of Table II.
+func (h *Harness) TableII() ([]Table, error) {
+	t := Table{
+		Title: "Table II: configurations for the sensitivity analysis",
+		Cols:  []string{"ROB", "IQ", "LQ", "SQ", "Width"},
+	}
+	for _, c := range config.Cores() {
+		t.Rows = append(t.Rows, Row{Name: c.Name, Vals: []float64{
+			float64(c.ROBSize), float64(c.IQSize), float64(c.LQSize),
+			float64(c.SQSize), float64(c.Width),
+		}})
+	}
+	return []Table{t}, nil
+}
+
+// Fig1 reproduces Figure 1: the ratio of stall cycles due to a full SB under
+// the default (at-commit) prefetch policy, as the SB shrinks 56 -> 28 -> 14.
+func (h *Harness) Fig1() ([]Table, error) {
+	res, err := h.runMatrix(func(name string) []sim.RunSpec {
+		var specs []sim.RunSpec
+		for _, sq := range sbSizes {
+			specs = append(specs, h.spec(name, core.PolicyAtCommit, sq))
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Fig. 1: ratio of stall cycles due to a full SB (at-commit)",
+		Cols:  []string{"SB56", "SB28", "SB14"},
+	}
+	var allRow, boundRow Row
+	allRow.Name, boundRow.Name = "All", "SB-Bound"
+	for i := range sbSizes {
+		all, bound := h.aggregateArith(res, i, func(r sim.Result) float64 { return r.TD.SBStallRatio })
+		allRow.Vals = append(allRow.Vals, all)
+		boundRow.Vals = append(boundRow.Vals, bound)
+	}
+	t.Rows = []Row{allRow, boundRow}
+	t.Note = "arithmetic mean of per-application SB-stall ratios"
+	return []Table{t}, nil
+}
+
+// aggregateArith is like aggregate but with an arithmetic mean (used for
+// ratios that may legitimately be zero).
+func (h *Harness) aggregateArith(res map[string][]sim.Result, idx int, metric func(sim.Result) float64) (all, sbBound float64) {
+	var as, bs float64
+	var an, bn int
+	for _, w := range h.suite() {
+		v := metric(res[w.Name][idx])
+		as += v
+		an++
+		if w.SBBound {
+			bs += v
+			bn++
+		}
+	}
+	if an > 0 {
+		all = as / float64(an)
+	}
+	if bn > 0 {
+		sbBound = bs / float64(bn)
+	}
+	return all, sbBound
+}
+
+// Fig3 reproduces Figure 3: where the stores causing SB stalls live
+// (application vs C library vs kernel), per SB-bound application.
+func (h *Harness) Fig3() ([]Table, error) {
+	t := Table{
+		Title: "Fig. 3: location of stores causing SB-induced stalls (at-commit, SB56)",
+		Cols:  []string{"app", "lib", "kernel"},
+	}
+	for _, w := range workloads.SBBoundSPEC() {
+		r, err := h.runner.Get(h.spec(w.Name, core.PolicyAtCommit, 56))
+		if err != nil {
+			return nil, err
+		}
+		total := float64(r.CPU.SBStallApp + r.CPU.SBStallLib + r.CPU.SBStallKernel)
+		if total == 0 {
+			// No attributed stalls at this scale: nothing to break down.
+			continue
+		}
+		t.Rows = append(t.Rows, Row{Name: w.Name, Vals: []float64{
+			float64(r.CPU.SBStallApp) / total,
+			float64(r.CPU.SBStallLib) / total,
+			float64(r.CPU.SBStallKernel) / total,
+		}})
+	}
+	t.Note = "fraction of SB-stall cycles attributed to the blocking store's PC region"
+	return []Table{t}, nil
+}
+
+// normPerfSweep runs policy x SB-size and returns performance normalized to
+// the ideal SB at the same size (cyclesIdeal / cyclesPolicy).
+func (h *Harness) normPerfSweep() (map[string][]sim.Result, error) {
+	return h.runMatrix(func(name string) []sim.RunSpec {
+		var specs []sim.RunSpec
+		for _, sq := range sbSizes {
+			for _, p := range comparedPolicies {
+				specs = append(specs, h.spec(name, p, sq))
+			}
+			specs = append(specs, h.spec(name, core.PolicyIdeal, sq))
+		}
+		return specs
+	})
+}
+
+// perSizeIdx returns the matrix indices of (size si, policy pi) and the
+// ideal run for size si laid out by normPerfSweep.
+func perSizeIdx(si, pi int) (run, ideal int) {
+	stride := len(comparedPolicies) + 1
+	return si*stride + pi, si*stride + len(comparedPolicies)
+}
+
+// Fig5 reproduces Figure 5: performance normalized to the ideal SB for each
+// policy and SB size, geomean over ALL and over SB-bound applications.
+func (h *Harness) Fig5() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for si, sq := range sbSizes {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 5 (SB%d): performance normalized to Ideal", sq),
+			Cols:  []string{"ALL", "SB-BOUND"},
+		}
+		for pi, p := range comparedPolicies {
+			ri, ii := perSizeIdx(si, pi)
+			// normalized = idealCycles / policyCycles, per workload.
+			var av, bv []float64
+			for _, w := range h.suite() {
+				rr := res[w.Name]
+				v := float64(rr[ii].CPU.Cycles) / float64(rr[ri].CPU.Cycles)
+				av = append(av, v)
+				if w.SBBound {
+					bv = append(bv, v)
+				}
+			}
+			t.Rows = append(t.Rows, Row{Name: p.String(), Vals: []float64{geomean(av), geomean(bv)}})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig6 reproduces Figure 6: per-SB-bound-application performance normalized
+// to the ideal SB, one table per SB size (a=14, b=28, c=56).
+func (h *Harness) Fig6() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	order := []int{2, 1, 0} // paper order: (a) 14, (b) 28, (c) 56
+	letters := []string{"a", "b", "c"}
+	for oi, si := range order {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 6(%s): per-application performance normalized to Ideal (SB%d)", letters[oi], sbSizes[si]),
+			Cols:  []string{"at-execute", "at-commit", "spb"},
+		}
+		for _, w := range workloads.SBBoundSPEC() {
+			rr := res[w.Name]
+			var vals []float64
+			for pi := range comparedPolicies {
+				ri, ii := perSizeIdx(si, pi)
+				vals = append(vals, float64(rr[ii].CPU.Cycles)/float64(rr[ri].CPU.Cycles))
+			}
+			t.Rows = append(t.Rows, Row{Name: w.Name, Vals: vals})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig7 reproduces Figure 7: energy normalized to at-commit, broken into
+// cache dynamic, core dynamic and total (dynamic+static).
+func (h *Harness) Fig7() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for si, sq := range sbSizes {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 7 (SB%d): energy normalized to at-commit (less is better)", sq),
+			Cols:  []string{"cacheDyn ALL", "coreDyn ALL", "total ALL", "total SB-BOUND"},
+		}
+		base := 1 // at-commit position in comparedPolicies
+		for pi, p := range comparedPolicies {
+			if pi == base {
+				continue
+			}
+			ri, _ := perSizeIdx(si, pi)
+			bi, _ := perSizeIdx(si, base)
+			var cd, od, tt, ttb []float64
+			for _, w := range h.suite() {
+				rr := res[w.Name]
+				cd = append(cd, rr[ri].Energy.CacheDynamic/rr[bi].Energy.CacheDynamic)
+				od = append(od, rr[ri].Energy.CoreDynamic/rr[bi].Energy.CoreDynamic)
+				v := rr[ri].Energy.Total() / rr[bi].Energy.Total()
+				tt = append(tt, v)
+				if w.SBBound {
+					ttb = append(ttb, v)
+				}
+			}
+			t.Rows = append(t.Rows, Row{Name: p.String(), Vals: []float64{
+				geomean(cd), geomean(od), geomean(tt), geomean(ttb),
+			}})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig8 reproduces Figure 8: SB stalls normalized to at-commit.
+func (h *Harness) Fig8() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Fig. 8: SB stall cycles normalized to at-commit (less is better)",
+		Cols:  []string{"SB56 ALL", "SB56 SB-BOUND", "SB28 ALL", "SB28 SB-BOUND", "SB14 ALL", "SB14 SB-BOUND"},
+	}
+	for pi, p := range comparedPolicies {
+		if p == core.PolicyAtCommit {
+			continue
+		}
+		row := Row{Name: p.String()}
+		for si := range sbSizes {
+			ri, _ := perSizeIdx(si, pi)
+			bi, _ := perSizeIdx(si, 1)
+			var av, bv []float64
+			for _, w := range h.suite() {
+				rr := res[w.Name]
+				den := float64(rr[bi].CPU.SBStallCycles)
+				if den == 0 {
+					den = 1
+				}
+				v := float64(rr[ri].CPU.SBStallCycles) / den
+				av = append(av, v)
+				if w.SBBound {
+					bv = append(bv, v)
+				}
+			}
+			row.Vals = append(row.Vals, arith(av), arith(bv))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+func arith(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Fig9 reproduces Figure 9: per-SB-bound-application SB stalls normalized to
+// at-commit, one table per SB size.
+func (h *Harness) Fig9() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for si, sq := range []int{14, 28, 56} {
+		mi := map[int]int{14: 2, 28: 1, 56: 0}[sq]
+		t := Table{
+			Title: fmt.Sprintf("Fig. 9 (SB%d): per-application SB stalls normalized to at-commit", sq),
+			Cols:  []string{"at-execute", "spb"},
+		}
+		_ = si
+		for _, w := range workloads.SBBoundSPEC() {
+			rr := res[w.Name]
+			_, _ = perSizeIdx(mi, 0)
+			bi, _ := perSizeIdx(mi, 1)
+			den := float64(rr[bi].CPU.SBStallCycles)
+			if den == 0 {
+				den = 1
+			}
+			ae, _ := perSizeIdx(mi, 0)
+			sp, _ := perSizeIdx(mi, 2)
+			t.Rows = append(t.Rows, Row{Name: w.Name, Vals: []float64{
+				float64(rr[ae].CPU.SBStallCycles) / den,
+				float64(rr[sp].CPU.SBStallCycles) / den,
+			}})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig10 reproduces Figure 10: issue stalls normalized to at-commit, broken
+// into SB-caused and other-resource-caused parts.
+func (h *Harness) Fig10() ([]Table, error) {
+	res, err := h.runMatrix(func(name string) []sim.RunSpec {
+		var specs []sim.RunSpec
+		for _, sq := range sbSizes {
+			for _, p := range []core.Policy{core.PolicyAtExecute, core.PolicyAtCommit, core.PolicySPB, core.PolicyIdeal} {
+				specs = append(specs, h.spec(name, p, sq))
+			}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	policies := []core.Policy{core.PolicyAtExecute, core.PolicyAtCommit, core.PolicySPB, core.PolicyIdeal}
+	var tables []Table
+	for si, sq := range sbSizes {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 10 (SB%d): issue stalls normalized to at-commit", sq),
+			Cols:  []string{"SB part", "Other part", "Net"},
+		}
+		for pi, p := range policies {
+			if p == core.PolicyAtCommit {
+				continue
+			}
+			idx := si*len(policies) + pi
+			base := si*len(policies) + 1
+			var sb, other []float64
+			for _, w := range h.suite() {
+				rr := res[w.Name]
+				den := float64(rr[base].CPU.IssueStallCycles())
+				if den == 0 {
+					den = 1
+				}
+				sb = append(sb, float64(rr[idx].CPU.SBStallCycles)/den)
+				other = append(other, float64(rr[idx].CPU.OtherStallCycles())/den)
+			}
+			sbm, otm := arith(sb), arith(other)
+			t.Rows = append(t.Rows, Row{Name: p.String(), Vals: []float64{sbm, otm, sbm + otm}})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig11 reproduces Figure 11: the breakdown of store-prefetch outcomes
+// (successful, late, early, never used) for at-commit and SPB.
+func (h *Harness) Fig11() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for si, sq := range sbSizes {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 11 (SB%d): store-prefetch outcome breakdown (fractions of usable prefetches)", sq),
+			Cols:  []string{"successful", "late", "early", "never-used"},
+		}
+		for _, p := range []core.Policy{core.PolicyAtCommit, core.PolicySPB} {
+			pi := 1
+			if p == core.PolicySPB {
+				pi = 2
+			}
+			ri, _ := perSizeIdx(si, pi)
+			var s, l, e, n []float64
+			for _, w := range h.suite() {
+				m := res[w.Name][ri].Mem
+				den := float64(m.SPFIssued - m.SPFDiscarded)
+				if den <= 0 {
+					continue
+				}
+				s = append(s, float64(m.SPFSuccessful)/den)
+				l = append(l, float64(m.SPFLate)/den)
+				e = append(e, float64(m.SPFEarly)/den)
+				n = append(n, float64(m.SPFNeverUsed())/den)
+			}
+			t.Rows = append(t.Rows, Row{Name: p.String(), Vals: []float64{
+				arith(s), arith(l), arith(e), arith(n),
+			}})
+		}
+		t.Note = "denominator excludes requests discarded because the block was already owned (PopReq)"
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig12 reproduces Figure 12: prefetch traffic normalized to at-commit —
+// requests from the CPU to the L1 controller (REQ) and the subset missing to
+// the L2 (MISS).
+func (h *Harness) Fig12() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Fig. 12: SPB prefetch traffic normalized to at-commit",
+		Cols:  []string{"REQ ALL", "REQ SB-BOUND", "MISS ALL", "MISS SB-BOUND"},
+	}
+	for si, sq := range sbSizes {
+		ri, _ := perSizeIdx(si, 2)
+		bi, _ := perSizeIdx(si, 1)
+		var reqA, reqB, missA, missB []float64
+		for _, w := range h.suite() {
+			rr := res[w.Name]
+			req := ratio(rr[ri].Mem.SPFIssued, rr[bi].Mem.SPFIssued)
+			miss := ratio(rr[ri].Mem.SPFMissToL2, rr[bi].Mem.SPFMissToL2)
+			reqA = append(reqA, req)
+			missA = append(missA, miss)
+			if w.SBBound {
+				reqB = append(reqB, req)
+				missB = append(missB, miss)
+			}
+		}
+		t.Rows = append(t.Rows, Row{Name: fmt.Sprintf("SB%d", sq), Vals: []float64{
+			arith(reqA), arith(reqB), arith(missA), arith(missB),
+		}})
+	}
+	return []Table{t}, nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return float64(a)
+	}
+	return float64(a) / float64(b)
+}
+
+// Fig13 reproduces Figure 13: L1D tag-access overhead of SPB vs at-commit.
+func (h *Harness) Fig13() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Fig. 13: L1D tag accesses normalized to at-commit",
+		Cols:  []string{"ALL", "SB-BOUND"},
+	}
+	for si, sq := range sbSizes {
+		ri, _ := perSizeIdx(si, 2)
+		bi, _ := perSizeIdx(si, 1)
+		var av, bv []float64
+		for _, w := range h.suite() {
+			rr := res[w.Name]
+			v := ratio(rr[ri].Mem.L1TagAccesses, rr[bi].Mem.L1TagAccesses)
+			av = append(av, v)
+			if w.SBBound {
+				bv = append(bv, v)
+			}
+		}
+		t.Rows = append(t.Rows, Row{Name: fmt.Sprintf("SB%d", sq), Vals: []float64{arith(av), arith(bv)}})
+	}
+	return []Table{t}, nil
+}
+
+// Fig14 reproduces Figure 14: execution stalls with L1D misses pending,
+// normalized to at-commit.
+func (h *Harness) Fig14() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Fig. 14: execution stalls with L1D misses pending, normalized to at-commit",
+		Cols:  []string{"ALL", "SB-BOUND"},
+	}
+	for si, sq := range sbSizes {
+		ri, _ := perSizeIdx(si, 2)
+		bi, _ := perSizeIdx(si, 1)
+		var av, bv []float64
+		for _, w := range h.suite() {
+			rr := res[w.Name]
+			v := ratio(rr[ri].CPU.ExecStallL1DPending, rr[bi].CPU.ExecStallL1DPending)
+			av = append(av, v)
+			if w.SBBound {
+				bv = append(bv, v)
+			}
+		}
+		t.Rows = append(t.Rows, Row{Name: fmt.Sprintf("SB%d (spb)", sq), Vals: []float64{arith(av), arith(bv)}})
+	}
+	return []Table{t}, nil
+}
+
+// Fig15 reproduces Figure 15: the per-SB-bound-application version of
+// Fig. 14 (including the roms pathology).
+func (h *Harness) Fig15() ([]Table, error) {
+	res, err := h.normPerfSweep()
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for _, sq := range []int{14, 28, 56} {
+		si := map[int]int{56: 0, 28: 1, 14: 2}[sq]
+		t := Table{
+			Title: fmt.Sprintf("Fig. 15 (SB%d): per-application execution stalls with L1D misses pending (norm. to at-commit)", sq),
+			Cols:  []string{"at-execute", "spb"},
+		}
+		for _, w := range workloads.SBBoundSPEC() {
+			rr := res[w.Name]
+			ae, _ := perSizeIdx(si, 0)
+			sp, _ := perSizeIdx(si, 2)
+			bi, _ := perSizeIdx(si, 1)
+			t.Rows = append(t.Rows, Row{Name: w.Name, Vals: []float64{
+				ratio(rr[ae].CPU.ExecStallL1DPending, rr[bi].CPU.ExecStallL1DPending),
+				ratio(rr[sp].CPU.ExecStallL1DPending, rr[bi].CPU.ExecStallL1DPending),
+			}})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig16 reproduces Figure 16: at-commit and SPB under each generic L1
+// prefetcher (stream, aggressive, adaptive), normalized to the ideal SB with
+// the same prefetcher.
+func (h *Harness) Fig16() ([]Table, error) {
+	kinds := []config.PrefetcherKind{config.PrefetchStream, config.PrefetchAggressive, config.PrefetchAdaptive}
+	pols := []core.Policy{core.PolicyAtCommit, core.PolicySPB, core.PolicyIdeal}
+	sizes := []int{56, 14}
+	res, err := h.runMatrix(func(name string) []sim.RunSpec {
+		var specs []sim.RunSpec
+		for _, k := range kinds {
+			for _, sq := range sizes {
+				for _, p := range pols {
+					s := h.spec(name, p, sq)
+					s.Prefetcher = k
+					specs = append(specs, s)
+				}
+			}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for ki, k := range kinds {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 16 (%s prefetcher): performance normalized to Ideal+%s", k, k),
+			Cols:  []string{"SB56 ALL", "SB56 SB-BOUND", "SB14 ALL", "SB14 SB-BOUND"},
+		}
+		for pi, p := range pols[:2] {
+			row := Row{Name: p.String()}
+			for szi := range sizes {
+				base := ki*len(sizes)*len(pols) + szi*len(pols)
+				var av, bv []float64
+				for _, w := range h.suite() {
+					rr := res[w.Name]
+					v := float64(rr[base+2].CPU.Cycles) / float64(rr[base+pi].CPU.Cycles)
+					av = append(av, v)
+					if w.SBBound {
+						bv = append(bv, v)
+					}
+				}
+				row.Vals = append(row.Vals, geomean(av), geomean(bv))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig17 reproduces Figure 17: at-commit and SPB across the five Table II
+// cores, at the full and half SB sizes, normalized to the ideal SB.
+func (h *Harness) Fig17() ([]Table, error) {
+	cores := config.Cores()
+	pols := []core.Policy{core.PolicyAtCommit, core.PolicySPB, core.PolicyIdeal}
+	res, err := h.runMatrix(func(name string) []sim.RunSpec {
+		var specs []sim.RunSpec
+		for _, c := range cores {
+			for _, sq := range []int{c.SQSize, c.SQSize / 2} {
+				for _, p := range pols {
+					s := h.spec(name, p, sq)
+					s.CoreName = c.Name
+					specs = append(specs, s)
+				}
+			}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for szi, label := range []string{"full SB", "half SB"} {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 17 (%s): performance normalized to Ideal across core configurations", label),
+			Cols:  []string{"at-commit", "spb"},
+		}
+		for ci, c := range cores {
+			base := ci*2*len(pols) + szi*len(pols)
+			var vals []float64
+			for pi := range pols[:2] {
+				var av []float64
+				for _, w := range h.suite() {
+					rr := res[w.Name]
+					av = append(av, float64(rr[base+2].CPU.Cycles)/float64(rr[base+pi].CPU.Cycles))
+				}
+				vals = append(vals, geomean(av))
+			}
+			t.Rows = append(t.Rows, Row{Name: c.Name, Vals: vals})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig18 reproduces Figure 18: the PARSEC-like 8-thread suite, performance
+// normalized to the ideal SB for SB56 and SB14.
+func (h *Harness) Fig18() ([]Table, error) {
+	suite := workloads.PARSEC()
+	pols := []core.Policy{core.PolicyAtExecute, core.PolicyAtCommit, core.PolicySPB, core.PolicyIdeal}
+	sizes := []int{56, 14}
+	threads := 8
+	insts := h.scale.Insts / 4 // per thread; parallel runs are 8x the work
+	if insts < 20_000 {
+		insts = 20_000
+	}
+	var specs []sim.RunSpec
+	for _, p := range suite {
+		for _, sq := range sizes {
+			for _, pol := range pols {
+				specs = append(specs, sim.RunSpec{
+					Workload: p.Name, Policy: pol, SQSize: sq,
+					Prefetcher: config.PrefetchStream, Cores: threads, Insts: insts,
+				})
+			}
+		}
+	}
+	results, err := h.runner.GetAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	per := len(sizes) * len(pols)
+	for szi, sq := range sizes {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 18 (SB%d): PARSEC (8 threads) performance normalized to Ideal", sq),
+			Cols:  []string{"ALL", "SB-BOUND"},
+		}
+		for pi, pol := range pols[:3] {
+			var av, bv []float64
+			for wi, p := range suite {
+				base := wi*per + szi*len(pols)
+				v := float64(results[base+3].CPU.Cycles) / float64(results[base+pi].CPU.Cycles)
+				av = append(av, v)
+				if p.SBBound {
+					bv = append(bv, v)
+				}
+			}
+			t.Rows = append(t.Rows, Row{Name: pol.String(), Vals: []float64{geomean(av), geomean(bv)}})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// SB20 reproduces the §VI.A claim that a 20-entry SB with SPB matches the
+// average performance of a standard 56-entry SB with at-commit.
+func (h *Harness) SB20() ([]Table, error) {
+	sizes := []int{14, 20, 28, 56}
+	res, err := h.runMatrix(func(name string) []sim.RunSpec {
+		specs := []sim.RunSpec{h.spec(name, core.PolicyAtCommit, 56)}
+		for _, sq := range sizes {
+			specs = append(specs, h.spec(name, core.PolicySPB, sq))
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Claim (§VI.A): SPB SB-size sweep vs the standard at-commit SB56 (performance normalized to at-commit SB56)",
+		Cols:  []string{"ALL"},
+	}
+	for i, sq := range sizes {
+		var av []float64
+		for _, w := range h.suite() {
+			rr := res[w.Name]
+			av = append(av, float64(rr[0].CPU.Cycles)/float64(rr[1+i].CPU.Cycles))
+		}
+		t.Rows = append(t.Rows, Row{Name: fmt.Sprintf("spb SB%d", sq), Vals: []float64{geomean(av)}})
+	}
+	t.Note = ">= 1.0 means the SPB configuration matches or beats the standard 56-entry SB"
+	return []Table{t}, nil
+}
+
+// SensN reproduces the §IV.C sensitivity analysis: the SPB window N and the
+// dynamic store-size ablation, on the SB-bound set.
+func (h *Harness) SensN() ([]Table, error) {
+	ns := []int{8, 16, 24, 32, 48, 64}
+	var specs []sim.RunSpec
+	bound := workloads.SBBoundSPEC()
+	for _, w := range bound {
+		specs = append(specs, h.spec(w.Name, core.PolicyIdeal, 28))
+		for _, n := range ns {
+			s := h.spec(w.Name, core.PolicySPB, 28)
+			s.WindowN = n
+			specs = append(specs, s)
+		}
+		dyn := h.spec(w.Name, core.PolicySPB, 28)
+		dyn.DynamicSPB = true
+		specs = append(specs, dyn)
+	}
+	results, err := h.runner.GetAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	per := len(ns) + 2
+	t := Table{
+		Title: "§IV.C sensitivity: SPB window N and the dynamic-S ablation (SB28, SB-bound apps, normalized to Ideal)",
+		Cols:  []string{"SB-BOUND"},
+	}
+	for ni, n := range ns {
+		var vals []float64
+		for wi := range bound {
+			base := wi * per
+			vals = append(vals, float64(results[base].CPU.Cycles)/float64(results[base+1+ni].CPU.Cycles))
+		}
+		t.Rows = append(t.Rows, Row{Name: fmt.Sprintf("N=%d", n), Vals: []float64{geomean(vals)}})
+	}
+	var dvals []float64
+	for wi := range bound {
+		base := wi * per
+		dvals = append(dvals, float64(results[base].CPU.Cycles)/float64(results[base+per-1].CPU.Cycles))
+	}
+	t.Rows = append(t.Rows, Row{Name: "dynamic-S (N=48)", Vals: []float64{geomean(dvals)}})
+	return []Table{t}, nil
+}
+
+// All maps experiment ids to their generators.
+func (h *Harness) All() map[string]func() ([]Table, error) {
+	return map[string]func() ([]Table, error){
+		"tableI":     h.TableI,
+		"tableII":    h.TableII,
+		"fig1":       h.Fig1,
+		"fig3":       h.Fig3,
+		"fig5":       h.Fig5,
+		"fig6":       h.Fig6,
+		"fig7":       h.Fig7,
+		"fig8":       h.Fig8,
+		"fig9":       h.Fig9,
+		"fig10":      h.Fig10,
+		"fig11":      h.Fig11,
+		"fig12":      h.Fig12,
+		"fig13":      h.Fig13,
+		"fig14":      h.Fig14,
+		"fig15":      h.Fig15,
+		"fig16":      h.Fig16,
+		"fig17":      h.Fig17,
+		"fig18":      h.Fig18,
+		"sb20":       h.SB20,
+		"sensN":      h.SensN,
+		"extensions": h.Extensions,
+	}
+}
+
+// Order is the presentation order of the experiments.
+var Order = []string{
+	"tableI", "tableII", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+	"fig17", "fig18", "sb20", "sensN", "extensions",
+}

@@ -1,0 +1,61 @@
+package figures
+
+import (
+	"spb/internal/core"
+	"spb/internal/sim"
+	"spb/internal/workloads"
+)
+
+// Extensions runs the ablation study of the variants the paper mentions but
+// does not evaluate: backward bursts (§IV.A), cross-page bursts (footnote
+// 2), the dynamic store-size threshold (§IV.C), and the related-work
+// store-coalescing SB (§VII.B) — each against plain SPB and the at-commit
+// baseline on the SB-bound suite with a 14-entry SB.
+func (h *Harness) Extensions() ([]Table, error) {
+	type variant struct {
+		name string
+		mut  func(*sim.RunSpec)
+	}
+	variants := []variant{
+		{"at-commit", func(s *sim.RunSpec) { s.Policy = core.PolicyAtCommit }},
+		{"spb (paper)", func(s *sim.RunSpec) {}},
+		{"spb + backward bursts", func(s *sim.RunSpec) { s.BackwardBursts = true }},
+		{"spb + cross-page bursts", func(s *sim.RunSpec) { s.CrossPageBursts = true }},
+		{"spb + dynamic-S", func(s *sim.RunSpec) { s.DynamicSPB = true }},
+		{"spb + coalescing SB", func(s *sim.RunSpec) { s.CoalesceSB = true }},
+		{"at-commit + coalescing SB", func(s *sim.RunSpec) {
+			s.Policy = core.PolicyAtCommit
+			s.CoalesceSB = true
+		}},
+	}
+	bound := workloads.SBBoundSPEC()
+	var specs []sim.RunSpec
+	for _, w := range bound {
+		ideal := h.spec(w.Name, core.PolicyIdeal, 14)
+		specs = append(specs, ideal)
+		for _, v := range variants {
+			s := h.spec(w.Name, core.PolicySPB, 14)
+			v.mut(&s)
+			specs = append(specs, s)
+		}
+	}
+	results, err := h.runner.GetAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	per := len(variants) + 1
+	t := Table{
+		Title: "Extensions ablation (SB14, SB-bound apps, performance normalized to Ideal)",
+		Cols:  []string{"SB-BOUND"},
+		Note:  "variants the paper discusses but does not evaluate, plus the coalescing-SB alternative from related work",
+	}
+	for vi, v := range variants {
+		var vals []float64
+		for wi := range bound {
+			base := wi * per
+			vals = append(vals, float64(results[base].CPU.Cycles)/float64(results[base+1+vi].CPU.Cycles))
+		}
+		t.Rows = append(t.Rows, Row{Name: v.name, Vals: []float64{geomean(vals)}})
+	}
+	return []Table{t}, nil
+}

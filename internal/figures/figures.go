@@ -1,0 +1,134 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from simulation sweeps: the same rows and series, computed from
+// this repository's simulator instead of the authors' gem5 testbed. Each
+// FigNN function returns one or more Tables; cmd/spbtables prints them and
+// bench_test.go wraps each in a benchmark.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/sim"
+	"spb/internal/workloads"
+)
+
+// Scale controls how much simulation a harness invocation performs.
+type Scale struct {
+	// Insts is the committed-instruction budget per core per run.
+	Insts uint64
+	// SBBoundOnly restricts sweeps to the paper's SB-bound set where the
+	// full suite is not required (fast mode for benchmarks).
+	SBBoundOnly bool
+}
+
+// Quick is the reduced scale used by the go-test benchmarks.
+var Quick = Scale{Insts: 120_000, SBBoundOnly: true}
+
+// Full is the scale used by cmd/spbtables.
+var Full = Scale{Insts: 1_000_000}
+
+// Table is one rendered result table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  []Row
+	Note  string
+}
+
+// Row is one labelled series of values.
+type Row struct {
+	Name string
+	Vals []float64
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", strings.Join(append([]string{""}, t.Cols...), "\t"))
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(r.Vals)+1)
+		cells = append(cells, r.Name)
+		for _, v := range r.Vals {
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		fmt.Fprintf(w, "%s\n", strings.Join(cells, "\t"))
+	}
+	w.Flush()
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Harness runs sweeps against a shared memoizing runner.
+type Harness struct {
+	runner *sim.Runner
+	scale  Scale
+}
+
+// NewHarness returns a harness at the given scale.
+func NewHarness(scale Scale) *Harness {
+	return &Harness{runner: sim.NewRunner(), scale: scale}
+}
+
+func (h *Harness) suite() []workloads.Workload {
+	if h.scale.SBBoundOnly {
+		return workloads.SBBoundSPEC()
+	}
+	return workloads.SPEC()
+}
+
+func (h *Harness) spec(w string, p core.Policy, sq int) sim.RunSpec {
+	return sim.RunSpec{
+		Workload:   w,
+		Policy:     p,
+		SQSize:     sq,
+		Prefetcher: config.PrefetchStream,
+		Insts:      h.scale.Insts,
+	}
+}
+
+// geomean of a slice (zero-safe).
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// runMatrix evaluates specs for every workload in the suite and returns
+// results indexed [workload][variant].
+func (h *Harness) runMatrix(mk func(name string) []sim.RunSpec) (map[string][]sim.Result, error) {
+	var all []sim.RunSpec
+	names := []string{}
+	per := 0
+	for _, w := range h.suite() {
+		specs := mk(w.Name)
+		per = len(specs)
+		names = append(names, w.Name)
+		all = append(all, specs...)
+	}
+	results, err := h.runner.GetAll(all)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]sim.Result, len(names))
+	for i, name := range names {
+		out[name] = results[i*per : (i+1)*per]
+	}
+	return out, nil
+}

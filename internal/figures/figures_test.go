@@ -1,0 +1,266 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a harness small enough for unit tests.
+func tiny() *Harness {
+	return NewHarness(Scale{Insts: 40_000, SBBoundOnly: true})
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		Title: "demo",
+		Cols:  []string{"a", "b"},
+		Rows:  []Row{{Name: "r1", Vals: []float64{1, 0.5}}},
+		Note:  "hello",
+	}
+	out := tab.Format()
+	for _, want := range []string{"demo", "a", "b", "r1", "1.000", "0.500", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("geomean of empty should be 0")
+	}
+	if geomean([]float64{1, 0}) != 0 {
+		t.Fatal("geomean with zero should be 0, not NaN")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if a := arith([]float64{1, 3}); a != 2 {
+		t.Fatalf("arith = %v, want 2", a)
+	}
+	if arith(nil) != 0 {
+		t.Fatal("arith of empty should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(6, 3) != 2 {
+		t.Fatal("ratio(6,3) != 2")
+	}
+	if ratio(0, 0) != 1 {
+		t.Fatal("ratio(0,0) should be 1 (no change)")
+	}
+	if ratio(5, 0) != 5 {
+		t.Fatal("ratio(n,0) should degrade to n")
+	}
+}
+
+func TestTableIStatic(t *testing.T) {
+	tabs, err := tiny().TableI()
+	if err != nil || len(tabs) != 1 {
+		t.Fatalf("TableI: %v (%d tables)", err, len(tabs))
+	}
+	out := tabs[0].Format()
+	for _, want := range []string{"224", "97", "72", "56", "67"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIStatic(t *testing.T) {
+	tabs, err := tiny().TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tabs[0].Format()
+	for _, name := range []string{"SLM", "NHL", "HSW", "SKL", "SNC"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table II missing %s", name)
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tabs, err := tiny().Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	if len(rows) != 2 || len(rows[0].Vals) != 3 {
+		t.Fatalf("Fig1 shape wrong: %+v", rows)
+	}
+	// SB stalls must grow monotonically as the SB shrinks (the paper's
+	// headline motivation).
+	bound := rows[1].Vals
+	if !(bound[0] < bound[1] && bound[1] < bound[2]) {
+		t.Fatalf("SB-bound stall ratio must grow 56->28->14, got %v", bound)
+	}
+	if bound[0] <= 0.02 {
+		t.Fatalf("SB-bound set must exceed the 2%% criterion at SB56, got %v", bound[0])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	h := tiny()
+	tabs, err := h.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("Fig5 should have one table per SB size, got %d", len(tabs))
+	}
+	// In every table: spb beats at-commit, and both are <= ~ideal (1.0
+	// within noise).
+	for _, tab := range tabs {
+		var atCommit, spb float64
+		for _, r := range tab.Rows {
+			switch r.Name {
+			case "at-commit":
+				atCommit = r.Vals[1]
+			case "spb":
+				spb = r.Vals[1]
+			}
+		}
+		if spb <= atCommit {
+			t.Fatalf("%s: spb (%v) must beat at-commit (%v)", tab.Title, spb, atCommit)
+		}
+		if spb > 1.25 || atCommit > 1.15 {
+			t.Fatalf("%s: normalized perf above ideal by too much (spb %v, at-commit %v)",
+				tab.Title, spb, atCommit)
+		}
+	}
+	// The at-commit gap must widen as the SB shrinks.
+	ac56 := tabs[0].Rows[1].Vals[1]
+	ac14 := tabs[2].Rows[1].Vals[1]
+	if ac14 >= ac56 {
+		t.Fatalf("at-commit at SB14 (%v) must be worse than at SB56 (%v)", ac14, ac56)
+	}
+}
+
+func TestFig3RegionsSumToOne(t *testing.T) {
+	tabs, err := tiny().Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tabs[0].Rows {
+		sum := r.Vals[0] + r.Vals[1] + r.Vals[2]
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s: region fractions sum to %v, want 1", r.Name, sum)
+		}
+	}
+}
+
+func TestFig8SPBReducesStalls(t *testing.T) {
+	tabs, err := tiny().Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tabs[0].Rows {
+		if r.Name != "spb" {
+			continue
+		}
+		// Every column is normalized to at-commit; SPB must cut stalls.
+		for i, v := range r.Vals {
+			if v >= 1.0 {
+				t.Fatalf("spb stall ratio col %d = %v, want < 1", i, v)
+			}
+		}
+	}
+}
+
+func TestFig11FractionsBounded(t *testing.T) {
+	tabs, err := tiny().Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		for _, r := range tab.Rows {
+			sum := 0.0
+			for _, v := range r.Vals {
+				if v < 0 || v > 1.001 {
+					t.Fatalf("%s/%s: fraction %v out of range", tab.Title, r.Name, v)
+				}
+				sum += v
+			}
+			if sum > 1.01 {
+				t.Fatalf("%s/%s: fractions sum to %v > 1", tab.Title, r.Name, sum)
+			}
+		}
+	}
+}
+
+func TestFig12SPBIssuesMoreTraffic(t *testing.T) {
+	tabs, err := tiny().Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SPB adds burst requests on top of at-commit's per-store requests:
+	// REQ (SB-bound column) must exceed 1.
+	for _, r := range tabs[0].Rows {
+		if r.Vals[1] <= 1.0 {
+			t.Fatalf("%s: SPB REQ ratio %v, want > 1 (bursts add requests)", r.Name, r.Vals[1])
+		}
+	}
+}
+
+func TestSB20Claim(t *testing.T) {
+	tabs, err := tiny().SB20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	// Performance must improve monotonically with SPB SB size, and SPB
+	// SB20 must be within a few percent of the standard at-commit SB56.
+	var sb20, sb56 float64
+	for _, r := range rows {
+		switch r.Name {
+		case "spb SB20":
+			sb20 = r.Vals[0]
+		case "spb SB56":
+			sb56 = r.Vals[0]
+		}
+	}
+	if sb20 < 0.90 {
+		t.Fatalf("SPB SB20 vs at-commit SB56 = %v, want >= 0.90 (paper: ~1.0)", sb20)
+	}
+	if sb56 < sb20 {
+		t.Fatalf("SPB SB56 (%v) should not lose to SPB SB20 (%v)", sb56, sb20)
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	h := tiny()
+	all := h.All()
+	if len(all) != len(Order) {
+		t.Fatalf("registry has %d entries, Order lists %d", len(all), len(Order))
+	}
+	for _, id := range Order {
+		if all[id] == nil {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestHarnessMemoizesAcrossFigures(t *testing.T) {
+	h := tiny()
+	if _, err := h.Fig5(); err != nil {
+		t.Fatal(err)
+	}
+	// Fig 8 reads the same sweep; thanks to memoization this should be
+	// nearly instant and, more importantly, identical.
+	a, err := h.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Format() != b[0].Format() {
+		t.Fatal("repeated figure generation must be deterministic")
+	}
+}

@@ -1,0 +1,38 @@
+package figures
+
+import "testing"
+
+func TestExpectationsWellFormed(t *testing.T) {
+	exps := Expectations()
+	if len(exps) < 10 {
+		t.Fatalf("only %d expectations, want the paper's headline claims", len(exps))
+	}
+	for _, e := range exps {
+		if e.ID == "" || e.Claim == "" {
+			t.Fatalf("expectation missing identity: %+v", e)
+		}
+		if e.Lo >= e.Hi {
+			t.Fatalf("%s: empty band [%v, %v]", e.Claim, e.Lo, e.Hi)
+		}
+		if e.fetch == nil {
+			t.Fatalf("%s: no fetch function", e.Claim)
+		}
+	}
+}
+
+func TestVerifyAllClaimsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification sweep skipped in -short mode")
+	}
+	h := NewHarness(Scale{Insts: 60_000, SBBoundOnly: true})
+	for _, r := range h.Verify() {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Claim, r.Err)
+			continue
+		}
+		if !r.Pass {
+			t.Errorf("%s: measured %.3f outside [%.2f, %.2f] (paper %.3f)",
+				r.Claim, r.Measured, r.Lo, r.Hi, r.Paper)
+		}
+	}
+}

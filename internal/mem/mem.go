@@ -1,0 +1,78 @@
+// Package mem provides the address arithmetic shared by every component of
+// the simulator: byte addresses, 64-byte cache-block addresses and 4 KiB
+// page addresses, plus the small helpers (offsets, alignment, block counts)
+// that the store buffer, the caches and the SPB detector all rely on.
+package mem
+
+// Fixed geometry of the simulated machine. The paper assumes 64-byte cache
+// blocks and 4 KiB pages throughout (58-bit block address register), so these
+// are compile-time constants rather than configuration.
+const (
+	BlockBits     = 6                    // log2 of the cache block size
+	BlockSize     = 1 << BlockBits       // bytes per cache block (64)
+	PageBits      = 12                   // log2 of the page size
+	PageSize      = 1 << PageBits        // bytes per page (4096)
+	BlocksPerPage = PageSize / BlockSize // cache blocks per page (64)
+)
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Block is a cache-block address: a byte address with the low BlockBits
+// removed. This is exactly the 58-bit quantity stored in the SPB
+// "last block" register.
+type Block uint64
+
+// Page is a page address: a byte address with the low PageBits removed.
+type Page uint64
+
+// BlockOf returns the cache-block address containing a.
+func BlockOf(a Addr) Block { return Block(a >> BlockBits) }
+
+// PageOf returns the page address containing a.
+func PageOf(a Addr) Page { return Page(a >> PageBits) }
+
+// PageOfBlock returns the page address containing block b.
+func PageOfBlock(b Block) Page { return Page(b >> (PageBits - BlockBits)) }
+
+// AddrOfBlock returns the first byte address of block b.
+func AddrOfBlock(b Block) Addr { return Addr(b) << BlockBits }
+
+// AddrOfPage returns the first byte address of page p.
+func AddrOfPage(p Page) Addr { return Addr(p) << PageBits }
+
+// BlockOffset returns the byte offset of a within its cache block.
+func BlockOffset(a Addr) uint64 { return uint64(a) & (BlockSize - 1) }
+
+// PageOffset returns the byte offset of a within its page.
+func PageOffset(a Addr) uint64 { return uint64(a) & (PageSize - 1) }
+
+// BlockIndexInPage returns the index (0..BlocksPerPage-1) of block b within
+// its page. The SPB burst generator prefetches indices above this one.
+func BlockIndexInPage(b Block) int {
+	return int(uint64(b) & (BlocksPerPage - 1))
+}
+
+// LastBlockOfPage returns the final block address of the page containing b.
+func LastBlockOfPage(b Block) Block {
+	return b | (BlocksPerPage - 1)
+}
+
+// SameBlock reports whether two byte addresses fall in the same cache block.
+func SameBlock(a, b Addr) bool { return BlockOf(a) == BlockOf(b) }
+
+// SamePage reports whether two byte addresses fall in the same page.
+func SamePage(a, b Addr) bool { return PageOf(a) == PageOf(b) }
+
+// AlignDown aligns a down to a multiple of size, which must be a power of two.
+func AlignDown(a Addr, size uint64) Addr { return a &^ Addr(size-1) }
+
+// Overlaps reports whether the byte ranges [a, a+an) and [b, b+bn) intersect.
+func Overlaps(a Addr, an uint64, b Addr, bn uint64) bool {
+	return uint64(a) < uint64(b)+bn && uint64(b) < uint64(a)+an
+}
+
+// Contains reports whether the byte range [a, a+an) fully covers [b, b+bn).
+func Contains(a Addr, an uint64, b Addr, bn uint64) bool {
+	return uint64(a) <= uint64(b) && uint64(b)+bn <= uint64(a)+an
+}

@@ -1,0 +1,170 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if BlockSize != 64 {
+		t.Fatalf("BlockSize = %d, want 64", BlockSize)
+	}
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	if BlocksPerPage != 64 {
+		t.Fatalf("BlocksPerPage = %d, want 64", BlocksPerPage)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Block
+	}{
+		{0x0000, 0},
+		{0x003F, 0},
+		{0x0040, 1},
+		{0x0041, 1},
+		{0x0FFF, 63},
+		{0x1000, 64},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.addr); got != c.want {
+			t.Errorf("BlockOf(%#x) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0x0FFF) != 0 || PageOf(0x1000) != 1 || PageOf(0x1FFF) != 1 {
+		t.Fatalf("PageOf boundary cases wrong: %d %d %d",
+			PageOf(0x0FFF), PageOf(0x1000), PageOf(0x1FFF))
+	}
+}
+
+func TestPageOfBlock(t *testing.T) {
+	for a := Addr(0); a < 3*PageSize; a += 64 {
+		if PageOfBlock(BlockOf(a)) != PageOf(a) {
+			t.Fatalf("PageOfBlock(BlockOf(%#x)) != PageOf(%#x)", a, a)
+		}
+	}
+}
+
+func TestAddrOfBlockRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		b := Block(raw & (1<<58 - 1))
+		return BlockOf(AddrOfBlock(b)) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrOfPageRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		p := Page(raw & (1<<52 - 1))
+		return PageOf(AddrOfPage(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	if BlockOffset(0x47) != 7 {
+		t.Errorf("BlockOffset(0x47) = %d, want 7", BlockOffset(0x47))
+	}
+	if PageOffset(0x1047) != 0x47 {
+		t.Errorf("PageOffset(0x1047) = %#x, want 0x47", PageOffset(0x1047))
+	}
+}
+
+func TestBlockIndexInPage(t *testing.T) {
+	if BlockIndexInPage(BlockOf(0x0000)) != 0 {
+		t.Error("first block of page should have index 0")
+	}
+	if BlockIndexInPage(BlockOf(0x0FC0)) != 63 {
+		t.Error("last block of page should have index 63")
+	}
+	if BlockIndexInPage(BlockOf(0x2080)) != 2 {
+		t.Errorf("BlockIndexInPage(0x2080) = %d, want 2",
+			BlockIndexInPage(BlockOf(0x2080)))
+	}
+}
+
+func TestLastBlockOfPage(t *testing.T) {
+	f := func(raw uint64) bool {
+		b := Block(raw & (1<<58 - 1))
+		last := LastBlockOfPage(b)
+		return PageOfBlock(last) == PageOfBlock(b) &&
+			BlockIndexInPage(last) == BlocksPerPage-1 &&
+			last >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameBlockSamePage(t *testing.T) {
+	if !SameBlock(0x40, 0x7F) || SameBlock(0x3F, 0x40) {
+		t.Error("SameBlock boundary wrong")
+	}
+	if !SamePage(0x0, 0xFFF) || SamePage(0xFFF, 0x1000) {
+		t.Error("SamePage boundary wrong")
+	}
+}
+
+func TestAlignDown(t *testing.T) {
+	if AlignDown(0x1234, 64) != 0x1200 {
+		t.Errorf("AlignDown(0x1234, 64) = %#x", AlignDown(0x1234, 64))
+	}
+	if AlignDown(0x1200, 64) != 0x1200 {
+		t.Error("AlignDown should be idempotent on aligned addresses")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		an   uint64
+		b    Addr
+		bn   uint64
+		want bool
+	}{
+		{0, 8, 8, 8, false}, // adjacent, no overlap
+		{0, 9, 8, 8, true},  // one byte overlap
+		{8, 8, 0, 16, true}, // contained
+		{0, 4, 100, 4, false},
+		{100, 4, 98, 4, true},
+	}
+	for _, c := range cases {
+		if got := Overlaps(c.a, c.an, c.b, c.bn); got != c.want {
+			t.Errorf("Overlaps(%d,%d,%d,%d) = %v, want %v",
+				c.a, c.an, c.b, c.bn, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !Contains(0, 16, 8, 8) {
+		t.Error("[0,16) should contain [8,16)")
+	}
+	if Contains(0, 16, 8, 9) {
+		t.Error("[0,16) should not contain [8,17)")
+	}
+	if !Contains(8, 8, 8, 8) {
+		t.Error("a range should contain itself")
+	}
+}
+
+func TestOverlapsSymmetric(t *testing.T) {
+	f := func(a, b uint32, an, bn uint8) bool {
+		n1, n2 := uint64(an)+1, uint64(bn)+1
+		return Overlaps(Addr(a), n1, Addr(b), n2) ==
+			Overlaps(Addr(b), n2, Addr(a), n1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

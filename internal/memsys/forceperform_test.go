@@ -1,0 +1,47 @@
+package memsys
+
+import (
+	"testing"
+
+	"spb/internal/cache"
+	"spb/internal/mem"
+)
+
+func TestForcePerformOnAbsentBlock(t *testing.T) {
+	s := New(tiny(), 1)
+	p := s.Port(0)
+	p.ForcePerform(0xB000, 0x400000, 10)
+	l := p.L1().Peek(mem.BlockOf(0xB000))
+	if l == nil || l.State != cache.Modified || l.ReadyAt > 10 {
+		t.Fatalf("force-performed block should be Modified and ready, got %+v", l)
+	}
+}
+
+func TestForcePerformStealsFromRemote(t *testing.T) {
+	s := New(tiny(), 2)
+	a, b := s.Port(0), s.Port(1)
+	ra := a.StoreAcquire(0xC000, 0x400000, 0)
+	a.PerformStore(0xC000, 0x400000, ra.Done)
+	// Core 1's oldest store retires by force: core 0 must lose the block.
+	b.ForcePerform(0xC000, 0x400000, ra.Done+5)
+	if l := a.L1().Peek(mem.BlockOf(0xC000)); l != nil {
+		t.Fatalf("remote copy must be invalidated, got %v", l.State)
+	}
+	if l := b.L1().Peek(mem.BlockOf(0xC000)); l == nil || l.State != cache.Modified {
+		t.Fatal("forcing core must own the block")
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForcePerformCreditsPrefetch(t *testing.T) {
+	s := New(tiny(), 1)
+	p := s.Port(0)
+	p.PrefetchOwn(mem.BlockOf(0xD000), 0, true)
+	p.ForcePerform(0xD000, 0x400000, 5) // while the prefetch is in flight
+	if p.SPFSuccessful+p.SPFLate != 1 {
+		t.Fatalf("forced store should consume the prefetch credit: succ=%d late=%d",
+			p.SPFSuccessful, p.SPFLate)
+	}
+}

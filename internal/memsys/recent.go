@@ -1,0 +1,67 @@
+package memsys
+
+import "spb/internal/mem"
+
+// recentSet is a bounded FIFO set of block addresses. The memory system uses
+// two of them per core: one remembering prefetched-but-unused blocks that
+// were evicted (to classify a later demand miss as an *early* prefetch,
+// Fig. 11) and one remembering blocks evicted *by* prefetch fills (to charge
+// the prefetcher with *pollution*, the FDP throttle-down signal).
+type recentSet struct {
+	ring    []mem.Block
+	present map[mem.Block]int // block -> occurrence count in ring
+	next    int
+	filled  bool
+}
+
+func newRecentSet(capacity int) *recentSet {
+	if capacity <= 0 {
+		panic("memsys: recentSet capacity must be positive")
+	}
+	return &recentSet{
+		ring:    make([]mem.Block, capacity),
+		present: make(map[mem.Block]int, capacity),
+	}
+}
+
+// Add records b, evicting the oldest record when full.
+func (r *recentSet) Add(b mem.Block) {
+	if r.filled {
+		old := r.ring[r.next]
+		if n := r.present[old]; n <= 1 {
+			delete(r.present, old)
+		} else {
+			r.present[old] = n - 1
+		}
+	}
+	r.ring[r.next] = b
+	r.present[b]++
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Take reports whether b is remembered and forgets one occurrence if so.
+func (r *recentSet) Take(b mem.Block) bool {
+	n, ok := r.present[b]
+	if !ok {
+		return false
+	}
+	if n <= 1 {
+		delete(r.present, b)
+	} else {
+		r.present[b] = n - 1
+	}
+	return true
+}
+
+// Len returns the number of remembered (distinct-occurrence) records.
+func (r *recentSet) Len() int {
+	total := 0
+	for _, n := range r.present {
+		total += n
+	}
+	return total
+}

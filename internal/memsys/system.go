@@ -1,0 +1,250 @@
+// Package memsys assembles the memory hierarchy the cores talk to: private
+// L1D and L2 caches per core, a shared inclusive L3 with a directory-based
+// MESI protocol, and DRAM behind a bandwidth model. It resolves every
+// request immediately against the current coherence state while charging
+// realistic latencies, enforces MSHR capacity at each level, classifies
+// store-prefetch outcomes (successful / late / early / never used, the
+// Fig. 11 taxonomy), and counts the tag accesses and network traffic the
+// paper's overhead figures (Figs. 12 and 13) report.
+package memsys
+
+import (
+	"fmt"
+
+	"spb/internal/cache"
+	"spb/internal/config"
+	"spb/internal/dram"
+	"spb/internal/mem"
+	"spb/internal/prefetch"
+)
+
+// probeLat is the extra latency of snooping a remote private cache through
+// the directory (forwarded request + response).
+const probeLat = 24
+
+// fdpEpoch is the number of demand accesses between feedback deliveries to
+// an adaptive prefetcher.
+const fdpEpoch = 8192
+
+// dirEntry tracks which cores hold a block. owner >= 0 means that core holds
+// the block in E or M; sharers is a bitmask of cores holding it in S.
+type dirEntry struct {
+	owner   int8
+	sharers uint64
+}
+
+// System is the shared part of the memory hierarchy.
+type System struct {
+	cfg   config.MachineConfig
+	l3    *cache.Cache
+	dram  *dram.DRAM
+	dir   map[mem.Block]*dirEntry
+	ports []*Port
+
+	// Traffic counters for the shared fabric.
+	L3Accesses    uint64
+	Invalidations uint64
+	WritebacksL3  uint64
+	BackInvals    uint64
+}
+
+// New builds a memory system with n cores' private hierarchies attached.
+func New(cfg config.MachineConfig, n int) *System {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("memsys: core count %d out of range 1..64", n))
+	}
+	s := &System{
+		cfg:  cfg,
+		l3:   cache.New("L3", cfg.L3.SizeBytes, cfg.L3.Ways, cfg.L3.MSHRs),
+		dram: dram.New(cfg.DRAM.LatencyCyc, cfg.DRAM.CyclesPerBlock, cfg.DRAM.MaxOutstanding),
+		dir:  make(map[mem.Block]*dirEntry, 1<<16),
+	}
+	for i := 0; i < n; i++ {
+		s.ports = append(s.ports, &Port{
+			sys:         s,
+			id:          i,
+			l1:          cache.New("L1D", cfg.L1D.SizeBytes, cfg.L1D.Ways, cfg.L1D.MSHRs),
+			l2:          cache.New("L2", cfg.L2.SizeBytes, cfg.L2.Ways, cfg.L2.MSHRs),
+			pf:          prefetch.New(cfg.Prefetcher),
+			evictedPF:   newRecentSet(8192),
+			victimsOfPF: newRecentSet(4096),
+		})
+	}
+	return s
+}
+
+// Port returns core i's private port.
+func (s *System) Port(i int) *Port { return s.ports[i] }
+
+// Ports returns the number of attached cores.
+func (s *System) Ports() int { return len(s.ports) }
+
+// L3 exposes the shared cache for statistics reporting.
+func (s *System) L3() *cache.Cache { return s.l3 }
+
+// DRAM exposes the memory model for statistics reporting.
+func (s *System) DRAM() *dram.DRAM { return s.dram }
+
+func (s *System) dirOf(b mem.Block) *dirEntry {
+	e, ok := s.dir[b]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		s.dir[b] = e
+	}
+	return e
+}
+
+// invalidateOthers removes every copy of b held by cores other than
+// requester, returning the added latency and whether a remote dirty copy
+// supplied the data.
+func (s *System) invalidateOthers(b mem.Block, requester int, t uint64) (extra uint64, dirtyForward bool) {
+	e, ok := s.dir[b]
+	if !ok {
+		return 0, false
+	}
+	if e.owner >= 0 && int(e.owner) != requester {
+		p := s.ports[e.owner]
+		if line, ok := p.l1.Invalidate(b); ok && line.State == cache.Modified {
+			dirtyForward = true
+		}
+		if line, ok := p.l2.Invalidate(b); ok && line.State == cache.Modified {
+			dirtyForward = true
+		}
+		s.Invalidations++
+		extra = probeLat
+	}
+	for c := 0; c < len(s.ports); c++ {
+		if c == requester || e.sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		p := s.ports[c]
+		p.l1.Invalidate(b)
+		p.l2.Invalidate(b)
+		s.Invalidations++
+		if extra < probeLat {
+			extra = probeLat
+		}
+	}
+	if e.owner >= 0 && int(e.owner) != requester {
+		e.owner = -1
+	}
+	e.sharers &= 1 << uint(requester)
+	return extra, dirtyForward
+}
+
+// downgradeOwner converts a remote exclusive/modified copy to shared so the
+// requester can read, returning the added latency.
+func (s *System) downgradeOwner(b mem.Block, requester int, t uint64) (extra uint64) {
+	e, ok := s.dir[b]
+	if !ok || e.owner < 0 || int(e.owner) == requester {
+		return 0
+	}
+	p := s.ports[e.owner]
+	p.l1.Downgrade(b)
+	p.l2.Downgrade(b)
+	e.sharers |= 1 << uint(e.owner)
+	e.owner = -1
+	s.Invalidations++
+	return probeLat
+}
+
+// l3Fill inserts b into the L3, handling inclusive back-invalidations of the
+// victim in every private hierarchy and the DRAM writeback of dirty victims.
+func (s *System) l3Fill(b mem.Block, st cache.State, ready uint64) {
+	victim, evicted := s.l3.Insert(b, st, ready, false, false)
+	if !evicted {
+		return
+	}
+	if victim.State == cache.Modified {
+		s.dram.Write(ready)
+		s.WritebacksL3++
+	}
+	// Inclusion: no private cache may keep a block the L3 dropped.
+	if e, ok := s.dir[victim.Block]; ok {
+		for c := range s.ports {
+			if int(e.owner) == c || e.sharers&(1<<uint(c)) != 0 {
+				p := s.ports[c]
+				if line, ok := p.l1.Invalidate(victim.Block); ok && line.State == cache.Modified {
+					s.dram.Write(ready)
+				}
+				if line, ok := p.l2.Invalidate(victim.Block); ok && line.State == cache.Modified {
+					s.dram.Write(ready)
+				}
+				s.BackInvals++
+			}
+		}
+		delete(s.dir, victim.Block)
+	}
+}
+
+// readShared obtains block b for reading on behalf of requester, returning
+// the cycle the data reaches the requester's L2 boundary and the level that
+// supplied it (3 = L3, 4 = DRAM).
+func (s *System) readShared(b mem.Block, requester int, t uint64) (done uint64, level int) {
+	s.L3Accesses++
+	extra := s.downgradeOwner(b, requester, t)
+	e := s.dirOf(b)
+	if line := s.l3.Lookup(b, true); line != nil {
+		done = t + uint64(s.cfg.L3.LatencyCyc) + extra
+		if line.ReadyAt > done {
+			done = line.ReadyAt
+		}
+		e.sharers |= 1 << uint(requester)
+		return done, 3
+	}
+	// L3 miss: fetch from DRAM.
+	issue := s.l3.MSHRAvailable(t + uint64(s.cfg.L3.LatencyCyc) + extra)
+	done = s.dram.Read(issue)
+	s.l3.NoteMiss(done)
+	s.l3Fill(b, cache.Shared, done)
+	e = s.dirOf(b) // l3Fill may have deleted and re-created directory state
+	e.sharers |= 1 << uint(requester)
+	return done, 4
+}
+
+// readExclusive obtains block b with write permission for requester,
+// invalidating every other copy.
+func (s *System) readExclusive(b mem.Block, requester int, t uint64) (done uint64, level int) {
+	s.L3Accesses++
+	extra, _ := s.invalidateOthers(b, requester, t)
+	e := s.dirOf(b)
+	if line := s.l3.Lookup(b, true); line != nil {
+		done = t + uint64(s.cfg.L3.LatencyCyc) + extra
+		if line.ReadyAt > done {
+			done = line.ReadyAt
+		}
+		line.State = cache.Modified // L3 tracks the block as owned above
+		e.owner = int8(requester)
+		e.sharers = 0
+		return done, 3
+	}
+	issue := s.l3.MSHRAvailable(t + uint64(s.cfg.L3.LatencyCyc) + extra)
+	done = s.dram.Read(issue)
+	s.l3.NoteMiss(done)
+	s.l3Fill(b, cache.Modified, done)
+	e = s.dirOf(b)
+	e.owner = int8(requester)
+	e.sharers = 0
+	return done, 4
+}
+
+// CheckCoherence audits the protocol invariants: a block with an owner must
+// have no foreign sharers, and no two cores may hold the same block in a
+// writable state. It returns the first violation found, or nil.
+func (s *System) CheckCoherence() error {
+	for b, e := range s.dir {
+		if e.owner >= 0 && e.sharers&^(1<<uint(e.owner)) != 0 {
+			return fmt.Errorf("memsys: block %#x has owner %d and sharers %#x", b, e.owner, e.sharers)
+		}
+		writable := 0
+		for _, p := range s.ports {
+			if l := p.l1.Peek(b); l != nil && l.State.Writable() {
+				writable++
+			}
+		}
+		if writable > 1 {
+			return fmt.Errorf("memsys: block %#x writable in %d L1 caches", b, writable)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package prefetch
+
+import (
+	"testing"
+
+	"spb/internal/config"
+	"spb/internal/mem"
+)
+
+func observeSeq(p Prefetcher, pc uint64, blocks ...mem.Block) []mem.Block {
+	var out []mem.Block
+	for _, b := range blocks {
+		out = p.Observe(Event{PC: pc, Block: b, Miss: true}, out)
+	}
+	return out
+}
+
+func TestStreamTrainsOnUnitStride(t *testing.T) {
+	s := NewStream(2, 1)
+	got := observeSeq(s, 0x400000, 10, 11, 12, 13, 14)
+	// Confidence reaches 2 at the third delta (block 13), so blocks 13 and
+	// 14 each trigger one prefetch at distance 2.
+	want := []mem.Block{15, 16}
+	if len(got) != len(want) {
+		t.Fatalf("prefetches = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefetches = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStreamIgnoresSameBlock(t *testing.T) {
+	s := NewStream(1, 1)
+	// Eight 8-byte stores to one block then the next: deltas are 0 except
+	// at block transitions. Same-block accesses must not reset training.
+	var blocks []mem.Block
+	for blk := mem.Block(0); blk < 6; blk++ {
+		for i := 0; i < 8; i++ {
+			blocks = append(blocks, blk)
+		}
+	}
+	got := observeSeq(s, 0x400000, blocks...)
+	if len(got) == 0 {
+		t.Fatal("block-granularity stream should train through same-block repeats")
+	}
+	for _, b := range got {
+		if b < 3 || b > 6 {
+			t.Fatalf("unexpected prefetch target %d", b)
+		}
+	}
+}
+
+func TestStreamDetectsLargeStride(t *testing.T) {
+	s := NewStream(1, 1)
+	got := observeSeq(s, 0x400000, 0, 4, 8, 12, 16)
+	if len(got) == 0 {
+		t.Fatal("stride-4 stream should trigger prefetches")
+	}
+	for _, b := range got {
+		if int64(b)%4 != 0 {
+			t.Fatalf("prefetch %d not on the stride-4 stream", b)
+		}
+	}
+}
+
+func TestStreamResetOnStrideChange(t *testing.T) {
+	s := NewStream(1, 1)
+	got := observeSeq(s, 0x400000, 0, 1, 2, 3, 100, 7, 200, 1, 90)
+	// After the erratic tail, no trained stream: the only prefetches come
+	// from the initial run.
+	for _, b := range got {
+		if b > 10 {
+			t.Fatalf("prefetch %d must come from the unit-stride run only", b)
+		}
+	}
+}
+
+func TestStreamDoesNotCrossPage(t *testing.T) {
+	s := NewStream(4, 4)
+	// Train right up to the page boundary (blocks 60..63 of page 0).
+	got := observeSeq(s, 0x400000, 58, 59, 60, 61, 62, 63)
+	for _, b := range got {
+		if mem.PageOfBlock(b) != 0 {
+			t.Fatalf("prefetch %d crosses the page boundary", b)
+		}
+	}
+}
+
+func TestStreamPCsIsolated(t *testing.T) {
+	s := NewStream(1, 1)
+	// Interleave two PCs with different streams; both should train.
+	var out []mem.Block
+	for i := 0; i < 6; i++ {
+		out = s.Observe(Event{PC: 0x1000, Block: mem.Block(i)}, out)
+		out = s.Observe(Event{PC: 0x2000, Block: mem.Block(1000 + 2*i)}, out)
+	}
+	var low, high int
+	for _, b := range out {
+		if b < 100 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Fatalf("both PCs should train: low=%d high=%d", low, high)
+	}
+}
+
+func TestAggressiveIsMoreAggressive(t *testing.T) {
+	base := New(config.PrefetchStream)
+	aggr := New(config.PrefetchAggressive)
+	blocks := make([]mem.Block, 32)
+	for i := range blocks {
+		blocks[i] = mem.Block(i)
+	}
+	nb := len(observeSeq(base, 0x400000, blocks...))
+	na := len(observeSeq(aggr, 0x400000, blocks...))
+	if na <= nb {
+		t.Fatalf("aggressive issued %d <= stream %d", na, nb)
+	}
+}
+
+func TestNonePrefetcher(t *testing.T) {
+	p := New(config.PrefetchNone)
+	if got := observeSeq(p, 0x400000, 1, 2, 3, 4, 5); len(got) != 0 {
+		t.Fatalf("none prefetcher issued %v", got)
+	}
+	p.Epoch(Feedback{Issued: 100}) // must not panic
+}
+
+func TestAdaptiveRampsUpWhenAccurateAndLate(t *testing.T) {
+	a := NewAdaptive()
+	start := a.Level()
+	for i := 0; i < 4; i++ {
+		a.Epoch(Feedback{Issued: 1000, Used: 900, Late: 500})
+	}
+	if a.Level() <= start {
+		t.Fatalf("level = %d, want > %d after accurate+late feedback", a.Level(), start)
+	}
+	if a.Level() > 5 {
+		t.Fatalf("level = %d exceeds ladder", a.Level())
+	}
+}
+
+func TestAdaptiveThrottlesOnLowAccuracy(t *testing.T) {
+	a := NewAdaptive()
+	for i := 0; i < 4; i++ {
+		a.Epoch(Feedback{Issued: 1000, Used: 100})
+	}
+	if a.Level() != 1 {
+		t.Fatalf("level = %d, want 1 after inaccurate feedback", a.Level())
+	}
+}
+
+func TestAdaptiveThrottlesOnPollution(t *testing.T) {
+	a := NewAdaptive()
+	lvl := a.Level()
+	a.Epoch(Feedback{Issued: 1000, Used: 600, Polluted: 100})
+	if a.Level() >= lvl {
+		t.Fatalf("level = %d, want < %d after polluting feedback", a.Level(), lvl)
+	}
+}
+
+func TestAdaptiveIgnoresEmptyEpoch(t *testing.T) {
+	a := NewAdaptive()
+	lvl := a.Level()
+	a.Epoch(Feedback{})
+	if a.Level() != lvl {
+		t.Fatal("empty epoch must not change the level")
+	}
+}
+
+func TestAdaptiveBoundsHold(t *testing.T) {
+	a := NewAdaptive()
+	for i := 0; i < 20; i++ {
+		a.Epoch(Feedback{Issued: 1000, Used: 950, Late: 400})
+	}
+	if a.Level() != 5 {
+		t.Fatalf("level = %d, want saturation at 5", a.Level())
+	}
+	for i := 0; i < 20; i++ {
+		a.Epoch(Feedback{Issued: 1000, Used: 10})
+	}
+	if a.Level() != 1 {
+		t.Fatalf("level = %d, want floor at 1", a.Level())
+	}
+}
+
+func TestNewCoversAllKinds(t *testing.T) {
+	kinds := []config.PrefetcherKind{
+		config.PrefetchStream, config.PrefetchAggressive,
+		config.PrefetchAdaptive, config.PrefetchNone,
+	}
+	for _, k := range kinds {
+		p := New(k)
+		if p == nil {
+			t.Fatalf("New(%v) returned nil", k)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"spb/internal/core"
+)
+
+// TestModelledPredictorRuns exercises the gshare/BTB front end end to end.
+func TestModelledPredictorRuns(t *testing.T) {
+	r, err := Run(RunSpec{
+		Workload: "deepsjeng", Policy: core.PolicySPB, SQSize: 28,
+		Insts: 50_000, ModelBranchPredictor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPU.Committed != 50_000 {
+		t.Fatalf("committed %d, want 50000", r.CPU.Committed)
+	}
+	if r.CPU.Branches == 0 {
+		t.Fatal("deepsjeng must execute branches")
+	}
+	// The modelled predictor produces its own mispredicts, generally fewer
+	// than branches and more than zero for a branchy integer workload.
+	if r.CPU.Mispredicts == 0 || r.CPU.Mispredicts >= r.CPU.Branches {
+		t.Fatalf("modelled mispredicts = %d of %d branches — implausible",
+			r.CPU.Mispredicts, r.CPU.Branches)
+	}
+}
+
+// TestModelledPredictorDiffersFromStatistical: the two front-end models
+// should produce different (but same-order) timing on a branchy workload.
+func TestModelledPredictorDiffersFromStatistical(t *testing.T) {
+	stat, err := Run(RunSpec{Workload: "leela", Policy: core.PolicyAtCommit, SQSize: 56, Insts: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Run(RunSpec{Workload: "leela", Policy: core.PolicyAtCommit, SQSize: 56,
+		Insts: 50_000, ModelBranchPredictor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.CPU.Cycles == mod.CPU.Cycles {
+		t.Fatal("modelled and statistical front ends should differ in timing")
+	}
+	ratio := float64(mod.CPU.Cycles) / float64(stat.CPU.Cycles)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("front-end models diverge too much: ratio %.2f", ratio)
+	}
+}
+
+// TestSPBConclusionHoldsUnderModelledPredictor: the headline result must not
+// depend on how mispredictions are modelled.
+func TestSPBConclusionHoldsUnderModelledPredictor(t *testing.T) {
+	run := func(p core.Policy) uint64 {
+		r, err := Run(RunSpec{Workload: "x264", Policy: p, SQSize: 14,
+			Insts: 80_000, ModelBranchPredictor: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.CPU.Cycles
+	}
+	if spb, ac := run(core.PolicySPB), run(core.PolicyAtCommit); spb >= ac {
+		t.Fatalf("SPB (%d) must beat at-commit (%d) under the modelled predictor too", spb, ac)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"spb/internal/core"
+	"spb/internal/stats"
+)
+
+func TestExportStats(t *testing.T) {
+	r, err := Run(RunSpec{Workload: "blender", Policy: core.PolicySPB, SQSize: 14, Insts: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.NewSet()
+	r.ExportStats(s)
+	if s.Value("cpu.committed") != 30_000 {
+		t.Fatalf("cpu.committed = %d, want 30000", s.Value("cpu.committed"))
+	}
+	if s.Value("cpu.cycles") != r.CPU.Cycles {
+		t.Fatal("cpu.cycles mismatch")
+	}
+	if s.Value("mem.spfIssued") != r.Mem.SPFIssued {
+		t.Fatal("mem.spfIssued mismatch")
+	}
+	if s.Value("energy.totalUJ") == 0 {
+		t.Fatal("energy export missing")
+	}
+	// The export is additive: exporting twice doubles each counter (the
+	// aggregation semantics for multi-run dumps).
+	r.ExportStats(s)
+	if s.Value("cpu.committed") != 60_000 {
+		t.Fatal("ExportStats must be additive")
+	}
+	// The rendered dump is stable and includes every section.
+	out := s.String()
+	for _, want := range []string{"cpu.sbStallCycles", "mem.l1TagAccesses", "energy.totalUJ"} {
+		if !contains(out, want) {
+			t.Fatalf("dump missing %s", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

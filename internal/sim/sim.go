@@ -1,0 +1,329 @@
+// Package sim assembles complete systems (cores + memory hierarchy) and runs
+// experiment points. A RunSpec names everything that identifies a simulation
+// — workload, store-prefetch policy, SB size, generic prefetcher, core
+// micro-architecture, core count, instruction budget — and Run executes it
+// deterministically. Runner adds a memoizing, parallel executor on top, so
+// the figure harness can share results between the many figures that read
+// the same sweep.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/cpu"
+	"spb/internal/energy"
+	"spb/internal/memsys"
+	"spb/internal/topdown"
+	"spb/internal/trace"
+	"spb/internal/workloads"
+)
+
+// RunSpec identifies one simulation point.
+type RunSpec struct {
+	// Workload is a SPEC-like name (Cores == 1) or PARSEC-like name
+	// (Cores > 1).
+	Workload string
+	Policy   core.Policy
+	SQSize   int
+	// Prefetcher selects the generic L1 prefetcher.
+	Prefetcher config.PrefetcherKind
+	// CoreName selects a Table II core ("" or "SKL" = Table I Skylake,
+	// width 4).
+	CoreName string
+	// Cores is the core/thread count (1 for SPEC, 8 for PARSEC).
+	Cores int
+	// Insts is the per-core committed-instruction budget.
+	Insts uint64
+	// WindowN overrides the SPB window (0 = config default 48).
+	WindowN int
+	// DynamicSPB enables the dynamic store-size ablation.
+	DynamicSPB bool
+	// CoalesceSB enables the related-work store-coalescing SB ablation.
+	CoalesceSB bool
+	// BackwardBursts enables the §IV.A backward-burst extension.
+	BackwardBursts bool
+	// CrossPageBursts enables the footnote-2 cross-page burst extension.
+	CrossPageBursts bool
+	// ModelBranchPredictor replaces statistical mispredicts with a
+	// modelled gshare + BTB front end.
+	ModelBranchPredictor bool
+	// Seed perturbs the workload generator (0 = default seed).
+	Seed uint64
+}
+
+// MemStats aggregates the memory-system counters of a run.
+type MemStats struct {
+	L1TagAccesses uint64
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Accesses    uint64
+	L3Accesses    uint64
+	DRAMReads     uint64
+	DRAMWrites    uint64
+
+	Loads          uint64
+	Stores         uint64
+	LoadMisses     uint64
+	StoreMisses    uint64
+	WrongPathLoads uint64
+
+	SPFIssued     uint64
+	SPFDiscarded  uint64
+	SPFMissToL2   uint64
+	SPFSuccessful uint64
+	SPFLate       uint64
+	SPFEarly      uint64
+	SPFBurst      uint64
+
+	GPFIssued   uint64
+	GPFUsed     uint64
+	GPFLate     uint64
+	GPFPolluted uint64
+
+	Invalidations uint64
+	Writebacks    uint64
+}
+
+// SPFNeverUsed derives the Fig. 11 "never used" bucket: issued ownership
+// prefetches that were neither consumed, merged with, discarded as
+// duplicates, nor evicted before use.
+func (m MemStats) SPFNeverUsed() uint64 {
+	accounted := m.SPFDiscarded + m.SPFSuccessful + m.SPFLate + m.SPFEarly
+	if accounted >= m.SPFIssued {
+		return 0
+	}
+	return m.SPFIssued - accounted
+}
+
+// Result is the outcome of one simulation point.
+type Result struct {
+	Spec   RunSpec
+	CPU    cpu.Stats // aggregated over cores (cycles = max across cores)
+	Mem    MemStats
+	Energy energy.Breakdown
+	TD     topdown.Report
+}
+
+// IPC returns committed instructions per cycle over all cores.
+func (r Result) IPC() float64 { return r.CPU.IPC() }
+
+func (s RunSpec) coreConfig() (config.CoreConfig, error) {
+	if s.CoreName == "" {
+		c := config.Skylake().Core
+		return c, nil
+	}
+	for _, c := range config.Cores() {
+		if c.Name == s.CoreName {
+			return c, nil
+		}
+	}
+	return config.CoreConfig{}, fmt.Errorf("sim: unknown core config %q", s.CoreName)
+}
+
+func (s RunSpec) normalize() RunSpec {
+	if s.Cores == 0 {
+		s.Cores = 1
+	}
+	if s.Insts == 0 {
+		s.Insts = 200_000
+	}
+	if s.WindowN == 0 {
+		s.WindowN = 48
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Run executes one simulation point.
+func Run(spec RunSpec) (Result, error) {
+	spec = spec.normalize()
+	coreCfg, err := spec.coreConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	machine := config.Skylake()
+	machine.Core = coreCfg
+	machine = machine.WithSQ(spec.SQSize).WithPrefetcher(spec.Prefetcher)
+	machine.SPB.WindowN = spec.WindowN
+	machine.SPB.DynamicSize = spec.DynamicSPB
+	if err := machine.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	var readers []trace.Reader
+	if spec.Cores == 1 {
+		w, err := workloads.SPECByName(spec.Workload)
+		if err != nil {
+			return Result{}, err
+		}
+		readers = []trace.Reader{w.Build(spec.Seed)}
+	} else {
+		p, err := workloads.PARSECByName(spec.Workload)
+		if err != nil {
+			return Result{}, err
+		}
+		readers = p.Build(spec.Seed, spec.Cores)
+	}
+
+	sys := memsys.New(machine, spec.Cores)
+	cores := make([]*cpu.Core, spec.Cores)
+	opts := cpu.Options{
+		CoalesceSB:         spec.CoalesceSB,
+		BackwardBursts:     spec.BackwardBursts,
+		CrossPageBursts:    spec.CrossPageBursts,
+		UseBranchPredictor: spec.ModelBranchPredictor,
+	}
+	for i := range cores {
+		cores[i] = cpu.NewWithOptions(machine.Core, spec.Policy, machine.SPB, machine.TLB, opts,
+			sys.Port(i), trace.Limit(spec.Insts, readers[i]), spec.Seed+uint64(i)*7919)
+	}
+
+	// Lock-step execution: every core advances one cycle per round.
+	guard := spec.Insts*1000*uint64(spec.Cores) + 1_000_000
+	for round := uint64(0); ; round++ {
+		running := false
+		for _, c := range cores {
+			if !c.Done() {
+				c.Tick()
+				running = true
+			}
+		}
+		if !running {
+			break
+		}
+		if round > guard {
+			return Result{}, fmt.Errorf("sim: %v made no progress after %d cycles", spec, round)
+		}
+	}
+
+	res := Result{Spec: spec}
+	for _, c := range cores {
+		st := c.St
+		if st.Cycles > res.CPU.Cycles {
+			res.CPU.Cycles = st.Cycles
+		}
+		res.CPU.Committed += st.Committed
+		res.CPU.Loads += st.Loads
+		res.CPU.Stores += st.Stores
+		res.CPU.Branches += st.Branches
+		res.CPU.Mispredicts += st.Mispredicts
+		res.CPU.WrongPathInsts += st.WrongPathInsts
+		res.CPU.ForwardedLoads += st.ForwardedLoads
+		res.CPU.PartialForwards += st.PartialForwards
+		res.CPU.SBStallCycles += st.SBStallCycles
+		res.CPU.ROBStallCycles += st.ROBStallCycles
+		res.CPU.IQStallCycles += st.IQStallCycles
+		res.CPU.LQStallCycles += st.LQStallCycles
+		res.CPU.FrontendStallCycles += st.FrontendStallCycles
+		res.CPU.SBStallApp += st.SBStallApp
+		res.CPU.SBStallLib += st.SBStallLib
+		res.CPU.SBStallKernel += st.SBStallKernel
+		res.CPU.ExecStallL1DPending += st.ExecStallL1DPending
+		res.CPU.StoresPerformed += st.StoresPerformed
+		res.CPU.SPBBursts += st.SPBBursts
+	}
+	for i := 0; i < spec.Cores; i++ {
+		p := sys.Port(i)
+		res.Mem.L1TagAccesses += p.L1().TagAccesses
+		res.Mem.L1Hits += p.L1().Hits
+		res.Mem.L1Misses += p.L1().Misses
+		res.Mem.L2Accesses += p.L2().TagAccesses
+		res.Mem.Loads += p.Loads
+		res.Mem.Stores += p.Stores
+		res.Mem.LoadMisses += p.LoadMisses
+		res.Mem.StoreMisses += p.StoreMisses
+		res.Mem.WrongPathLoads += p.WrongPathLoads
+		res.Mem.SPFIssued += p.SPFIssued
+		res.Mem.SPFDiscarded += p.SPFDiscarded
+		res.Mem.SPFMissToL2 += p.SPFMissToL2
+		res.Mem.SPFSuccessful += p.SPFSuccessful
+		res.Mem.SPFLate += p.SPFLate
+		res.Mem.SPFEarly += p.SPFEarly
+		res.Mem.SPFBurst += p.SPFBurst
+		res.Mem.GPFIssued += p.GPFIssued
+		res.Mem.GPFUsed += p.GPFUsed
+		res.Mem.GPFLate += p.GPFLate
+		res.Mem.GPFPolluted += p.GPFPolluted
+		res.Mem.Writebacks += p.L1().Writebacks + p.L2().Writebacks
+	}
+	res.Mem.L3Accesses = sys.L3().TagAccesses
+	res.Mem.DRAMReads = sys.DRAM().Reads
+	res.Mem.DRAMWrites = sys.DRAM().Writes
+	res.Mem.Invalidations = sys.Invalidations
+
+	res.Energy = energy.Compute(energy.Default22nm(), energy.Events{
+		Cycles:         res.CPU.Cycles,
+		L1TagAccesses:  res.Mem.L1TagAccesses,
+		L1DataAccesses: res.Mem.L1Hits + res.Mem.L1Misses,
+		L2Accesses:     res.Mem.L2Accesses,
+		L3Accesses:     res.Mem.L3Accesses,
+		DRAMAccesses:   res.Mem.DRAMReads + res.Mem.DRAMWrites,
+		CommittedInsts: res.CPU.Committed,
+		WrongPathInsts: res.CPU.WrongPathInsts,
+		Loads:          res.CPU.Loads,
+		SBEntries:      spec.SQSize,
+	})
+	res.TD = topdown.Analyze(&res.CPU)
+	return res, nil
+}
+
+// Runner is a memoizing, parallel executor of simulation points.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[RunSpec]Result
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[RunSpec]Result)}
+}
+
+// Get runs (or recalls) one spec.
+func (r *Runner) Get(spec RunSpec) (Result, error) {
+	spec = spec.normalize()
+	r.mu.Lock()
+	if res, ok := r.cache[spec]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	res, err := Run(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	r.mu.Lock()
+	r.cache[spec] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// GetAll runs the specs concurrently (bounded by GOMAXPROCS) and returns the
+// results in spec order. The first error aborts the batch.
+func (r *Runner) GetAll(specs []RunSpec) ([]Result, error) {
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec RunSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = r.Get(spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+
+	"spb/internal/config"
+	"spb/internal/core"
+)
+
+const testInsts = 60_000
+
+func quickSpec(w string, p core.Policy, sq int) RunSpec {
+	return RunSpec{
+		Workload: w, Policy: p, SQSize: sq,
+		Prefetcher: config.PrefetchStream, Insts: testInsts,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	res, err := Run(quickSpec("bwaves", core.PolicyAtCommit, 56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Committed != testInsts {
+		t.Fatalf("committed %d, want %d", res.CPU.Committed, testInsts)
+	}
+	if res.CPU.Cycles == 0 || res.IPC() <= 0 {
+		t.Fatal("run produced no cycles")
+	}
+	if res.Energy.Total() <= 0 {
+		t.Fatal("energy must be positive")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec := quickSpec("roms", core.PolicySPB, 28)
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU != b.CPU {
+		t.Fatalf("nondeterministic CPU stats:\n%+v\n%+v", a.CPU, b.CPU)
+	}
+	if a.Mem != b.Mem {
+		t.Fatalf("nondeterministic memory stats:\n%+v\n%+v", a.Mem, b.Mem)
+	}
+}
+
+func TestSBBoundAppStallsWithSmallSB(t *testing.T) {
+	res, err := Run(quickSpec("bwaves", core.PolicyAtCommit, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TD.SBBound {
+		t.Fatalf("bwaves at SB14 should be SB-bound; SB stall ratio %.3f",
+			res.TD.SBStallRatio)
+	}
+}
+
+func TestSPBImprovesSBBoundApp(t *testing.T) {
+	ac, err := Run(quickSpec("bwaves", core.PolicyAtCommit, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spb, err := Run(quickSpec("bwaves", core.PolicySPB, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spb.CPU.Cycles >= ac.CPU.Cycles {
+		t.Fatalf("SPB (%d cycles) should beat at-commit (%d) on bwaves at SB14",
+			spb.CPU.Cycles, ac.CPU.Cycles)
+	}
+	if spb.CPU.SPBBursts == 0 {
+		t.Fatal("SPB should have triggered bursts")
+	}
+}
+
+func TestIdealFastest(t *testing.T) {
+	base, err := Run(quickSpec("fotonik3d", core.PolicyAtCommit, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Run(quickSpec("fotonik3d", core.PolicyIdeal, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.CPU.Cycles > base.CPU.Cycles {
+		t.Fatalf("ideal (%d cycles) should not lose to at-commit (%d)",
+			ideal.CPU.Cycles, base.CPU.Cycles)
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	if _, err := Run(quickSpec("nonesuch", core.PolicyAtCommit, 56)); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestUnknownCoreErrors(t *testing.T) {
+	spec := quickSpec("gcc", core.PolicyAtCommit, 56)
+	spec.CoreName = "EPYC"
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown core name should error")
+	}
+}
+
+func TestTableIICoreRuns(t *testing.T) {
+	spec := quickSpec("gcc", core.PolicyAtCommit, 16)
+	spec.CoreName = "SLM"
+	spec.Insts = 20_000
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Committed != 20_000 {
+		t.Fatalf("committed %d, want 20000", res.CPU.Committed)
+	}
+}
+
+func TestMultiCoreRun(t *testing.T) {
+	spec := RunSpec{
+		Workload: "dedup", Policy: core.PolicySPB, SQSize: 14,
+		Prefetcher: config.PrefetchStream, Cores: 4, Insts: 15_000,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Committed != 4*15_000 {
+		t.Fatalf("committed %d, want %d", res.CPU.Committed, 4*15_000)
+	}
+	if res.Mem.Invalidations == 0 {
+		t.Fatal("a shared-region PARSEC run should produce invalidations")
+	}
+}
+
+func TestSPFNeverUsedDerivation(t *testing.T) {
+	m := MemStats{SPFIssued: 100, SPFDiscarded: 40, SPFSuccessful: 30, SPFLate: 10, SPFEarly: 5}
+	if m.SPFNeverUsed() != 15 {
+		t.Fatalf("SPFNeverUsed = %d, want 15", m.SPFNeverUsed())
+	}
+	m.SPFDiscarded = 80
+	if m.SPFNeverUsed() != 0 {
+		t.Fatal("SPFNeverUsed must clamp at zero")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner()
+	spec := quickSpec("leela", core.PolicyAtCommit, 56)
+	spec.Insts = 20_000
+	a, err := r.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU != b.CPU {
+		t.Fatal("memoized result should be identical")
+	}
+}
+
+func TestRunnerGetAllOrder(t *testing.T) {
+	r := NewRunner()
+	specs := []RunSpec{
+		quickSpec("leela", core.PolicyAtCommit, 56),
+		quickSpec("leela", core.PolicySPB, 56),
+		quickSpec("leela", core.PolicyIdeal, 56),
+	}
+	for i := range specs {
+		specs[i].Insts = 20_000
+	}
+	results, err := r.GetAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		if res.Spec.Policy != specs[i].Policy {
+			t.Fatal("results out of order")
+		}
+	}
+}
+
+func TestRunnerGetAllPropagatesError(t *testing.T) {
+	r := NewRunner()
+	_, err := r.GetAll([]RunSpec{quickSpec("bogus", core.PolicyAtCommit, 56)})
+	if err == nil {
+		t.Fatal("error should propagate from GetAll")
+	}
+}

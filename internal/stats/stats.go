@@ -1,0 +1,122 @@
+// Package stats implements the statistics registry used by every simulator
+// component. Counters are registered by name into a Set; components keep the
+// returned *Counter and bump it on the hot path (a single integer add), while
+// reporting code walks the Set in registration order, takes snapshots, and
+// merges per-core sets into system totals.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Reset zeroes the counter. Used when discarding warm-up statistics.
+func (c *Counter) Reset() { c.v = 0 }
+
+// Set is an ordered collection of named counters.
+type Set struct {
+	order    []string
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty statistics set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Names are conventionally dotted paths such as "cpu.sbStallCycles".
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Get returns the counter registered under name, or nil if absent.
+func (s *Set) Get(name string) *Counter {
+	return s.counters[name]
+}
+
+// Value returns the value of the named counter, or zero if absent.
+func (s *Set) Value(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
+
+// Names returns the registered counter names in registration order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// ResetAll zeroes every counter in the set, preserving registrations.
+// Called at the end of the warm-up phase so that reported statistics cover
+// only the region of interest.
+func (s *Set) ResetAll() {
+	for _, c := range s.counters {
+		c.v = 0
+	}
+}
+
+// Snapshot returns a copy of all counter values keyed by name.
+func (s *Set) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.v
+	}
+	return out
+}
+
+// MergeInto adds every counter in s into dst, creating counters in dst as
+// needed. Used to aggregate per-core sets into a system-wide view.
+func (s *Set) MergeInto(dst *Set) {
+	for _, name := range s.order {
+		dst.Counter(name).Add(s.counters[name].v)
+	}
+}
+
+// Ratio returns num/den as a float, or 0 when the denominator is zero.
+func (s *Set) Ratio(num, den string) float64 {
+	d := s.Value(den)
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Value(num)) / float64(d)
+}
+
+// String renders the set as "name = value" lines sorted by name, which keeps
+// diffs of simulator output stable across runs.
+func (s *Set) String() string {
+	names := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", name, s.counters[name].v)
+	}
+	return b.String()
+}

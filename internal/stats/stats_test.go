@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after Reset = %d, want 0", c.Value())
+	}
+}
+
+func TestSetCounterIdentity(t *testing.T) {
+	s := NewSet()
+	a := s.Counter("x")
+	b := s.Counter("x")
+	if a != b {
+		t.Fatal("Counter should return the same pointer for the same name")
+	}
+	a.Add(3)
+	if s.Value("x") != 3 {
+		t.Fatalf("Value(x) = %d, want 3", s.Value("x"))
+	}
+}
+
+func TestSetGetAbsent(t *testing.T) {
+	s := NewSet()
+	if s.Get("missing") != nil {
+		t.Error("Get of unregistered counter should be nil")
+	}
+	if s.Value("missing") != 0 {
+		t.Error("Value of unregistered counter should be 0")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	s := NewSet()
+	s.Counter("b")
+	s.Counter("a")
+	s.Counter("c")
+	s.Counter("a") // re-registration must not duplicate
+	got := s.Names()
+	want := []string{"b", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Add(10)
+	s.Counter("b").Add(20)
+	s.ResetAll()
+	if s.Value("a") != 0 || s.Value("b") != 0 {
+		t.Fatal("ResetAll should zero every counter")
+	}
+	if len(s.Names()) != 2 {
+		t.Fatal("ResetAll should preserve registrations")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Add(1)
+	snap := s.Snapshot()
+	s.Counter("a").Add(1)
+	if snap["a"] != 1 {
+		t.Fatal("Snapshot should not see later updates")
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	a := NewSet()
+	a.Counter("x").Add(2)
+	a.Counter("y").Add(3)
+	b := NewSet()
+	b.Counter("x").Add(5)
+	a.MergeInto(b)
+	if b.Value("x") != 7 || b.Value("y") != 3 {
+		t.Fatalf("merge: x=%d y=%d, want 7 3", b.Value("x"), b.Value("y"))
+	}
+}
+
+func TestMergeIntoAdditive(t *testing.T) {
+	f := func(vals []uint32) bool {
+		a, b := NewSet(), NewSet()
+		var sum uint64
+		for i, v := range vals {
+			if i%2 == 0 {
+				a.Counter("n").Add(uint64(v))
+			} else {
+				b.Counter("n").Add(uint64(v))
+			}
+			sum += uint64(v)
+		}
+		a.MergeInto(b)
+		return b.Value("n") == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	s := NewSet()
+	s.Counter("num").Add(1)
+	s.Counter("den").Add(4)
+	if got := s.Ratio("num", "den"); got != 0.25 {
+		t.Fatalf("Ratio = %v, want 0.25", got)
+	}
+	if s.Ratio("num", "zero") != 0 {
+		t.Fatal("Ratio with zero denominator should be 0")
+	}
+}
+
+func TestStringSortedStable(t *testing.T) {
+	s := NewSet()
+	s.Counter("zeta").Add(1)
+	s.Counter("alpha").Add(2)
+	out := s.String()
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatal("String output should be sorted by name")
+	}
+	if out != s.String() {
+		t.Fatal("String should be deterministic")
+	}
+}

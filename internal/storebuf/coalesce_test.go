@@ -1,0 +1,112 @@
+package storebuf
+
+import (
+	"testing"
+
+	"spb/internal/mem"
+)
+
+func TestCoalesceContiguousStores(t *testing.T) {
+	sb := NewCoalescing(4)
+	s0 := sb.Allocate(0x100, 8, 0)
+	s1 := sb.Allocate(0x108, 8, 0)
+	if s0 != s1 {
+		t.Fatalf("contiguous same-block stores should merge: %d vs %d", s0, s1)
+	}
+	if sb.Len() != 1 {
+		t.Fatalf("merged stores occupy %d entries, want 1", sb.Len())
+	}
+	if sb.Coalesced != 1 {
+		t.Fatalf("Coalesced = %d, want 1", sb.Coalesced)
+	}
+	e, _ := sb.at(s0), struct{}{}
+	if e.Size != 16 {
+		t.Fatalf("merged entry size = %d, want 16", e.Size)
+	}
+}
+
+func TestCoalesceFullBlock(t *testing.T) {
+	sb := NewCoalescing(4)
+	for i := 0; i < 8; i++ {
+		sb.Allocate(mem.Addr(0x200+i*8), 8, 0)
+	}
+	if sb.Len() != 1 {
+		t.Fatalf("a full block of stores should occupy 1 entry, got %d", sb.Len())
+	}
+	if r := sb.Forward(0x200, 8, sb.TailSeq()); r != FullForward {
+		t.Fatal("merged entry must forward any covered load")
+	}
+	if r := sb.Forward(0x238, 8, sb.TailSeq()); r != FullForward {
+		t.Fatal("merged entry must cover its whole range")
+	}
+}
+
+func TestCoalesceStopsAtBlockBoundary(t *testing.T) {
+	sb := NewCoalescing(4)
+	sb.Allocate(0x38, 8, 0) // last 8 bytes of block 0
+	sb.Allocate(0x40, 8, 0) // first 8 bytes of block 1
+	if sb.Len() != 2 {
+		t.Fatalf("cross-block stores must not merge, got %d entries", sb.Len())
+	}
+}
+
+func TestCoalesceSkipsSeniorEntries(t *testing.T) {
+	sb := NewCoalescing(4)
+	s0 := sb.Allocate(0x300, 8, 0)
+	sb.Commit(s0)
+	s1 := sb.Allocate(0x308, 8, 0)
+	if s0 == s1 {
+		t.Fatal("a committed (senior) entry must not absorb new stores (TSO)")
+	}
+}
+
+func TestCoalesceSkipsNonContiguous(t *testing.T) {
+	sb := NewCoalescing(4)
+	sb.Allocate(0x400, 8, 0)
+	sb.Allocate(0x410, 8, 0) // gap of 8 bytes
+	if sb.Len() != 2 {
+		t.Fatal("non-contiguous stores must not merge")
+	}
+}
+
+func TestCoalescedCommitLifecycle(t *testing.T) {
+	sb := NewCoalescing(4)
+	s0 := sb.Allocate(0x500, 8, 0)
+	s1 := sb.Allocate(0x508, 8, 0) // merged: s1 == s0
+	sb.Commit(s0)
+	sb.Commit(s1) // duplicate commit of the merged store: must be a no-op
+	if sb.SeniorLen() != 1 {
+		t.Fatalf("seniors = %d, want 1", sb.SeniorLen())
+	}
+	got := sb.Pop()
+	if got.Size != 16 {
+		t.Fatalf("popped size = %d, want 16", got.Size)
+	}
+	if !sb.Empty() {
+		t.Fatal("buffer should drain")
+	}
+}
+
+func TestPlainBufferNeverCoalesces(t *testing.T) {
+	sb := New(4)
+	sb.Allocate(0x600, 8, 0)
+	sb.Allocate(0x608, 8, 0)
+	if sb.Len() != 2 || sb.Coalesced != 0 {
+		t.Fatal("plain buffer must not merge")
+	}
+}
+
+func TestCoalesceStretchesEffectiveCapacity(t *testing.T) {
+	// 4 entries of coalescing buffer hold 4 blocks = 32 8-byte stores.
+	sb := NewCoalescing(4)
+	for i := 0; i < 32; i++ {
+		a := mem.Addr(0x1000 + i*8)
+		if !sb.CanAccept(a, 8) {
+			t.Fatalf("buffer rejected store %d, coalescing should stretch it", i)
+		}
+		sb.Allocate(a, 8, 0)
+	}
+	if sb.Len() != 4 {
+		t.Fatalf("32 contiguous stores = 4 blocks = %d entries, want 4", sb.Len())
+	}
+}

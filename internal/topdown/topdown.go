@@ -1,0 +1,68 @@
+// Package topdown derives the Intel Top-Down-style metrics the paper's
+// evaluation reads off its simulations: the ratio of stall cycles caused by
+// a full store buffer (Fig. 1), the issue-stall breakdown into SB versus
+// other back-end resources (Fig. 10), and the "execution stalls while L1D
+// misses are pending" memory-boundedness signal (Figs. 14/15).
+package topdown
+
+import "spb/internal/cpu"
+
+// Report is the per-run Top-Down summary.
+type Report struct {
+	Cycles uint64
+
+	// SBStallRatio is the fraction of all cycles stalled on a full SB.
+	SBStallRatio float64
+	// OtherStallRatio is the fraction stalled on ROB/IQ/LQ.
+	OtherStallRatio float64
+	// FrontendStallRatio is the fraction stalled on mispredict refill.
+	FrontendStallRatio float64
+	// ExecStallL1DPendingRatio is the fraction of cycles with dispatch idle
+	// while at least one L1D miss was outstanding.
+	ExecStallL1DPendingRatio float64
+	// MemoryBound classifies the run per the >2% SB-stall criterion the
+	// paper uses to pick its SB-bound application set.
+	SBBound bool
+}
+
+// SBBoundThreshold is the paper's criterion: more than 2% of cycles stalled
+// on the store buffer marks an application SB-bound.
+const SBBoundThreshold = 0.02
+
+// Analyze derives a Report from a core's statistics.
+func Analyze(st *cpu.Stats) Report {
+	r := Report{Cycles: st.Cycles}
+	if st.Cycles == 0 {
+		return r
+	}
+	total := float64(st.Cycles)
+	r.SBStallRatio = float64(st.SBStallCycles) / total
+	r.OtherStallRatio = float64(st.OtherStallCycles()) / total
+	r.FrontendStallRatio = float64(st.FrontendStallCycles) / total
+	r.ExecStallL1DPendingRatio = float64(st.ExecStallL1DPending) / total
+	r.SBBound = r.SBStallRatio > SBBoundThreshold
+	return r
+}
+
+// StallBreakdown is the Fig. 10 decomposition of issue stalls relative to a
+// baseline run: how much of the baseline's stall cycles each configuration
+// keeps, split by source.
+type StallBreakdown struct {
+	SBPart    float64 // this run's SB stalls / baseline total issue stalls
+	OtherPart float64 // this run's other stalls / baseline total issue stalls
+}
+
+// Net returns the combined normalized stall level (1.0 = baseline).
+func (b StallBreakdown) Net() float64 { return b.SBPart + b.OtherPart }
+
+// Breakdown computes the Fig. 10 bars for a run against a baseline.
+func Breakdown(run, baseline *cpu.Stats) StallBreakdown {
+	den := float64(baseline.IssueStallCycles())
+	if den == 0 {
+		return StallBreakdown{}
+	}
+	return StallBreakdown{
+		SBPart:    float64(run.SBStallCycles) / den,
+		OtherPart: float64(run.OtherStallCycles()) / den,
+	}
+}

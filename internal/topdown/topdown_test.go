@@ -1,0 +1,80 @@
+package topdown
+
+import (
+	"testing"
+
+	"spb/internal/cpu"
+)
+
+func TestAnalyzeRatios(t *testing.T) {
+	st := &cpu.Stats{
+		Cycles:              1000,
+		SBStallCycles:       100,
+		ROBStallCycles:      40,
+		IQStallCycles:       10,
+		LQStallCycles:       50,
+		FrontendStallCycles: 30,
+		ExecStallL1DPending: 200,
+	}
+	r := Analyze(st)
+	if r.SBStallRatio != 0.10 {
+		t.Fatalf("SBStallRatio = %v, want 0.10", r.SBStallRatio)
+	}
+	if r.OtherStallRatio != 0.10 {
+		t.Fatalf("OtherStallRatio = %v, want 0.10", r.OtherStallRatio)
+	}
+	if r.FrontendStallRatio != 0.03 {
+		t.Fatalf("FrontendStallRatio = %v, want 0.03", r.FrontendStallRatio)
+	}
+	if r.ExecStallL1DPendingRatio != 0.20 {
+		t.Fatalf("ExecStallL1DPendingRatio = %v, want 0.20", r.ExecStallL1DPendingRatio)
+	}
+	if !r.SBBound {
+		t.Fatal("10% SB stalls is SB-bound (threshold 2%)")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(&cpu.Stats{})
+	if r.SBBound || r.SBStallRatio != 0 {
+		t.Fatal("empty stats must not be SB-bound")
+	}
+}
+
+func TestSBBoundThreshold(t *testing.T) {
+	st := &cpu.Stats{Cycles: 1000, SBStallCycles: 20}
+	if Analyze(st).SBBound {
+		t.Fatal("exactly 2% is not > 2%")
+	}
+	st.SBStallCycles = 21
+	if !Analyze(st).SBBound {
+		t.Fatal("2.1% must be SB-bound")
+	}
+}
+
+func TestBreakdownAgainstBaseline(t *testing.T) {
+	baseline := &cpu.Stats{SBStallCycles: 80, ROBStallCycles: 20} // 100 issue stalls
+	run := &cpu.Stats{SBStallCycles: 20, ROBStallCycles: 30}
+	b := Breakdown(run, baseline)
+	if b.SBPart != 0.20 || b.OtherPart != 0.30 {
+		t.Fatalf("breakdown = %+v, want 0.20/0.30", b)
+	}
+	if b.Net() != 0.50 {
+		t.Fatalf("Net = %v, want 0.50", b.Net())
+	}
+}
+
+func TestBreakdownSelfIsUnity(t *testing.T) {
+	st := &cpu.Stats{SBStallCycles: 70, ROBStallCycles: 10, IQStallCycles: 20}
+	b := Breakdown(st, st)
+	if b.Net() != 1.0 {
+		t.Fatalf("self breakdown Net = %v, want 1", b.Net())
+	}
+}
+
+func TestBreakdownZeroBaseline(t *testing.T) {
+	b := Breakdown(&cpu.Stats{SBStallCycles: 10}, &cpu.Stats{})
+	if b.Net() != 0 {
+		t.Fatal("zero baseline must yield zero breakdown, not a division by zero")
+	}
+}

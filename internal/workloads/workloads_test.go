@@ -1,0 +1,283 @@
+package workloads
+
+import (
+	"testing"
+
+	"spb/internal/mem"
+	"spb/internal/trace"
+)
+
+func TestSPECSuiteComposition(t *testing.T) {
+	ws := SPEC()
+	if len(ws) != 23 {
+		t.Fatalf("SPEC suite has %d workloads, want 23", len(ws))
+	}
+	bound := map[string]bool{}
+	for _, w := range SBBoundSPEC() {
+		bound[w.Name] = true
+	}
+	want := []string{"bwaves", "cactuBSSN", "x264", "blender", "cam4",
+		"deepsjeng", "fotonik3d", "roms"}
+	if len(bound) != len(want) {
+		t.Fatalf("SB-bound set has %d apps, want %d", len(bound), len(want))
+	}
+	for _, n := range want {
+		if !bound[n] {
+			t.Errorf("%s should be SB-bound (paper §V)", n)
+		}
+	}
+}
+
+func TestSPECNamesUniqueAndSorted(t *testing.T) {
+	ws := SPEC()
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1].Name >= ws[i].Name {
+			t.Fatalf("workloads not sorted/unique at %q vs %q", ws[i-1].Name, ws[i].Name)
+		}
+	}
+}
+
+func TestSPECByName(t *testing.T) {
+	w, err := SPECByName("roms")
+	if err != nil || w.Name != "roms" || !w.SBBound {
+		t.Fatalf("SPECByName(roms) = %+v, %v", w, err)
+	}
+	if _, err := SPECByName("nonesuch"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	w, _ := SPECByName("bwaves")
+	a := trace.Collect(w.Build(42), 5000)
+	b := trace.Collect(w.Build(42), 5000)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("collected %d/%d insts", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildSeedsDiffer(t *testing.T) {
+	w, _ := SPECByName("gcc")
+	a := trace.Collect(w.Build(1), 2000)
+	b := trace.Collect(w.Build(2), 2000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds should produce different streams")
+	}
+}
+
+// countKinds tallies the instruction mix of a prefix of the stream.
+func countKinds(r trace.Reader, n int) map[trace.Kind]int {
+	out := map[trace.Kind]int{}
+	var in trace.Inst
+	for i := 0; i < n && r.Next(&in); i++ {
+		out[in.Kind]++
+	}
+	return out
+}
+
+func TestSBBoundWorkloadsHaveStoreBursts(t *testing.T) {
+	for _, w := range SBBoundSPEC() {
+		kinds := countKinds(w.Build(7), 600000)
+		stores := kinds[trace.KindStore]
+		if stores < 4000 {
+			t.Errorf("%s: only %d stores in 600k insts — too few for an SB-bound app", w.Name, stores)
+		}
+	}
+}
+
+func TestNonBoundWorkloadsAreStoreLight(t *testing.T) {
+	for _, name := range []string{"exchange2", "leela", "povray", "namd", "mcf"} {
+		w, err := SPECByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(w.Build(7), 50000)
+		stores := kinds[trace.KindStore]
+		if stores > 10000 {
+			t.Errorf("%s: %d stores in 50k insts — too store-heavy for a non-SB-bound app", name, stores)
+		}
+	}
+}
+
+func TestBurstContiguityOfMemsetApps(t *testing.T) {
+	w, _ := SPECByName("blender") // memset-flavoured
+	r := w.Build(3)
+	var in trace.Inst
+	maxRun, run := 0, 0
+	var prev mem.Addr
+	for i := 0; i < 100000; i++ {
+		if !r.Next(&in) {
+			break
+		}
+		if in.Kind == trace.KindStore && (run == 0 || in.Addr == prev+8) {
+			run++
+			prev = in.Addr
+			if run > maxRun {
+				maxRun = run
+			}
+		} else if in.Kind == trace.KindStore {
+			run = 1
+			prev = in.Addr
+		} else if in.Kind != trace.KindStore {
+			run = 0
+		}
+	}
+	// A blender burst phase covers 4 pages = 2048 contiguous stores.
+	if maxRun < 2000 {
+		t.Fatalf("longest contiguous store run = %d, want >= 2000", maxRun)
+	}
+}
+
+func TestLibraryPCsOnLibraryBursts(t *testing.T) {
+	w, _ := SPECByName("bwaves") // memcpy via libc
+	r := w.Build(5)
+	var in trace.Inst
+	libStores, appStores := 0, 0
+	for i := 0; i < 400000; i++ {
+		if !r.Next(&in) {
+			break
+		}
+		if in.Kind != trace.KindStore {
+			continue
+		}
+		switch trace.RegionOf(in.PC) {
+		case trace.RegionLib:
+			libStores++
+		default:
+			appStores++
+		}
+	}
+	if libStores == 0 {
+		t.Fatal("bwaves bursts should carry library PCs")
+	}
+	w2, _ := SPECByName("deepsjeng") // manual copy loops
+	r2 := w2.Build(5)
+	lib2 := 0
+	for i := 0; i < 400000; i++ {
+		if !r2.Next(&in) {
+			break
+		}
+		if in.Kind == trace.KindStore && trace.RegionOf(in.PC) == trace.RegionLib {
+			lib2++
+		}
+	}
+	if lib2 != 0 {
+		t.Fatal("deepsjeng copies manually; its store PCs must be application PCs")
+	}
+}
+
+func TestClearPageCarriesKernelPCs(t *testing.T) {
+	w, _ := SPECByName("cam4")
+	r := w.Build(5)
+	var in trace.Inst
+	kernel := 0
+	for i := 0; i < 400000; i++ {
+		if !r.Next(&in) {
+			break
+		}
+		if in.Kind == trace.KindStore && trace.RegionOf(in.PC) == trace.RegionKernel {
+			kernel++
+		}
+	}
+	if kernel == 0 {
+		t.Fatal("cam4's clear_page stores must carry kernel PCs")
+	}
+}
+
+func TestPARSECSuiteComposition(t *testing.T) {
+	ps := PARSEC()
+	if len(ps) != 11 {
+		t.Fatalf("PARSEC suite has %d workloads, want 11", len(ps))
+	}
+	boundWant := map[string]bool{"bodytrack": true, "dedup": true, "ferret": true, "x264": true}
+	for _, p := range ps {
+		if p.SBBound != boundWant[p.Name] {
+			t.Errorf("%s SBBound = %v, want %v", p.Name, p.SBBound, boundWant[p.Name])
+		}
+	}
+}
+
+func TestPARSECByName(t *testing.T) {
+	p, err := PARSECByName("dedup")
+	if err != nil || p.Name != "dedup" {
+		t.Fatalf("PARSECByName(dedup) = %+v, %v", p, err)
+	}
+	if _, err := PARSECByName("freqmine"); err == nil {
+		t.Fatal("freqmine is excluded (did not run under gem5)")
+	}
+}
+
+func TestParallelBuildThreadsDisjointPrivate(t *testing.T) {
+	p, _ := PARSECByName("dedup")
+	readers := p.Build(9, 4)
+	if len(readers) != 4 {
+		t.Fatalf("got %d readers, want 4", len(readers))
+	}
+	// Collect memory footprints; private regions must not overlap across
+	// threads, while the shared region appears in several.
+	perThread := make([]map[mem.Page]bool, 4)
+	shared := map[mem.Page]int{}
+	var in trace.Inst
+	for t0 := range readers {
+		perThread[t0] = map[mem.Page]bool{}
+		for i := 0; i < 30000; i++ {
+			if !readers[t0].Next(&in) {
+				break
+			}
+			if !in.Kind.IsMem() {
+				continue
+			}
+			pg := mem.PageOf(in.Addr)
+			if in.Addr >= sharedBase && in.Addr < sharedBase+mem.Addr(sharedSize) {
+				shared[pg]++
+				continue
+			}
+			perThread[t0][pg] = true
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			for pg := range perThread[i] {
+				if perThread[j][pg] {
+					t.Fatalf("threads %d and %d share private page %#x", i, j, pg)
+				}
+			}
+		}
+	}
+	if len(shared) == 0 {
+		t.Fatal("no shared-region traffic found; coherence would be untested")
+	}
+}
+
+func TestParallelBuildPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero threads should panic")
+		}
+	}()
+	p, _ := PARSECByName("vips")
+	p.Build(1, 0)
+}
+
+func TestAllWorkloadsProduceInfiniteStreams(t *testing.T) {
+	for _, w := range SPEC() {
+		r := w.Build(1)
+		var in trace.Inst
+		for i := 0; i < 3000; i++ {
+			if !r.Next(&in) {
+				t.Fatalf("%s stream ended after %d insts", w.Name, i)
+			}
+		}
+	}
+}

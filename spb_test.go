@@ -1,0 +1,73 @@
+package spb
+
+import "testing"
+
+func TestFacadeRun(t *testing.T) {
+	res, err := Run(RunSpec{
+		Workload: "roms",
+		Policy:   PolicySPB,
+		SQSize:   28,
+		Insts:    30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Committed != 30_000 {
+		t.Fatalf("committed %d, want 30000", res.CPU.Committed)
+	}
+}
+
+func TestFacadeDetector(t *testing.T) {
+	d := NewDetector(48, false)
+	if d.WindowN() != 48 {
+		t.Fatal("detector window mismatch")
+	}
+	if DetectorStorageBits != 67 {
+		t.Fatalf("DetectorStorageBits = %d, want 67", DetectorStorageBits)
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	if Skylake().Core.SQSize != 56 {
+		t.Fatal("Skylake SB should be 56 entries")
+	}
+	if len(TableIICores()) != 5 {
+		t.Fatal("Table II lists five cores")
+	}
+}
+
+func TestFacadeSuites(t *testing.T) {
+	if len(SPECWorkloads()) != 23 {
+		t.Fatalf("SPEC suite = %d workloads, want 23", len(SPECWorkloads()))
+	}
+	if len(PARSECWorkloads()) != 11 {
+		t.Fatalf("PARSEC suite = %d workloads, want 11", len(PARSECWorkloads()))
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 21 {
+		t.Fatalf("got %d experiments, want 21", len(ids))
+	}
+	h := NewHarness(Scale{Insts: 10_000, SBBoundOnly: true})
+	tabs, err := h.TableI()
+	if err != nil || len(tabs) == 0 {
+		t.Fatalf("harness TableI failed: %v", err)
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	names := map[Policy]string{
+		PolicyNone:      "none",
+		PolicyAtExecute: "at-execute",
+		PolicyAtCommit:  "at-commit",
+		PolicySPB:       "spb",
+		PolicyIdeal:     "ideal",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Fatalf("policy %d = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
