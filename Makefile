@@ -1,0 +1,17 @@
+.PHONY: check bench test build
+
+# Full pre-merge gate: vet + build + tests + race pass on the concurrent
+# packages.
+check:
+	sh scripts/check.sh
+
+# Record the performance baseline (microbenchmarks + fig5-quick wall clock)
+# into BENCH_core.json.
+bench:
+	sh scripts/bench.sh
+
+test:
+	go test ./...
+
+build:
+	go build ./...

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"spb/internal/core"
+	"spb/internal/prof"
 	"spb/internal/sim"
 	"spb/internal/workloads"
 )
@@ -62,8 +63,18 @@ func main() {
 		cores    = flag.Int("cores", 0, "core count (default: 1 for spec, 8 for parsec)")
 		insts    = flag.Uint64("insts", 200_000, "committed instructions per core")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsweep:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	sbs, err := parseInts(*sbList)
 	if err != nil {

@@ -16,14 +16,17 @@ import (
 	"strings"
 
 	"spb/internal/figures"
+	"spb/internal/prof"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (tableI, fig1, fig5, ... sensN); empty = all")
-		quick = flag.Bool("quick", false, "reduced scale (SB-bound apps only, fewer instructions)")
-		insts = flag.Uint64("insts", 0, "override the per-run instruction budget")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "", "experiment id (tableI, fig1, fig5, ... sensN); empty = all")
+		quick      = flag.Bool("quick", false, "reduced scale (SB-bound apps only, fewer instructions)")
+		insts      = flag.Uint64("insts", 0, "override the per-run instruction budget")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -31,6 +34,13 @@ func main() {
 		fmt.Println(strings.Join(figures.Order, "\n"))
 		return
 	}
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbtables:", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	scale := figures.Full
 	if *quick {
@@ -53,6 +63,7 @@ func main() {
 	for _, id := range ids {
 		tables, err := all[id]()
 		if err != nil {
+			stop()
 			fmt.Fprintf(os.Stderr, "spbtables: %s: %v\n", id, err)
 			os.Exit(1)
 		}

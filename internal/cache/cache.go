@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"spb/internal/mem"
 )
@@ -59,19 +60,56 @@ type Line struct {
 	// PrefetchWrite records that the prefetch requested ownership
 	// (prefetch-exclusive), as the at-commit/at-execute/SPB policies do.
 	PrefetchWrite bool
-	lastUse       uint64
-	valid         bool
+	// gen stamps the cache generation that filled the line; it only backs
+	// Valid() on line copies handed out by Insert/Invalidate. Liveness of a
+	// way inside the array is tracked by the cache's packed tag array.
+	gen uint64
 }
 
-// Valid reports whether the line holds a block.
-func (l *Line) Valid() bool { return l.valid && l.State != Invalid }
+// Valid reports whether the line holds a block. For lines returned by
+// Lookup/Peek (always live) and for victim copies returned by Insert and
+// Invalidate.
+func (l *Line) Valid() bool { return l.gen != 0 && l.State != Invalid }
 
-// Cache is one set-associative cache array.
+// noTag marks an empty way in the packed tag array. No real block reaches it:
+// it would require an address in the top 64 bytes of the address space.
+const noTag = ^mem.Block(0)
+
+// arena is a reusable backing store: the line array plus the parallel packed
+// tag and recency arrays the scans walk, and the last generation stamp.
+// Caches of the same geometry recycle arenas through a pool; a fresh user
+// resets only the tag array (8 bytes per way) and bumps gen, so per-run setup
+// never allocates or zeroes the multi-megabyte line array.
+type arena struct {
+	lines []Line
+	tags  []mem.Block
+	uses  []uint64
+	gen   uint64
+}
+
+var arenaPools sync.Map // line count -> *sync.Pool of *arena
+
+func poolFor(n int) *sync.Pool {
+	if p, ok := arenaPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := arenaPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// Cache is one set-associative cache array. The tag and LRU metadata the
+// hot scans read live in packed parallel arrays (8 bytes per way each), so a
+// whole set's tags fit in one or two hardware cache lines; the full Line
+// records are touched only on a match or a fill.
 type Cache struct {
 	name    string
 	ways    int
 	setMask uint64
-	lines   []Line // sets*ways, set-major
+	lines   []Line      // sets*ways, set-major
+	tags    []mem.Block // block per way; noTag = empty way (authoritative liveness)
+	uses    []uint64    // LRU clocks, parallel to tags
+	ar      *arena      // backing storage, recycled via Release
+	gen     uint64      // stamp written into inserted lines (backs Line.Valid)
 	clock   uint64
 
 	mshrs       int
@@ -95,13 +133,41 @@ func New(name string, sizeBytes, ways, mshrs int) *Cache {
 	if mshrs <= 0 {
 		panic(fmt.Sprintf("cache %s: MSHR count must be positive", name))
 	}
+	var ar *arena
+	if v := poolFor(sets * ways).Get(); v != nil {
+		ar = v.(*arena)
+	} else {
+		n := sets * ways
+		ar = &arena{lines: make([]Line, n), tags: make([]mem.Block, n), uses: make([]uint64, n)}
+	}
+	ar.gen++
+	for i := range ar.tags {
+		ar.tags[i] = noTag
+	}
 	return &Cache{
 		name:    name,
 		ways:    ways,
 		setMask: uint64(sets - 1),
-		lines:   make([]Line, sets*ways),
+		lines:   ar.lines,
+		tags:    ar.tags,
+		uses:    ar.uses,
+		ar:      ar,
+		gen:     ar.gen,
 		mshrs:   mshrs,
 	}
+}
+
+// Release returns the line array to the geometry's shared pool so a later
+// cache can reuse it without reallocating or zeroing. The cache must not be
+// used afterwards. Skipping Release is always safe — the array is simply
+// garbage collected.
+func (c *Cache) Release() {
+	if c.ar == nil {
+		return
+	}
+	poolFor(len(c.ar.lines)).Put(c.ar)
+	c.ar = nil
+	c.lines = nil
 }
 
 // Name returns the cache's configured name.
@@ -113,9 +179,9 @@ func (c *Cache) Sets() int { return len(c.lines) / c.ways }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
-func (c *Cache) setOf(b mem.Block) []Line {
-	idx := (uint64(b) & c.setMask) * uint64(c.ways)
-	return c.lines[idx : idx+uint64(c.ways)]
+// setBase returns the index of b's set's first way in the parallel arrays.
+func (c *Cache) setBase(b mem.Block) uint64 {
+	return (uint64(b) & c.setMask) * uint64(c.ways)
 }
 
 // Lookup performs a tag access for block b and returns the line holding it,
@@ -124,16 +190,16 @@ func (c *Cache) setOf(b mem.Block) []Line {
 // duplicate-prefetch filtering) pass false.
 func (c *Cache) Lookup(b mem.Block, touch bool) *Line {
 	c.TagAccesses++
-	set := c.setOf(b)
-	for i := range set {
-		l := &set[i]
-		if l.Valid() && l.Block == b {
+	base := c.setBase(b)
+	tags := c.tags[base : base+uint64(c.ways)]
+	for i := range tags {
+		if tags[i] == b {
 			if touch {
 				c.clock++
-				l.lastUse = c.clock
+				c.uses[base+uint64(i)] = c.clock
 				c.Hits++
 			}
-			return l
+			return &c.lines[base+uint64(i)]
 		}
 	}
 	if touch {
@@ -145,11 +211,11 @@ func (c *Cache) Lookup(b mem.Block, touch bool) *Line {
 // Peek returns the line holding b without counting a tag access or touching
 // LRU. For invariant checks and directory consistency audits.
 func (c *Cache) Peek(b mem.Block) *Line {
-	set := c.setOf(b)
-	for i := range set {
-		l := &set[i]
-		if l.Valid() && l.Block == b {
-			return l
+	base := c.setBase(b)
+	tags := c.tags[base : base+uint64(c.ways)]
+	for i := range tags {
+		if tags[i] == b {
+			return &c.lines[base+uint64(i)]
 		}
 	}
 	return nil
@@ -160,66 +226,68 @@ func (c *Cache) Peek(b mem.Block) *Line {
 // evicted; the caller handles the writeback if victim.State == Modified.
 // Inserting a block already present updates that line in place instead.
 func (c *Cache) Insert(b mem.Block, st State, readyAt uint64, prefetched, pfWrite bool) (victim Line, evicted bool) {
-	set := c.setOf(b)
+	base := c.setBase(b)
+	tags := c.tags[base : base+uint64(c.ways)]
+	uses := c.uses[base : base+uint64(c.ways)]
 	c.clock++
-	// Already present (e.g. an upgrade miss): update in place.
-	for i := range set {
-		l := &set[i]
-		if l.Valid() && l.Block == b {
+	// One pass over the packed tags finds the matching way (an upgrade
+	// miss: update in place), the first free way, and the LRU victim among
+	// the rest; the line records stay untouched until the way is chosen.
+	free, lru := -1, 0
+	for i := range tags {
+		if tags[i] == b {
+			l := &c.lines[base+uint64(i)]
 			l.State = st
 			if readyAt > l.ReadyAt {
 				l.ReadyAt = readyAt
 			}
 			l.Prefetched = prefetched
 			l.PrefetchWrite = pfWrite
-			l.lastUse = c.clock
+			uses[i] = c.clock
 			return Line{}, false
 		}
-	}
-	// Free way, if any.
-	vi := -1
-	for i := range set {
-		if !set[i].Valid() {
-			vi = i
-			break
-		}
-	}
-	// Otherwise evict LRU.
-	if vi == -1 {
-		vi = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[vi].lastUse {
-				vi = i
+		if free < 0 {
+			if tags[i] == noTag {
+				free = i
+			} else if uses[i] < uses[lru] {
+				lru = i
 			}
 		}
-		victim = set[vi]
+	}
+	vi := free
+	if vi == -1 {
+		vi = lru
+		victim = c.lines[base+uint64(vi)]
 		evicted = true
 		c.Evictions++
 		if victim.State == Modified {
 			c.Writebacks++
 		}
 	}
-	set[vi] = Line{
+	c.lines[base+uint64(vi)] = Line{
 		Block:         b,
 		State:         st,
 		ReadyAt:       readyAt,
 		Prefetched:    prefetched,
 		PrefetchWrite: pfWrite,
-		lastUse:       c.clock,
-		valid:         true,
+		gen:           c.gen,
 	}
+	tags[vi] = b
+	uses[vi] = c.clock
 	return victim, evicted
 }
 
 // Invalidate removes block b, returning the invalidated line and whether it
 // was present (the caller handles a dirty writeback / data transfer).
 func (c *Cache) Invalidate(b mem.Block) (Line, bool) {
-	set := c.setOf(b)
-	for i := range set {
-		l := &set[i]
-		if l.Valid() && l.Block == b {
+	base := c.setBase(b)
+	tags := c.tags[base : base+uint64(c.ways)]
+	for i := range tags {
+		if tags[i] == b {
+			l := &c.lines[base+uint64(i)]
 			old := *l
 			*l = Line{}
+			tags[i] = noTag
 			return old, true
 		}
 	}
@@ -229,10 +297,11 @@ func (c *Cache) Invalidate(b mem.Block) (Line, bool) {
 // Downgrade moves block b to Shared (directory fetched the data for a remote
 // reader). Returns whether the block was present and was dirty.
 func (c *Cache) Downgrade(b mem.Block) (present, wasDirty bool) {
-	set := c.setOf(b)
-	for i := range set {
-		l := &set[i]
-		if l.Valid() && l.Block == b {
+	base := c.setBase(b)
+	tags := c.tags[base : base+uint64(c.ways)]
+	for i := range tags {
+		if tags[i] == b {
+			l := &c.lines[base+uint64(i)]
 			wasDirty = l.State == Modified
 			l.State = Shared
 			return true, wasDirty
@@ -245,6 +314,22 @@ func (c *Cache) Downgrade(b mem.Block) (present, wasDirty bool) {
 func (c *Cache) OutstandingAt(t uint64) int {
 	c.outstanding.expire(t)
 	return c.outstanding.len()
+}
+
+// MaxOutstandingReady returns the latest completion cycle among the misses
+// still in flight at cycle t, or 0 when none are. The event-horizon
+// scheduler uses it to batch "miss pending" stall accounting over a skipped
+// span: cycle u has a miss in flight exactly when u < MaxOutstandingReady(t)
+// (no new misses are issued while the core is idle).
+func (c *Cache) MaxOutstandingReady(t uint64) uint64 {
+	c.outstanding.expire(t)
+	var max uint64
+	for _, v := range c.outstanding.a {
+		if v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // MSHRAvailable returns the cycle at which a miss issued at t can actually
@@ -268,54 +353,68 @@ func (c *Cache) NoteMiss(ready uint64) {
 	c.outstanding.push(ready)
 }
 
-// minHeap is a tiny binary min-heap of ready cycles; capacities are ≤64 so
-// no interface indirection (container/heap) is warranted on this hot path.
+// minHeap tracks the ready cycles of in-flight fills as an unordered array
+// with a cached exact minimum. Capacities are bounded by the MSHR count
+// (≤64), so linear scans beat a binary heap here: the common expire call
+// removes nothing (one compare against the cached minimum), and an expire
+// that does remove work retires a whole batch of completions in a single
+// swap-remove pass instead of one sift-down per element. popMin — needed
+// only when the MSHRs are full — is a linear select of the minimum.
 type minHeap struct {
-	a []uint64
+	a   []uint64
+	min uint64 // exact minimum of a; meaningless when empty
 }
 
 func (h *minHeap) len() int { return len(h.a) }
 
 func (h *minHeap) push(v uint64) {
-	h.a = append(h.a, v)
-	i := len(h.a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.a[p] <= h.a[i] {
-			break
-		}
-		h.a[p], h.a[i] = h.a[i], h.a[p]
-		i = p
+	if len(h.a) == 0 || v < h.min {
+		h.min = v
 	}
+	h.a = append(h.a, v)
 }
 
 func (h *minHeap) popMin() uint64 {
-	v := h.a[0]
+	mi := 0
+	for i, v := range h.a {
+		if v < h.a[mi] {
+			mi = i
+		}
+	}
+	v := h.a[mi]
 	last := len(h.a) - 1
-	h.a[0] = h.a[last]
+	h.a[mi] = h.a[last]
 	h.a = h.a[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && h.a[l] < h.a[small] {
-			small = l
+	if last > 0 {
+		m := h.a[0]
+		for _, x := range h.a[1:] {
+			if x < m {
+				m = x
+			}
 		}
-		if r < last && h.a[r] < h.a[small] {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h.a[i], h.a[small] = h.a[small], h.a[i]
-		i = small
+		h.min = m
 	}
 	return v
 }
 
 // expire drops fills that completed at or before t.
 func (h *minHeap) expire(t uint64) {
-	for len(h.a) > 0 && h.a[0] <= t {
-		h.popMin()
+	if len(h.a) == 0 || h.min > t {
+		return
 	}
+	m := ^uint64(0)
+	for i := 0; i < len(h.a); {
+		v := h.a[i]
+		if v <= t {
+			last := len(h.a) - 1
+			h.a[i] = h.a[last]
+			h.a = h.a[:last]
+			continue // re-examine the element swapped into slot i
+		}
+		if v < m {
+			m = v
+		}
+		i++
+	}
+	h.min = m
 }

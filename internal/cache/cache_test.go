@@ -214,9 +214,13 @@ func TestSetInvariant(t *testing.T) {
 			seen := map[mem.Block]bool{}
 			count := 0
 			for w := 0; w < c.Ways(); w++ {
-				l := &c.lines[s*c.Ways()+w]
-				if !l.Valid() {
+				i := s*c.Ways() + w
+				if c.tags[i] == noTag {
 					continue
+				}
+				l := &c.lines[i]
+				if c.tags[i] != l.Block || l.State == Invalid {
+					return false // tag array out of sync with line record
 				}
 				count++
 				if seen[l.Block] {

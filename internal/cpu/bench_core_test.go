@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"testing"
+
+	"spb/internal/core"
+	"spb/internal/mem"
+	"spb/internal/trace"
+	"spb/internal/workloads"
+)
+
+// The BenchmarkCoreTick family measures the steady-state cost of one core
+// cycle (the simulator's innermost loop) under contrasting workloads. The
+// bench target (scripts/bench.sh) records their results in BENCH_core.json
+// so per-cycle cost is tracked across changes.
+
+// warmTicks runs the core past its cold-start transient (cache fills,
+// ring/heap growth) so the timed region exercises only the steady state.
+const warmTicks = 50_000
+
+func benchTicks(b *testing.B, c *Core) {
+	b.Helper()
+	for i := 0; i < warmTicks; i++ {
+		c.Tick()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+	}
+}
+
+// foreverMemset is an endless memset burst over a small wrapping region:
+// maximal SB pressure, stable working set.
+func foreverMemset(pages int) trace.Reader {
+	reg := trace.NewMemRegion(0x1000_0000, uint64(pages)*mem.PageSize)
+	return trace.Forever(trace.MemsetBurst(reg, uint64(pages)*mem.PageSize, 8, trace.PCLib))()
+}
+
+func BenchmarkCoreTick(b *testing.B) {
+	b.Run("memset-none-sq14", func(b *testing.B) {
+		benchTicks(b, build(core.PolicyNone, 14, foreverMemset(4)))
+	})
+	b.Run("memset-spb-sq28", func(b *testing.B) {
+		benchTicks(b, build(core.PolicySPB, 28, foreverMemset(4)))
+	})
+	b.Run("alu-chain", func(b *testing.B) {
+		benchTicks(b, build(core.PolicyAtCommit, 56,
+			trace.Forever(trace.Compute(trace.NewRNG(3), trace.ComputeOptions{
+				Count: 512, MulFrac: 0.15, DivFrac: 0.02, DepFrac: 0.5,
+				BrFrac: 0.18, MissRate: 0.03, PC: trace.PCApp,
+			}))()))
+	})
+	b.Run("roms-spb-sq28", func(b *testing.B) {
+		w, err := workloads.SPECByName("roms")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTicks(b, build(core.PolicySPB, 28, w.Build(7)))
+	})
+}
+
+// BenchmarkCoreTickRun measures whole short runs (Run includes the
+// event-horizon fast-forward path that a bare Tick loop never takes).
+func BenchmarkCoreTickRun(b *testing.B) {
+	w, err := workloads.SPECByName("roms")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := build(core.PolicySPB, 28, trace.Limit(20_000, w.Build(uint64(i))))
+		if err := c.Run(20_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCoreSteadyStateZeroAllocs guards the tentpole's allocation-free claim:
+// once warm, ticking the core (dispatch, SB drain, cache fills, directory
+// updates, occupancy tracking) allocates nothing per simulated instruction.
+func TestCoreSteadyStateZeroAllocs(t *testing.T) {
+	c := build(core.PolicySPB, 28, foreverMemset(4))
+	for i := 0; i < 200_000; i++ {
+		c.Tick()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 1_000; i++ {
+			c.Tick()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state core loop allocates: %.2f allocs per 1000 ticks", avg)
+	}
+}

@@ -15,6 +15,8 @@ package cpu
 
 import (
 	"fmt"
+	"math"
+	"slices"
 
 	"spb/internal/bpred"
 	"spb/internal/config"
@@ -150,6 +152,14 @@ type Core struct {
 	headReadyAt  uint64
 	headRetries  int
 
+	// noFF disables the event-horizon fast forward in Run.
+	noFF bool
+	// idle records whether the last Tick committed, performed or dispatched
+	// nothing. Only such ticks can start a dead span, so Run (and the
+	// multi-core lock-step loop) consult NextEventCycle only after them,
+	// keeping the fast forward free on busy cycles.
+	idle bool
+
 	// Recent addresses for wrong-path traffic synthesis.
 	lastLoadAddr  mem.Addr
 	lastStoreAddr mem.Addr
@@ -171,6 +181,11 @@ type Options struct {
 	// UseBranchPredictor replaces the trace's statistical mispredict flags
 	// with a modelled gshare + BTB front end (Table I's predictor class).
 	UseBranchPredictor bool
+	// DisableFastForward forces Run into the cycle-by-cycle reference loop
+	// instead of skipping provably dead cycles (see NextEventCycle). The two
+	// modes produce bit-identical statistics; the knob exists for the
+	// equivalence test and for debugging.
+	DisableFastForward bool
 }
 
 // New builds a core running the given policy over the instruction stream.
@@ -221,6 +236,7 @@ func NewWithOptions(cfg config.CoreConfig, policy core.Policy, spbCfg config.SPB
 	if opts.UseBranchPredictor {
 		c.bp = bpred.New(bpred.TableI())
 	}
+	c.noFF = opts.DisableFastForward
 	return c
 }
 
@@ -247,18 +263,32 @@ func (c *Core) Done() bool {
 
 // Tick advances the core by one cycle: commit, SB drain, then dispatch.
 func (c *Core) Tick() {
+	com0, perf0 := c.St.Committed, c.St.StoresPerformed
 	c.commitStage()
 	c.drainSB()
 	dispatched := c.dispatchStage()
 	if dispatched == 0 && !c.Done() && c.port.OutstandingL1Misses(c.cycle) > 0 {
 		c.St.ExecStallL1DPending++
 	}
+	c.idle = dispatched == 0 && c.St.Committed == com0 && c.St.StoresPerformed == perf0
 	c.cycle++
 	c.St.Cycles = c.cycle
 }
 
+// IdleTick reports whether the previous Tick made no progress (no commit, no
+// store performed, no dispatch). It is a cheap pre-filter for NextEventCycle:
+// a busy tick is usually followed by another busy cycle, so callers skip the
+// event-horizon computation after it. Skipping less is always safe.
+func (c *Core) IdleTick() bool { return c.idle }
+
 // Run executes until n instructions have committed (or the trace ends) and
 // the machine has drained. It returns an error if the core livelocks.
+//
+// Unless Options.DisableFastForward is set, Run skips provably dead cycles:
+// after each Tick it asks NextEventCycle for the first cycle at which the
+// core could act again and jumps straight there with SkipTo, batching the
+// stall counters for the skipped span. Statistics are bit-identical to the
+// cycle-by-cycle loop.
 func (c *Core) Run(n uint64) error {
 	limit := c.cycle + n*1000 + 1_000_000
 	for c.St.Committed < n && !c.Done() {
@@ -267,8 +297,165 @@ func (c *Core) Run(n uint64) error {
 			return fmt.Errorf("cpu: no forward progress after %d cycles (%d/%d committed)",
 				c.cycle, c.St.Committed, n)
 		}
+		if c.noFF || !c.idle || c.St.Committed >= n || c.Done() {
+			continue
+		}
+		if t := c.NextEventCycle(); t > c.cycle {
+			c.SkipTo(t)
+		}
 	}
 	return nil
+}
+
+// dispatchBlock classifies why the dispatch stage cannot make progress,
+// mirroring the cause chain of dispatchStage exactly (the attribution order
+// is part of the paper's stall taxonomy).
+type dispatchBlock int
+
+const (
+	// dispatchReady: the pending instruction would dispatch next Tick.
+	dispatchReady dispatchBlock = iota
+	blockFrontend
+	blockROB
+	blockSB
+	blockLQ
+	blockIQ
+)
+
+// dispatchBlockAt evaluates the dispatch cause chain for the pending
+// instruction at cycle t. It returns the blocking cause and the cycle at
+// which that cause could lift on its own. Causes released by commit or SB
+// drain (ROB full, SB full) return math.MaxUint64: the commit and drain
+// events bound the skip instead. Callers must ensure havePending.
+func (c *Core) dispatchBlockAt(t uint64) (dispatchBlock, uint64) {
+	if t < c.fetchReadyAt {
+		return blockFrontend, c.fetchReadyAt
+	}
+	if c.robCount == len(c.rob) {
+		return blockROB, math.MaxUint64
+	}
+	in := &c.pending
+	if in.Kind == trace.KindStore && !c.sb.CanAccept(in.Addr, in.Size) {
+		return blockSB, math.MaxUint64
+	}
+	if in.Kind == trace.KindLoad && c.lq.occupancy(t) >= c.cfg.LQSize {
+		return blockLQ, c.lq.releaseCycle(c.cfg.LQSize)
+	}
+	if c.iq.occupancy(t) >= c.cfg.IQSize {
+		return blockIQ, c.iq.releaseCycle(c.cfg.IQSize)
+	}
+	return dispatchReady, t
+}
+
+// NextEventCycle returns the earliest cycle at or after the current one at
+// which the core could commit, drain a store, dispatch, or otherwise change
+// architectural or statistical state. A return value equal to the current
+// cycle means the next Tick may act and nothing can be skipped; a larger
+// value means every cycle strictly before it is dead (the event horizon) and
+// can be jumped over with SkipTo without changing any statistic.
+func (c *Core) NextEventCycle() uint64 {
+	now := c.cycle
+	next := uint64(math.MaxUint64)
+
+	// Commit: the ROB head retires the moment its completion cycle arrives;
+	// younger entries cannot retire before it (in-order commit).
+	if c.robCount > 0 {
+		d := c.rob[c.robHead].doneAt
+		if d <= now {
+			return now
+		}
+		next = d
+	}
+
+	// SB drain: a senior head either performs when its fill completes, or —
+	// if the block was stolen after the grant — retries one cycle past the
+	// recorded fill time. An unacquired head issues its request next Tick.
+	if e, ok := c.sb.Head(); ok {
+		if !c.headAcquired || c.headSeq != e.Seq {
+			return now
+		}
+		ev := c.headReadyAt + 1 // retry / force-perform path
+		if r, writable := c.port.WritableReadyCycle(e.Addr); writable && r < ev {
+			ev = r // the store performs the moment the fill completes
+		}
+		if ev <= now {
+			return now
+		}
+		if ev < next {
+			next = ev
+		}
+	}
+
+	// Dispatch: with no pending instruction and trace remaining, the next
+	// Tick pulls from the reader (an action). With a pending instruction the
+	// blocking cause is constant over the dead span, and its lift cycle —
+	// where one is not already bounded by the commit/drain events above —
+	// caps the skip.
+	if c.havePending || !c.traceDone {
+		if !c.havePending {
+			return now
+		}
+		cause, lift := c.dispatchBlockAt(now)
+		if cause == dispatchReady {
+			return now
+		}
+		if lift < next {
+			next = lift
+		}
+	}
+
+	if next == math.MaxUint64 {
+		return now
+	}
+	return next
+}
+
+// SkipTo advances the core from its current cycle straight to target,
+// charging every counter the cycle-by-cycle loop would have charged for the
+// skipped span. It must only be called with a target obtained from
+// NextEventCycle (every cycle in [current, target) is dead).
+func (c *Core) SkipTo(target uint64) {
+	now := c.cycle
+	if target <= now {
+		return
+	}
+	span := target - now
+
+	// Dispatch-stall attribution: the blocking cause cannot change inside a
+	// dead span (nothing commits, drains, or dispatches), so each skipped
+	// cycle charges the same counter the reference loop would have. With the
+	// trace exhausted and nothing pending, the reference loop charges no
+	// dispatch-stall counter at all.
+	if c.havePending {
+		cause, _ := c.dispatchBlockAt(now)
+		switch cause {
+		case blockFrontend:
+			c.St.FrontendStallCycles += span
+		case blockROB:
+			c.St.ROBStallCycles += span
+		case blockSB:
+			c.St.SBStallCycles += span
+			c.attributeSBStall(span)
+		case blockLQ:
+			c.St.LQStallCycles += span
+		case blockIQ:
+			c.St.IQStallCycles += span
+		}
+	}
+
+	// ExecStallL1DPending: a skipped cycle t counts when at least one L1D
+	// miss is still in flight, i.e. while t is before the latest outstanding
+	// fill completion. No new misses are issued during a dead span.
+	if maxReady := c.port.MaxOutstandingL1Ready(now); maxReady > now {
+		pend := maxReady - now
+		if pend > span {
+			pend = span
+		}
+		c.St.ExecStallL1DPending += pend
+	}
+
+	c.cycle = target
+	c.St.Cycles = target
 }
 
 func (c *Core) commitStage() {
@@ -388,7 +575,7 @@ func (c *Core) dispatchStage() int {
 		if in.Kind == trace.KindStore && !c.sb.CanAccept(in.Addr, in.Size) {
 			if dispatched == 0 {
 				c.St.SBStallCycles++
-				c.attributeSBStall()
+				c.attributeSBStall(1)
 			}
 			break
 		}
@@ -411,22 +598,23 @@ func (c *Core) dispatchStage() int {
 	return dispatched
 }
 
-// attributeSBStall charges the stall to the code region of the store
-// blocking the head of the SB (Fig. 3).
-func (c *Core) attributeSBStall() {
+// attributeSBStall charges n stall cycles to the code region of the store
+// blocking the head of the SB (Fig. 3). n > 1 batches a fast-forwarded span
+// during which the blocking store cannot change.
+func (c *Core) attributeSBStall(n uint64) {
 	e, ok := c.sb.Head()
 	if !ok {
 		// Buffer full of junior stores: blame the oldest one.
-		c.St.SBStallApp++
+		c.St.SBStallApp += n
 		return
 	}
 	switch trace.RegionOf(e.PC) {
 	case trace.RegionLib:
-		c.St.SBStallLib++
+		c.St.SBStallLib += n
 	case trace.RegionKernel:
-		c.St.SBStallKernel++
+		c.St.SBStallKernel += n
 	default:
-		c.St.SBStallApp++
+		c.St.SBStallApp += n
 	}
 }
 
@@ -571,47 +759,132 @@ func (c *Core) resolveMispredict(resolveAt uint64) {
 	}
 }
 
-// occHeap tracks structure occupancy as a min-heap of release cycles.
+// occHeap tracks structure occupancy (IQ, LQ) as a calendar queue: a ring of
+// per-cycle release counts covering the next occWindow cycles, with a tiny
+// overflow min-heap for the rare release beyond the window. Queries arrive
+// with nondecreasing cycles, so expiry is a cursor sweep over the ring —
+// sequential, branch-predictable work instead of the pointer-chasing sift of
+// a binary heap, which profiling showed at ~18% of simulation time.
 type occHeap struct {
-	a []uint64
+	buckets []uint16 // buckets[c&(occWindow-1)] = entries releasing at cycle c
+	cursor  uint64   // every release < cursor has been expired
+	count   int      // live entries (ring + far)
+	far     []uint64 // min-heap of releases >= cursor+occWindow
+	scratch []uint64 // releaseCycle workspace, reused to stay alloc-free
 }
 
+// occWindow is the ring span in cycles; must be a power of two. Completion
+// times beyond it (deep MSHR/DRAM queuing) spill into the far heap.
+const occWindow = 1024
+
 func (h *occHeap) add(release uint64) {
-	h.a = append(h.a, release)
-	i := len(h.a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.a[p] <= h.a[i] {
+	if release < h.cursor {
+		return // already expired for every future query
+	}
+	if h.buckets == nil {
+		h.buckets = make([]uint16, occWindow)
+	}
+	if release-h.cursor >= occWindow {
+		h.farPush(release)
+	} else {
+		h.buckets[release&(occWindow-1)]++
+	}
+	h.count++
+}
+
+// occupancy expires entries released at or before t and returns the count
+// still held. The common case — same cycle as the last query, nothing to
+// expire — is a single compare, kept small enough to inline.
+func (h *occHeap) occupancy(t uint64) int {
+	if t < h.cursor {
+		return h.count
+	}
+	return h.expireSlow(t)
+}
+
+func (h *occHeap) expireSlow(t uint64) int {
+	for h.cursor <= t {
+		if h.count == 0 {
+			// Every bucket is zero already; skip the rest of the span.
+			h.cursor = t + 1
+			return 0
+		}
+		i := h.cursor & (occWindow - 1)
+		if n := h.buckets[i]; n != 0 {
+			h.count -= int(n)
+			h.buckets[i] = 0
+		}
+		h.cursor++
+	}
+	// Expired far entries leave; ones now inside the window join the ring.
+	for len(h.far) > 0 {
+		m := h.far[0]
+		if m <= t {
+			h.farPop()
+			h.count--
+		} else if m-h.cursor < occWindow {
+			h.farPop()
+			h.buckets[m&(occWindow-1)]++
+		} else {
 			break
 		}
-		h.a[p], h.a[i] = h.a[i], h.a[p]
+	}
+	return h.count
+}
+
+// releaseCycle returns the first cycle at which fewer than threshold entries
+// remain held, assuming occupancy(t) >= threshold was just evaluated (so
+// every entry is unexpired). That is the k-th smallest release cycle with
+// k = count - threshold + 1; because entries are only added while occupancy
+// is below the threshold, k is 1 in practice and the first occupied bucket
+// answers.
+func (h *occHeap) releaseCycle(threshold int) uint64 {
+	k := h.count - threshold + 1
+	for c := h.cursor; c < h.cursor+occWindow; c++ {
+		if n := int(h.buckets[c&(occWindow-1)]); n != 0 {
+			k -= n
+			if k <= 0 {
+				return c
+			}
+		}
+	}
+	// The k-th smallest lies beyond the window, among the far releases.
+	h.scratch = append(h.scratch[:0], h.far...)
+	slices.Sort(h.scratch)
+	return h.scratch[k-1]
+}
+
+func (h *occHeap) farPush(v uint64) {
+	h.far = append(h.far, v)
+	i := len(h.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.far[p] <= h.far[i] {
+			break
+		}
+		h.far[p], h.far[i] = h.far[i], h.far[p]
 		i = p
 	}
 }
 
-// occupancy expires entries released at or before t and returns the count
-// still held.
-func (h *occHeap) occupancy(t uint64) int {
-	for len(h.a) > 0 && h.a[0] <= t {
-		last := len(h.a) - 1
-		h.a[0] = h.a[last]
-		h.a = h.a[:last]
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			small := i
-			if l < last && h.a[l] < h.a[small] {
-				small = l
-			}
-			if r < last && h.a[r] < h.a[small] {
-				small = r
-			}
-			if small == i {
-				break
-			}
-			h.a[i], h.a[small] = h.a[small], h.a[i]
-			i = small
+func (h *occHeap) farPop() {
+	last := len(h.far) - 1
+	h.far[0] = h.far[last]
+	h.far = h.far[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.far[l] < h.far[small] {
+			small = l
 		}
+		if r < last && h.far[r] < h.far[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.far[i], h.far[small] = h.far[small], h.far[i]
+		i = small
 	}
-	return len(h.a)
 }

@@ -1,0 +1,100 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+
+	"spb/internal/mem"
+)
+
+// TestDirTableMatchesMap drives the open-addressing table and a plain Go map
+// through the same randomized op sequence (lookup / insert-or-update /
+// delete over a small, collision-heavy block space) and requires identical
+// contents after every op. This is the safety net under the tentpole's
+// map[mem.Block]*dirEntry replacement: backward-shift deletion, shard
+// growth and generation recycling must all preserve map semantics.
+func TestDirTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 4; round++ {
+		tab := newDirTable()
+		ref := map[mem.Block]dirEntry{}
+		// Small block space forces long probe runs and frequent
+		// delete-in-run cases; enough inserts to trigger shard growth.
+		const blocks = 1 << 14
+		for op := 0; op < 200_000; op++ {
+			b := mem.Block(rng.Intn(blocks))
+			switch rng.Intn(4) {
+			case 0: // lookup
+				e := tab.get(b)
+				re, ok := ref[b]
+				if (e != nil) != ok {
+					t.Fatalf("round %d op %d: get(%d) present=%v, map present=%v", round, op, b, e != nil, ok)
+				}
+				if ok && *e != re {
+					t.Fatalf("round %d op %d: get(%d) = %+v, map has %+v", round, op, b, *e, re)
+				}
+			case 1, 2: // insert or mutate
+				e := tab.getOrCreate(b)
+				re, ok := ref[b]
+				if !ok {
+					re = dirEntry{owner: -1}
+				}
+				if *e != re {
+					t.Fatalf("round %d op %d: getOrCreate(%d) = %+v, map has %+v", round, op, b, *e, re)
+				}
+				e.owner = int8(rng.Intn(8))
+				e.sharers = rng.Uint64()
+				ref[b] = *e
+			case 3: // delete
+				tab.delete(b)
+				delete(ref, b)
+			}
+		}
+		if tab.len() != len(ref) {
+			t.Fatalf("round %d: table len %d, map len %d", round, tab.len(), len(ref))
+		}
+		seen := 0
+		tab.forEach(func(b mem.Block, e *dirEntry) bool {
+			re, ok := ref[b]
+			if !ok || *e != re {
+				t.Fatalf("round %d: forEach found %d=%+v, map has %+v (present=%v)", round, b, *e, re, ok)
+			}
+			seen++
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("round %d: forEach visited %d entries, want %d", round, seen, len(ref))
+		}
+		// Recycle through the pool so the next round exercises the
+		// generation-bump emptying path on grown shards.
+		tab.release()
+	}
+}
+
+// TestDirTableLookupZeroAllocs guards the table's allocation-free steady
+// state: once the shards have grown to fit the working set, neither hits,
+// misses, inserts of recycled blocks, nor deletes allocate.
+func TestDirTableLookupZeroAllocs(t *testing.T) {
+	tab := newDirTable()
+	const blocks = 1 << 12
+	for b := 0; b < blocks; b++ {
+		e := tab.getOrCreate(mem.Block(b))
+		e.owner = 0
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		for k := 0; k < 256; k++ {
+			b := mem.Block(i % blocks)
+			if tab.get(b) == nil {
+				t.Fatal("present block missed")
+			}
+			tab.get(mem.Block(blocks + i)) // guaranteed miss
+			tab.delete(b)
+			tab.getOrCreate(b).owner = 1
+			i++
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("dirTable steady state allocates: %.2f allocs per 256-op batch", avg)
+	}
+}

@@ -38,7 +38,7 @@ type System struct {
 	cfg   config.MachineConfig
 	l3    *cache.Cache
 	dram  *dram.DRAM
-	dir   map[mem.Block]*dirEntry
+	dir   *dirTable
 	ports []*Port
 
 	// Traffic counters for the shared fabric.
@@ -57,7 +57,7 @@ func New(cfg config.MachineConfig, n int) *System {
 		cfg:  cfg,
 		l3:   cache.New("L3", cfg.L3.SizeBytes, cfg.L3.Ways, cfg.L3.MSHRs),
 		dram: dram.New(cfg.DRAM.LatencyCyc, cfg.DRAM.CyclesPerBlock, cfg.DRAM.MaxOutstanding),
-		dir:  make(map[mem.Block]*dirEntry, 1<<16),
+		dir:  newDirTable(),
 	}
 	for i := 0; i < n; i++ {
 		s.ports = append(s.ports, &Port{
@@ -73,6 +73,24 @@ func New(cfg config.MachineConfig, n int) *System {
 	return s
 }
 
+// Release returns the System's large arrays — every cache's line arena, the
+// directory table and the recent-eviction sets — to internal pools so the
+// next System constructed with the same geometry reuses them instead of
+// allocating afresh. Call it when a simulation run is finished with the
+// System; using the System afterwards is a bug. Skipping Release only
+// forfeits the reuse.
+func (s *System) Release() {
+	s.l3.Release()
+	for _, p := range s.ports {
+		p.l1.Release()
+		p.l2.Release()
+		p.evictedPF.release()
+		p.victimsOfPF.release()
+	}
+	s.dir.release()
+	s.dir = nil
+}
+
 // Port returns core i's private port.
 func (s *System) Port(i int) *Port { return s.ports[i] }
 
@@ -85,21 +103,19 @@ func (s *System) L3() *cache.Cache { return s.l3 }
 // DRAM exposes the memory model for statistics reporting.
 func (s *System) DRAM() *dram.DRAM { return s.dram }
 
+// dirOf returns b's directory entry, creating an ownerless one if absent.
+// The pointer is invalidated by any later insert or delete on the directory
+// (notably l3Fill); callers that fill the L3 re-fetch afterwards.
 func (s *System) dirOf(b mem.Block) *dirEntry {
-	e, ok := s.dir[b]
-	if !ok {
-		e = &dirEntry{owner: -1}
-		s.dir[b] = e
-	}
-	return e
+	return s.dir.getOrCreate(b)
 }
 
 // invalidateOthers removes every copy of b held by cores other than
 // requester, returning the added latency and whether a remote dirty copy
 // supplied the data.
 func (s *System) invalidateOthers(b mem.Block, requester int, t uint64) (extra uint64, dirtyForward bool) {
-	e, ok := s.dir[b]
-	if !ok {
+	e := s.dir.get(b)
+	if e == nil {
 		return 0, false
 	}
 	if e.owner >= 0 && int(e.owner) != requester {
@@ -135,8 +151,8 @@ func (s *System) invalidateOthers(b mem.Block, requester int, t uint64) (extra u
 // downgradeOwner converts a remote exclusive/modified copy to shared so the
 // requester can read, returning the added latency.
 func (s *System) downgradeOwner(b mem.Block, requester int, t uint64) (extra uint64) {
-	e, ok := s.dir[b]
-	if !ok || e.owner < 0 || int(e.owner) == requester {
+	e := s.dir.get(b)
+	if e == nil || e.owner < 0 || int(e.owner) == requester {
 		return 0
 	}
 	p := s.ports[e.owner]
@@ -160,7 +176,7 @@ func (s *System) l3Fill(b mem.Block, st cache.State, ready uint64) {
 		s.WritebacksL3++
 	}
 	// Inclusion: no private cache may keep a block the L3 dropped.
-	if e, ok := s.dir[victim.Block]; ok {
+	if e := s.dir.get(victim.Block); e != nil {
 		for c := range s.ports {
 			if int(e.owner) == c || e.sharers&(1<<uint(c)) != 0 {
 				p := s.ports[c]
@@ -173,7 +189,7 @@ func (s *System) l3Fill(b mem.Block, st cache.State, ready uint64) {
 				s.BackInvals++
 			}
 		}
-		delete(s.dir, victim.Block)
+		s.dir.delete(victim.Block)
 	}
 }
 
@@ -232,9 +248,11 @@ func (s *System) readExclusive(b mem.Block, requester int, t uint64) (done uint6
 // have no foreign sharers, and no two cores may hold the same block in a
 // writable state. It returns the first violation found, or nil.
 func (s *System) CheckCoherence() error {
-	for b, e := range s.dir {
+	var err error
+	s.dir.forEach(func(b mem.Block, e *dirEntry) bool {
 		if e.owner >= 0 && e.sharers&^(1<<uint(e.owner)) != 0 {
-			return fmt.Errorf("memsys: block %#x has owner %d and sharers %#x", b, e.owner, e.sharers)
+			err = fmt.Errorf("memsys: block %#x has owner %d and sharers %#x", b, e.owner, e.sharers)
+			return false
 		}
 		writable := 0
 		for _, p := range s.ports {
@@ -243,8 +261,10 @@ func (s *System) CheckCoherence() error {
 			}
 		}
 		if writable > 1 {
-			return fmt.Errorf("memsys: block %#x writable in %d L1 caches", b, writable)
+			err = fmt.Errorf("memsys: block %#x writable in %d L1 caches", b, writable)
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return err
 }

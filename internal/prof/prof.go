@@ -1,0 +1,51 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command-line tools. Both spbtables and spbsweep accept -cpuprofile and
+// -memprofile flags; the resulting files feed `go tool pprof` directly.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (if non-empty) and returns a stop
+// function that ends the CPU profile and, if memFile is non-empty, writes a
+// heap profile after a final GC. The stop function is idempotent.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

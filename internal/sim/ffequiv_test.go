@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/workloads"
+)
+
+// assertFFEquivalent runs spec with the event-horizon fast forward on and
+// off and requires every statistic — CPU counters, memory-system counters,
+// energy, Top-Down — to be bit-identical. This is the DESIGN.md determinism
+// invariant extended to the optimized path: fast-forwarding may only skip
+// cycles it can prove dead.
+func assertFFEquivalent(t *testing.T, spec RunSpec) {
+	t.Helper()
+	spec.DisableFastForward = false
+	fast, err := Run(spec)
+	if err != nil {
+		t.Fatalf("%+v (fast-forward): %v", spec, err)
+	}
+	spec.DisableFastForward = true
+	ref, err := Run(spec)
+	if err != nil {
+		t.Fatalf("%+v (reference): %v", spec, err)
+	}
+	if !reflect.DeepEqual(fast.CPU, ref.CPU) {
+		t.Errorf("%s/%v: CPU stats diverge\nfast: %+v\nref:  %+v",
+			spec.Workload, spec.Policy, fast.CPU, ref.CPU)
+	}
+	if !reflect.DeepEqual(fast.Mem, ref.Mem) {
+		t.Errorf("%s/%v: memory stats diverge\nfast: %+v\nref:  %+v",
+			spec.Workload, spec.Policy, fast.Mem, ref.Mem)
+	}
+	if !reflect.DeepEqual(fast.Energy, ref.Energy) {
+		t.Errorf("%s/%v: energy diverges", spec.Workload, spec.Policy)
+	}
+	if !reflect.DeepEqual(fast.TD, ref.TD) {
+		t.Errorf("%s/%v: top-down counters diverge\nfast: %+v\nref:  %+v",
+			spec.Workload, spec.Policy, fast.TD, ref.TD)
+	}
+}
+
+// TestFastForwardEquivalenceSPEC covers every SPEC workload under the SPB
+// policy at a small scale, plus every policy (and the tiny-SB stall-heavy
+// configuration) on two representative SB-bound applications.
+func TestFastForwardEquivalenceSPEC(t *testing.T) {
+	for _, w := range workloads.SPEC() {
+		assertFFEquivalent(t, RunSpec{
+			Workload: w.Name, Policy: core.PolicySPB, SQSize: 14, Insts: 4000,
+		})
+	}
+	policies := []core.Policy{
+		core.PolicyNone, core.PolicyAtExecute, core.PolicyAtCommit,
+		core.PolicySPB, core.PolicyIdeal,
+	}
+	for _, w := range []string{"roms", "bwaves"} {
+		for _, p := range policies {
+			assertFFEquivalent(t, RunSpec{
+				Workload: w, Policy: p, SQSize: 14, Insts: 4000,
+			})
+			assertFFEquivalent(t, RunSpec{
+				Workload: w, Policy: p, SQSize: 56, Insts: 4000,
+			})
+		}
+	}
+}
+
+// TestFastForwardEquivalenceVariants covers the ablation knobs that change
+// core behaviour: coalescing SB, modelled branch predictor, generic
+// prefetchers, and alternative Table II cores.
+func TestFastForwardEquivalenceVariants(t *testing.T) {
+	assertFFEquivalent(t, RunSpec{
+		Workload: "cam4", Policy: core.PolicySPB, SQSize: 14, Insts: 4000,
+		CoalesceSB: true,
+	})
+	assertFFEquivalent(t, RunSpec{
+		Workload: "deepsjeng", Policy: core.PolicyAtCommit, SQSize: 14, Insts: 4000,
+		ModelBranchPredictor: true,
+	})
+	assertFFEquivalent(t, RunSpec{
+		Workload: "fotonik3d", Policy: core.PolicySPB, SQSize: 14, Insts: 4000,
+		Prefetcher: config.PrefetchStream,
+	})
+	assertFFEquivalent(t, RunSpec{
+		Workload: "mcf", Policy: core.PolicyNone, SQSize: 56, Insts: 4000,
+		Prefetcher: config.PrefetchAdaptive,
+	})
+	assertFFEquivalent(t, RunSpec{
+		Workload: "x264", Policy: core.PolicySPB, SQSize: 14, Insts: 4000,
+		CoreName: "SLM",
+	})
+}
+
+// TestFastForwardEquivalencePARSEC covers every parallel workload: the
+// multi-core lock-step loop must skip all cores to one coordinated horizon,
+// so coherence interactions replay identically.
+func TestFastForwardEquivalencePARSEC(t *testing.T) {
+	for _, p := range workloads.PARSEC() {
+		assertFFEquivalent(t, RunSpec{
+			Workload: p.Name, Policy: core.PolicySPB, SQSize: 14,
+			Cores: 4, Insts: 1500,
+		})
+	}
+	assertFFEquivalent(t, RunSpec{
+		Workload: "dedup", Policy: core.PolicyAtCommit, SQSize: 14,
+		Cores: 8, Insts: 1500,
+	})
+	assertFFEquivalent(t, RunSpec{
+		Workload: "canneal", Policy: core.PolicyNone, SQSize: 56,
+		Cores: 4, Insts: 1500,
+	})
+}

@@ -9,8 +9,10 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"spb/internal/config"
 	"spb/internal/core"
@@ -51,6 +53,10 @@ type RunSpec struct {
 	// ModelBranchPredictor replaces statistical mispredicts with a
 	// modelled gshare + BTB front end.
 	ModelBranchPredictor bool
+	// DisableFastForward runs the cycle-by-cycle reference loop instead of
+	// the event-horizon fast forward. Both modes produce bit-identical
+	// statistics; the knob exists for the equivalence test and debugging.
+	DisableFastForward bool
 	// Seed perturbs the workload generator (0 = default seed).
 	Seed uint64
 }
@@ -178,24 +184,52 @@ func Run(spec RunSpec) (Result, error) {
 		BackwardBursts:     spec.BackwardBursts,
 		CrossPageBursts:    spec.CrossPageBursts,
 		UseBranchPredictor: spec.ModelBranchPredictor,
+		DisableFastForward: spec.DisableFastForward,
 	}
 	for i := range cores {
 		cores[i] = cpu.NewWithOptions(machine.Core, spec.Policy, machine.SPB, machine.TLB, opts,
 			sys.Port(i), trace.Limit(spec.Insts, readers[i]), spec.Seed+uint64(i)*7919)
 	}
 
-	// Lock-step execution: every core advances one cycle per round.
+	// Lock-step execution: every core advances one cycle per round. With
+	// fast-forward enabled, after each round the whole machine jumps to the
+	// earliest next event across all running cores — skipping must be
+	// coordinated, since per-core skipping would reorder the coherence
+	// interactions that make multi-core runs deterministic. During a global
+	// dead span no core touches the shared memory system, so every per-core
+	// event horizon stays valid.
+	useFF := !spec.DisableFastForward
 	guard := spec.Insts*1000*uint64(spec.Cores) + 1_000_000
 	for round := uint64(0); ; round++ {
 		running := false
+		allIdle := true
 		for _, c := range cores {
 			if !c.Done() {
 				c.Tick()
 				running = true
+				if !c.IdleTick() {
+					allIdle = false
+				}
 			}
 		}
 		if !running {
 			break
+		}
+		if useFF && allIdle {
+			target := uint64(math.MaxUint64)
+			for _, c := range cores {
+				if c.Done() {
+					continue
+				}
+				if ne := c.NextEventCycle(); ne < target {
+					target = ne
+				}
+			}
+			for _, c := range cores {
+				if !c.Done() && target > c.Cycle() && target != math.MaxUint64 {
+					c.SkipTo(target)
+				}
+			}
 		}
 		if round > guard {
 			return Result{}, fmt.Errorf("sim: %v made no progress after %d cycles", spec, round)
@@ -270,21 +304,42 @@ func Run(spec RunSpec) (Result, error) {
 		SBEntries:      spec.SQSize,
 	})
 	res.TD = topdown.Analyze(&res.CPU)
+	// Everything the caller gets is copied into res; hand the hierarchy's
+	// large arrays back to the pools for the next run.
+	sys.Release()
 	return res, nil
 }
 
 // Runner is a memoizing, parallel executor of simulation points.
 type Runner struct {
-	mu    sync.Mutex
-	cache map[RunSpec]Result
+	mu       sync.Mutex
+	cache    map[RunSpec]Result
+	inflight map[RunSpec]*runCall
+
+	// runs counts actual simulations executed (not cache or singleflight
+	// hits); the duplicate-suppression test reads it.
+	runs atomic.Uint64
+}
+
+// runCall is one in-flight simulation other callers of the same spec wait on
+// (per-spec singleflight).
+type runCall struct {
+	done chan struct{}
+	res  Result
+	err  error
 }
 
 // NewRunner returns an empty runner.
 func NewRunner() *Runner {
-	return &Runner{cache: make(map[RunSpec]Result)}
+	return &Runner{
+		cache:    make(map[RunSpec]Result),
+		inflight: make(map[RunSpec]*runCall),
+	}
 }
 
-// Get runs (or recalls) one spec.
+// Get runs (or recalls) one spec. Concurrent calls for the same spec run the
+// simulation exactly once: the first caller executes, later callers wait for
+// its result.
 func (r *Runner) Get(spec RunSpec) (Result, error) {
 	spec = spec.normalize()
 	r.mu.Lock()
@@ -292,32 +347,58 @@ func (r *Runner) Get(spec RunSpec) (Result, error) {
 		r.mu.Unlock()
 		return res, nil
 	}
-	r.mu.Unlock()
-	res, err := Run(spec)
-	if err != nil {
-		return Result{}, err
+	if call, ok := r.inflight[spec]; ok {
+		r.mu.Unlock()
+		<-call.done
+		return call.res, call.err
 	}
-	r.mu.Lock()
-	r.cache[spec] = res
+	call := &runCall{done: make(chan struct{})}
+	r.inflight[spec] = call
 	r.mu.Unlock()
-	return res, nil
+
+	r.runs.Add(1)
+	call.res, call.err = Run(spec)
+
+	r.mu.Lock()
+	if call.err == nil {
+		r.cache[spec] = call.res
+	}
+	delete(r.inflight, spec)
+	r.mu.Unlock()
+	close(call.done)
+	return call.res, call.err
 }
 
-// GetAll runs the specs concurrently (bounded by GOMAXPROCS) and returns the
-// results in spec order. The first error aborts the batch.
+// Runs reports how many simulations this runner actually executed (cache and
+// singleflight hits excluded).
+func (r *Runner) Runs() uint64 { return r.runs.Load() }
+
+// GetAll runs the specs on a fixed worker pool (min(GOMAXPROCS, len(specs))
+// workers) and returns the results in spec order. The first error aborts the
+// batch. A fixed pool — rather than one goroutine per spec parked behind a
+// semaphore — keeps a five-figure sweep from materializing hundreds of idle
+// goroutines up front.
 func (r *Runner) GetAll(specs []RunSpec) ([]Result, error) {
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, spec := range specs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, spec RunSpec) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = r.Get(spec)
-		}(i, spec)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				results[i], errs[i] = r.Get(specs[i])
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

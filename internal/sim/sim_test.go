@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 
 	"spb/internal/config"
@@ -163,6 +164,41 @@ func TestRunnerMemoizes(t *testing.T) {
 	}
 	if a.CPU != b.CPU {
 		t.Fatal("memoized result should be identical")
+	}
+}
+
+func TestRunnerSingleflight(t *testing.T) {
+	r := NewRunner()
+	spec := quickSpec("leela", core.PolicyAtCommit, 56)
+	spec.Insts = 20_000
+	// Many goroutines race on a cold cache; the in-flight call table must
+	// collapse them to one actual simulation.
+	const callers = 8
+	results := make([]Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Get(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := r.Runs(); got != 1 {
+		t.Fatalf("Runs() = %d, want 1 (singleflight must suppress duplicates)", got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i].CPU != results[0].CPU {
+			t.Fatal("singleflight callers received differing results")
+		}
 	}
 }
 

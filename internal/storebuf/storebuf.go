@@ -61,6 +61,30 @@ type StoreBuffer struct {
 	MaxOccupancy int
 	// Coalesced counts stores merged into an existing entry.
 	Coalesced uint64
+
+	// blockCnt counts buffered stores per hashed cache block. Forward
+	// consults it first: a load whose blocks have zero counts cannot overlap
+	// any buffered store (overlap implies a shared byte, hence a shared
+	// block), so the associative scan is skipped entirely. Collisions only
+	// cause a redundant scan, never a wrong answer.
+	blockCnt [sbFilterSize]uint16
+}
+
+const (
+	sbFilterSize = 512 // power of two, > the largest SB capacity
+	sbFilterMask = sbFilterSize - 1
+)
+
+// noteBlocks adjusts the per-block counts for a store occupying
+// [addr, addr+size); delta is +1 on allocate, -1 on pop. A store may
+// straddle a block boundary, in which case both blocks are counted.
+func (sb *StoreBuffer) noteBlocks(addr mem.Addr, size uint8, delta int) {
+	b0 := mem.BlockOf(addr)
+	b1 := mem.BlockOf(addr + mem.Addr(size) - 1)
+	sb.blockCnt[uint64(b0)&sbFilterMask] += uint16(delta)
+	if b1 != b0 {
+		sb.blockCnt[uint64(b1)&sbFilterMask] += uint16(delta)
+	}
 }
 
 // New returns an empty store buffer with the given number of entries.
@@ -141,6 +165,7 @@ func (sb *StoreBuffer) Allocate(addr mem.Addr, size uint8, pc uint64) uint64 {
 	}
 	seq := sb.tailSeq
 	*sb.at(seq) = Entry{Addr: addr, Size: size, PC: pc, Seq: seq}
+	sb.noteBlocks(addr, size, 1)
 	sb.tailSeq++
 	if n := sb.Len(); n > sb.MaxOccupancy {
 		sb.MaxOccupancy = n
@@ -182,6 +207,7 @@ func (sb *StoreBuffer) Pop() Entry {
 		panic("storebuf: pop without a senior head")
 	}
 	out := *e
+	sb.noteBlocks(out.Addr, out.Size, -1)
 	sb.headSeq++
 	sb.seniors--
 	return out
@@ -192,12 +218,32 @@ func (sb *StoreBuffer) Pop() Entry {
 // find one overlapping [addr, addr+size). A single fully covering store
 // forwards; any overlap without cover is a partial forward.
 func (sb *StoreBuffer) Forward(addr mem.Addr, size uint8, beforeSeq uint64) ForwardResult {
+	if sb.headSeq == sb.tailSeq {
+		return NoForward // empty buffer: skip even the filter hashing
+	}
 	if beforeSeq > sb.tailSeq {
 		beforeSeq = sb.tailSeq
 	}
+	// Block filter: if no buffered store touches any block of the load,
+	// there is nothing to search.
+	b0 := mem.BlockOf(addr)
+	b1 := mem.BlockOf(addr + mem.Addr(size) - 1)
+	if sb.blockCnt[uint64(b0)&sbFilterMask] == 0 &&
+		(b1 == b0 || sb.blockCnt[uint64(b1)&sbFilterMask] == 0) {
+		return NoForward
+	}
+	// Walk the ring index directly instead of recomputing seq%capacity per
+	// entry — the modulo is a hardware divide (capacity is not a power of
+	// two) and this CAM search runs for every load dispatched.
+	n := uint64(len(sb.entries))
+	i := beforeSeq % n
 	for seq := beforeSeq; seq > sb.headSeq; {
 		seq--
-		e := sb.at(seq)
+		if i == 0 {
+			i = n
+		}
+		i--
+		e := &sb.entries[i]
 		if !mem.Overlaps(e.Addr, uint64(e.Size), addr, uint64(size)) {
 			continue
 		}

@@ -1,0 +1,335 @@
+package trace
+
+import "spb/internal/mem"
+
+// This file implements the compiled form of a workload generator. The
+// closure combinators in synth.go (Seq, Mix, Forever, the fragment builders)
+// are convenient to compose but cost three or four nested closure calls per
+// instruction on the simulator's hottest path. A Program flattens one
+// Forever(Mix(...)) phase loop into a table of Phase descriptors, each a
+// sequence of Leaf records, stepped by a single switch — no interface
+// dispatch, no per-phase allocation — while calling the shared RNG and the
+// MemRegion chunk allocator in exactly the order the closures do, so the
+// generated instruction stream is bit-identical.
+//
+// The equivalence relies on a property of the closure tree workloads build:
+// Mix picks fragments lazily (one rng.Intn per phase, immediately before the
+// phase's first instruction) and re-activating Mix under Forever has no side
+// effects, so Forever(Mix(phases, parts...)) reduces to an unbounded
+// pick-a-phase / run-it-to-completion loop.
+
+// Op identifies the generator a Leaf runs; each corresponds to one of the
+// fragment builders in synth.go.
+type Op uint8
+
+const (
+	// OpMemset emits Bytes/Size contiguous stores of Size bytes (MemsetBurst).
+	OpMemset Op = iota
+	// OpMemcpy emits a load/dependent-store pair per 8 bytes (MemcpyBurst).
+	OpMemcpy
+	// OpRMW emits load / ALU / dependent-store triples (RMWBurst).
+	OpRMW
+	// OpStridedStores emits Count stores Stride bytes apart (StridedStores).
+	OpStridedStores
+	// OpStridedLoads emits Count loads Stride bytes apart (StridedLoads).
+	OpStridedLoads
+	// OpPointerChase emits Count serially dependent random loads (PointerChase).
+	OpPointerChase
+	// OpScatterStores emits Count random stores (ScatterStores).
+	OpScatterStores
+	// OpCompute emits an arithmetic/branch block (Compute).
+	OpCompute
+	// OpLoadUse emits load + dependent-branch pairs (LoadUse).
+	OpLoadUse
+)
+
+// Leaf is one compiled fragment. Which fields matter depends on Op, matching
+// the corresponding builder's parameters in synth.go.
+type Leaf struct {
+	Op  Op
+	Dst *MemRegion // region streamed/scattered through (builders' buf/dst)
+	Src *MemRegion // OpMemcpy source
+
+	Bytes  uint64 // burst size (OpMemset/OpMemcpy/OpRMW)
+	Count  int    // element count (strided/chase/scatter/load-use)
+	Stride uint64 // byte distance between strided elements
+	Size   int    // store size for OpMemset/OpStridedStores
+
+	PC       uint64
+	MissRate float64        // OpLoadUse branch misprediction probability
+	Compute  ComputeOptions // OpCompute parameters
+
+	// Repeat runs the leaf that many consecutive activations (each with a
+	// fresh NextChunk), like Repeat(n, fragment); 0 means once.
+	Repeat int
+}
+
+// Phase is one weighted alternative of a Program's pick loop: either a
+// sequence of Leaves run in order to completion, or Take instructions drawn
+// from a persistent sub-program (the PARSEC private-stream case).
+type Phase struct {
+	Weight int
+	Leaves []Leaf
+
+	Sub  *Program
+	Take uint64
+}
+
+// Program is a compiled workload generator: an endless weighted-phase loop
+// equivalent to Forever(Mix(rng, ·, parts...)) over the same fragments.
+// It implements Reader.
+type Program struct {
+	rng    *RNG
+	phases []Phase
+	total  int
+
+	// Current phase.
+	phase    *Phase
+	leafIdx  int
+	takeLeft uint64
+
+	// Current leaf activation.
+	leaf     *Leaf
+	active   bool
+	reps     int
+	base     mem.Addr // current chunk base (dst side)
+	srcBase  mem.Addr // current chunk base of the memcpy source
+	off      uint64
+	i        int
+	step     int
+	branches int
+}
+
+// NewProgram builds a program over the given phases. Weights follow Mix's
+// rules: negative weights and an all-zero total panic.
+func NewProgram(rng *RNG, phases ...Phase) *Program {
+	total := 0
+	for i := range phases {
+		if phases[i].Weight < 0 {
+			panic("trace: negative Program phase weight")
+		}
+		total += phases[i].Weight
+	}
+	if total == 0 {
+		panic("trace: Program with zero total weight")
+	}
+	return &Program{rng: rng, phases: phases, total: total}
+}
+
+// pick selects the next phase by weight, consuming one rng.Intn exactly as
+// Mix's pick does, and resets the phase cursor.
+func (p *Program) pick() {
+	n := p.rng.Intn(p.total)
+	idx := len(p.phases) - 1
+	for k := range p.phases {
+		if n < p.phases[k].Weight {
+			idx = k
+			break
+		}
+		n -= p.phases[k].Weight
+	}
+	ph := &p.phases[idx]
+	p.phase = ph
+	p.leafIdx = 0
+	p.active = false
+	p.takeLeft = ph.Take
+}
+
+// activate starts one activation of the current leaf, drawing its region
+// chunks in the same order the closure builders do (memcpy: src then dst).
+func (p *Program) activate() {
+	l := p.leaf
+	p.off, p.i, p.step, p.branches = 0, 0, 0, 0
+	switch l.Op {
+	case OpMemset, OpRMW:
+		p.base = l.Dst.NextChunk(l.Bytes)
+	case OpMemcpy:
+		p.srcBase = l.Src.NextChunk(l.Bytes)
+		p.base = l.Dst.NextChunk(l.Bytes)
+	case OpStridedStores, OpStridedLoads:
+		p.base = l.Dst.NextChunk(uint64(l.Count) * l.Stride)
+	}
+}
+
+// Next implements Reader.
+func (p *Program) Next(out *Inst) bool {
+	for {
+		if p.phase == nil {
+			p.pick()
+		}
+		ph := p.phase
+		if ph.Sub != nil {
+			if p.takeLeft > 0 {
+				p.takeLeft--
+				if ph.Sub.Next(out) {
+					return true
+				}
+			}
+			p.phase = nil
+			continue
+		}
+		if p.active {
+			if p.emit(out) {
+				return true
+			}
+			// Activation exhausted: repeat the leaf or advance the sequence.
+			p.reps--
+			if p.reps > 0 {
+				p.activate()
+				continue
+			}
+			p.active = false
+			p.leafIdx++
+		}
+		if p.leafIdx >= len(ph.Leaves) {
+			p.phase = nil
+			continue
+		}
+		p.leaf = &ph.Leaves[p.leafIdx]
+		p.reps = p.leaf.Repeat
+		if p.reps < 1 {
+			p.reps = 1
+		}
+		p.activate()
+		p.active = true
+	}
+}
+
+// emit produces the current activation's next instruction, or reports false
+// when the activation is exhausted. Each case mirrors its synth.go builder
+// statement for statement — in particular every RNG call, in order.
+func (p *Program) emit(out *Inst) bool {
+	l := p.leaf
+	switch l.Op {
+	case OpMemset:
+		if p.off >= l.Bytes {
+			return false
+		}
+		*out = Inst{Kind: KindStore, Addr: p.base + mem.Addr(p.off), Size: uint8(l.Size), PC: l.PC}
+		p.off += uint64(l.Size)
+		return true
+
+	case OpMemcpy:
+		if p.off >= l.Bytes {
+			return false
+		}
+		if p.step == 0 {
+			*out = Inst{Kind: KindLoad, Addr: p.srcBase + mem.Addr(p.off), Size: 8, PC: l.PC}
+			p.step = 1
+		} else {
+			*out = Inst{Kind: KindStore, Addr: p.base + mem.Addr(p.off), Size: 8, Dep1: 1, PC: l.PC + 4}
+			p.off += 8
+			p.step = 0
+		}
+		return true
+
+	case OpRMW:
+		if p.off >= l.Bytes {
+			return false
+		}
+		switch p.step {
+		case 0:
+			*out = Inst{Kind: KindLoad, Addr: p.base + mem.Addr(p.off), Size: 8, PC: l.PC}
+		case 1:
+			*out = Inst{Kind: KindIntALU, Dep1: 1, PC: l.PC + 4}
+		default:
+			*out = Inst{Kind: KindStore, Addr: p.base + mem.Addr(p.off), Size: 8, Dep1: 1, PC: l.PC + 8}
+			p.off += 8
+		}
+		p.step = (p.step + 1) % 3
+		return true
+
+	case OpStridedStores:
+		if p.i >= l.Count {
+			return false
+		}
+		*out = Inst{Kind: KindStore, Addr: p.base + mem.Addr(uint64(p.i)*l.Stride), Size: uint8(l.Size), PC: l.PC}
+		p.i++
+		return true
+
+	case OpStridedLoads:
+		if p.i >= l.Count {
+			return false
+		}
+		*out = Inst{Kind: KindLoad, Addr: p.base + mem.Addr(uint64(p.i)*l.Stride), Size: 8, PC: l.PC}
+		p.i++
+		return true
+
+	case OpPointerChase:
+		if p.i >= l.Count {
+			return false
+		}
+		dep := uint8(0)
+		if p.i > 0 {
+			dep = 1
+		}
+		*out = Inst{Kind: KindLoad, Addr: l.Dst.RandomAddr(p.rng, 8, 8), Size: 8, Dep1: dep, PC: l.PC}
+		p.i++
+		return true
+
+	case OpScatterStores:
+		if p.i >= l.Count {
+			return false
+		}
+		*out = Inst{Kind: KindStore, Addr: l.Dst.RandomAddr(p.rng, 8, 8), Size: 8, PC: l.PC}
+		p.i++
+		return true
+
+	case OpCompute:
+		o := &l.Compute
+		if p.i >= o.Count {
+			return false
+		}
+		p.i++
+		*out = Inst{PC: o.PC + uint64(p.i%64)*4}
+		rng := p.rng
+		if rng.Bool(o.BrFrac) {
+			out.Kind = KindBranch
+			out.Dep1 = 1
+			p.branches++
+			out.Taken = p.branches%8 != 0
+			out.Mispredicted = rng.Bool(o.MissRate)
+			return true
+		}
+		kind := KindIntALU
+		fp := rng.Bool(o.FPFrac)
+		switch {
+		case rng.Bool(o.DivFrac):
+			kind = KindIntDiv
+			if fp {
+				kind = KindFPDiv
+			}
+		case rng.Bool(o.MulFrac):
+			kind = KindIntMul
+			if fp {
+				kind = KindFPMul
+			}
+		case fp:
+			kind = KindFPALU
+		}
+		out.Kind = kind
+		if rng.Bool(o.DepFrac) {
+			out.Dep1 = uint8(1 + rng.Intn(4))
+		}
+		return true
+
+	case OpLoadUse:
+		if p.i >= l.Count {
+			return false
+		}
+		if p.step == 0 {
+			*out = Inst{Kind: KindLoad, Addr: l.Dst.RandomAddr(p.rng, 8, 8), Size: 8, PC: l.PC}
+			p.step = 1
+		} else {
+			*out = Inst{
+				Kind: KindBranch, Dep1: 1, PC: l.PC + 4,
+				Taken:        p.rng.Bool(0.85),
+				Mispredicted: p.rng.Bool(l.MissRate),
+			}
+			p.i++
+			p.step = 0
+		}
+		return true
+	}
+	panic("trace: unknown program op")
+}

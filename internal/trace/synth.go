@@ -78,19 +78,31 @@ func Forever(f Factory) Factory {
 	}
 }
 
+// LimitReader produces at most a fixed number of instructions from an
+// underlying reader. It is a concrete type (not a closure) because the
+// simulator wraps every core's stream in one, making its Next the hot entry
+// point of trace generation.
+type LimitReader struct {
+	r    Reader
+	n    uint64
+	seen uint64
+}
+
 // Limit returns a reader producing at most n instructions from r.
-func Limit(n uint64, r Reader) Reader {
-	var seen uint64
-	return FuncReader(func(out *Inst) bool {
-		if seen >= n {
-			return false
-		}
-		if !r.Next(out) {
-			return false
-		}
-		seen++
-		return true
-	})
+func Limit(n uint64, r Reader) *LimitReader {
+	return &LimitReader{r: r, n: n}
+}
+
+// Next implements Reader.
+func (l *LimitReader) Next(out *Inst) bool {
+	if l.seen >= l.n {
+		return false
+	}
+	if !l.r.Next(out) {
+		return false
+	}
+	l.seen++
+	return true
 }
 
 // Weighted pairs a fragment with a selection weight for Mix.

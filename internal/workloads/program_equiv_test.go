@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+
+	"spb/internal/mem"
+	"spb/internal/trace"
+)
+
+// This file keeps the original closure-combinator construction of every
+// workload (Forever(Mix(...)) over synth.go fragments) as a reference
+// implementation and asserts that the compiled trace.Program the package now
+// builds emits a bit-identical instruction stream. Any drift in RNG call
+// order, chunk allocation order or leaf semantics shows up here first.
+
+// buildReference reproduces build() exactly as it was written with the
+// closure combinators.
+func (w Workload) buildReference(seed uint64, base mem.Addr) trace.Reader {
+	p := w.profile
+	rng := trace.NewRNG(seed ^ trace.SeedFromString(w.Name))
+
+	burstReg := trace.NewMemRegion(base+0x1000_0000, p.wsBytes)
+	srcBytes := p.wsBytes
+	if srcBytes > 16<<10 {
+		srcBytes = 16 << 10
+	}
+	srcReg := trace.NewMemRegion(base+0x9000_0000, srcBytes)
+	loadReg := trace.NewMemRegion(base+0x1_2000_0000, p.loadWS)
+	scatterReg := trace.NewMemRegion(base+0x1_8000_0000, 16<<20)
+
+	burstBytes := uint64(p.burstPages) * mem.PageSize
+
+	var burst trace.Factory
+	switch p.kind {
+	case burstMemset:
+		burst = trace.MemsetBurst(burstReg, burstBytes, 8, trace.PCLib+0x200)
+	case burstMemcpy:
+		burst = trace.MemcpyBurst(srcReg, burstReg, burstBytes, trace.PCLib+0x400)
+	case burstRMW:
+		burst = trace.RMWBurst(burstReg, burstBytes, trace.PCApp+0x800)
+	case burstClearPage:
+		burst = trace.Repeat(p.burstPages, trace.ClearPage(burstReg))
+	case burstAppCopy:
+		burst = trace.MemcpyBurst(srcReg, burstReg, burstBytes, trace.PCApp+0xC00)
+	default:
+		panic("workloads: unknown burst kind")
+	}
+	burstInsts := int(burstBytes / 8)
+	switch p.kind {
+	case burstMemcpy, burstAppCopy:
+		burstInsts = int(burstBytes / 4)
+	case burstRMW:
+		burstInsts = 3 * int(burstBytes/8)
+	}
+	if p.reuse {
+		burst = trace.Seq(burst, trace.StridedLoads(burstReg, int(burstBytes/256), 256, trace.PCApp+0x1000))
+		burstInsts += int(burstBytes / 256)
+	}
+
+	const (
+		computeLen = 600
+		loadUseLen = 120
+		stridedLen = 160
+		scatterLen = 48
+	)
+	parts := []trace.Weighted{}
+	otherInsts := 0
+	if p.computeW > 0 {
+		parts = append(parts, trace.Weighted{Weight: p.computeW * 1000, Fragment: trace.Compute(rng, trace.ComputeOptions{
+			Count:    computeLen,
+			FPFrac:   p.fpFrac,
+			MulFrac:  0.15,
+			DivFrac:  0.02,
+			DepFrac:  0.5,
+			BrFrac:   0.18,
+			MissRate: p.missRate,
+			PC:       trace.PCApp + 0x2000,
+		})})
+		otherInsts += p.computeW * computeLen
+	}
+	if p.loadW > 0 {
+		stridedW := (p.loadW + 1) / 2
+		parts = append(parts,
+			trace.Weighted{Weight: p.loadW * 1000, Fragment: trace.LoadUse(rng, loadReg, loadUseLen, p.missRate, trace.PCApp+0x3000)},
+			trace.Weighted{Weight: stridedW * 1000, Fragment: trace.StridedLoads(loadReg, stridedLen, 64, trace.PCApp+0x3800)},
+		)
+		otherInsts += p.loadW*loadUseLen*2 + stridedW*stridedLen
+	}
+	if p.scatterW > 0 {
+		parts = append(parts, trace.Weighted{Weight: p.scatterW * 1000, Fragment: trace.ScatterStores(rng, scatterReg, scatterLen, trace.PCApp+0x4000)})
+		otherInsts += p.scatterW * scatterLen
+	}
+
+	if p.burstShare > 0 {
+		share := p.burstShare
+		if share >= 0.95 {
+			share = 0.95
+		}
+		wB := int(share/(1-share)*float64(otherInsts*1000)/float64(burstInsts) + 0.5)
+		if wB < 1 {
+			wB = 1
+		}
+		parts = append(parts, trace.Weighted{Weight: wB, Fragment: burst})
+	}
+	return trace.Forever(trace.Mix(rng, 64, parts...))()
+}
+
+// buildReferenceParallel reproduces Parallel.Build with the closure
+// combinators, including the Limit-based phase adapter.
+func (p Parallel) buildReferenceParallel(seed uint64, threads int) []trace.Reader {
+	readerPhases := func(r trace.Reader) trace.Factory {
+		return func() trace.Reader { return trace.Limit(512, r) }
+	}
+	readers := make([]trace.Reader, threads)
+	for t := 0; t < threads; t++ {
+		w := Workload{Name: p.Name, profile: p.base}
+		tseed := seed ^ trace.SeedFromString(fmt.Sprintf("%s/%d", p.Name, t))
+		base := mem.Addr(0x10_0000_0000) * mem.Addr(t+1)
+		private := w.buildReference(tseed, base)
+		if p.shareW == 0 {
+			readers[t] = private
+			continue
+		}
+		rng := trace.NewRNG(tseed ^ 0xBEEF)
+		shared := trace.NewMemRegion(sharedBase, 4<<20)
+		hot := trace.NewMemRegion(sharedBase+mem.Addr(sharedSize-hotSize), hotSize)
+		sharedPhase := trace.Seq(
+			trace.LoadUse(rng, shared, 48, p.base.missRate, trace.PCApp+0x5000),
+			trace.ScatterStores(rng, hot, 6, trace.PCApp+0x5800),
+		)
+		readers[t] = trace.Forever(trace.Mix(rng, 16,
+			trace.Weighted{Weight: 10, Fragment: readerPhases(private)},
+			trace.Weighted{Weight: p.shareW, Fragment: sharedPhase},
+		))()
+	}
+	return readers
+}
+
+func assertSameStream(t *testing.T, name string, want, got trace.Reader, n int) {
+	t.Helper()
+	var wi, gi trace.Inst
+	for k := 0; k < n; k++ {
+		wok := want.Next(&wi)
+		gok := got.Next(&gi)
+		if wok != gok {
+			t.Fatalf("%s: stream length diverges at instruction %d (reference ok=%v, program ok=%v)", name, k, wok, gok)
+		}
+		if !wok {
+			return
+		}
+		if wi != gi {
+			t.Fatalf("%s: instruction %d differs\nreference: %+v\nprogram:   %+v", name, k, wi, gi)
+		}
+	}
+}
+
+// TestProgramMatchesClosuresSPEC drives every SPEC workload's compiled
+// program against the closure reference for a long stretch of the stream.
+func TestProgramMatchesClosuresSPEC(t *testing.T) {
+	for _, w := range SPEC() {
+		ref := w.buildReference(42, 0)
+		got := w.Build(42)
+		assertSameStream(t, w.Name, ref, got, 300_000)
+	}
+}
+
+// TestProgramMatchesClosuresPARSEC does the same for every PARSEC workload
+// and thread, covering the Sub/Take (Limit-phase) path.
+func TestProgramMatchesClosuresPARSEC(t *testing.T) {
+	const threads = 4
+	for _, p := range PARSEC() {
+		ref := p.buildReferenceParallel(7, threads)
+		got := p.Build(7, threads)
+		for ti := 0; ti < threads; ti++ {
+			assertSameStream(t, fmt.Sprintf("%s/t%d", p.Name, ti), ref[ti], got[ti], 120_000)
+		}
+	}
+}

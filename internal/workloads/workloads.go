@@ -207,8 +207,11 @@ func (w Workload) Build(seed uint64) trace.Reader {
 }
 
 // build constructs the generator; base offsets all regions, letting the
-// PARSEC wrapper give each thread a private address space.
-func (w Workload) build(seed uint64, base mem.Addr) trace.Reader {
+// PARSEC wrapper give each thread a private address space. The result is a
+// compiled trace.Program whose instruction stream is bit-identical to the
+// closure tree Forever(Mix(...)) this function used to assemble (the
+// reference construction survives in a test that asserts the equivalence).
+func (w Workload) build(seed uint64, base mem.Addr) *trace.Program {
 	p := w.profile
 	rng := trace.NewRNG(seed ^ trace.SeedFromString(w.Name))
 
@@ -226,20 +229,22 @@ func (w Workload) build(seed uint64, base mem.Addr) trace.Reader {
 
 	burstBytes := uint64(p.burstPages) * mem.PageSize
 
-	var burst trace.Factory
+	var burst []trace.Leaf
 	switch p.kind {
 	case burstMemset:
-		burst = trace.MemsetBurst(burstReg, burstBytes, 8, trace.PCLib+0x200)
+		burst = []trace.Leaf{{Op: trace.OpMemset, Dst: burstReg, Bytes: burstBytes, Size: 8, PC: trace.PCLib + 0x200}}
 	case burstMemcpy:
-		burst = trace.MemcpyBurst(srcReg, burstReg, burstBytes, trace.PCLib+0x400)
+		burst = []trace.Leaf{{Op: trace.OpMemcpy, Src: srcReg, Dst: burstReg, Bytes: burstBytes, PC: trace.PCLib + 0x400}}
 	case burstRMW:
-		burst = trace.RMWBurst(burstReg, burstBytes, trace.PCApp+0x800)
+		burst = []trace.Leaf{{Op: trace.OpRMW, Dst: burstReg, Bytes: burstBytes, PC: trace.PCApp + 0x800}}
 	case burstClearPage:
-		burst = trace.Repeat(p.burstPages, trace.ClearPage(burstReg))
+		// The kernel clear_page pattern, once per page handed out.
+		burst = []trace.Leaf{{Op: trace.OpMemset, Dst: burstReg, Bytes: mem.PageSize, Size: 8,
+			PC: trace.PCKernel + 0x100, Repeat: p.burstPages}}
 	case burstAppCopy:
 		// A manual for-loop copy: same access pattern as memcpy but with
 		// application PCs (deepsjeng/roms in Fig. 3).
-		burst = trace.MemcpyBurst(srcReg, burstReg, burstBytes, trace.PCApp+0xC00)
+		burst = []trace.Leaf{{Op: trace.OpMemcpy, Src: srcReg, Dst: burstReg, Bytes: burstBytes, PC: trace.PCApp + 0xC00}}
 	default:
 		panic("workloads: unknown burst kind")
 	}
@@ -255,7 +260,8 @@ func (w Workload) build(seed uint64, base mem.Addr) trace.Reader {
 		// After writing, stream back over the freshly written data with
 		// loads feeding branches: the read-back that lets SPB's exclusive
 		// prefetches also serve loads (§VI.A's super-linear speedups).
-		burst = trace.Seq(burst, trace.StridedLoads(burstReg, int(burstBytes/256), 256, trace.PCApp+0x1000))
+		burst = append(burst, trace.Leaf{Op: trace.OpStridedLoads, Dst: burstReg,
+			Count: int(burstBytes / 256), Stride: 256, PC: trace.PCApp + 0x1000})
 		burstInsts += int(burstBytes / 256)
 	}
 
@@ -266,31 +272,37 @@ func (w Workload) build(seed uint64, base mem.Addr) trace.Reader {
 		stridedLen = 160
 		scatterLen = 48
 	)
-	parts := []trace.Weighted{}
+	parts := []trace.Phase{}
 	otherInsts := 0
 	if p.computeW > 0 {
-		parts = append(parts, trace.Weighted{Weight: p.computeW * 1000, Fragment: trace.Compute(rng, trace.ComputeOptions{
-			Count:    computeLen,
-			FPFrac:   p.fpFrac,
-			MulFrac:  0.15,
-			DivFrac:  0.02,
-			DepFrac:  0.5,
-			BrFrac:   0.18,
-			MissRate: p.missRate,
-			PC:       trace.PCApp + 0x2000,
-		})})
+		parts = append(parts, trace.Phase{Weight: p.computeW * 1000, Leaves: []trace.Leaf{{
+			Op: trace.OpCompute, Compute: trace.ComputeOptions{
+				Count:    computeLen,
+				FPFrac:   p.fpFrac,
+				MulFrac:  0.15,
+				DivFrac:  0.02,
+				DepFrac:  0.5,
+				BrFrac:   0.18,
+				MissRate: p.missRate,
+				PC:       trace.PCApp + 0x2000,
+			}}}})
 		otherInsts += p.computeW * computeLen
 	}
 	if p.loadW > 0 {
 		stridedW := (p.loadW + 1) / 2
 		parts = append(parts,
-			trace.Weighted{Weight: p.loadW * 1000, Fragment: trace.LoadUse(rng, loadReg, loadUseLen, p.missRate, trace.PCApp+0x3000)},
-			trace.Weighted{Weight: stridedW * 1000, Fragment: trace.StridedLoads(loadReg, stridedLen, 64, trace.PCApp+0x3800)},
+			trace.Phase{Weight: p.loadW * 1000, Leaves: []trace.Leaf{{
+				Op: trace.OpLoadUse, Dst: loadReg, Count: loadUseLen,
+				MissRate: p.missRate, PC: trace.PCApp + 0x3000}}},
+			trace.Phase{Weight: stridedW * 1000, Leaves: []trace.Leaf{{
+				Op: trace.OpStridedLoads, Dst: loadReg, Count: stridedLen,
+				Stride: 64, PC: trace.PCApp + 0x3800}}},
 		)
 		otherInsts += p.loadW*loadUseLen*2 + stridedW*stridedLen
 	}
 	if p.scatterW > 0 {
-		parts = append(parts, trace.Weighted{Weight: p.scatterW * 1000, Fragment: trace.ScatterStores(rng, scatterReg, scatterLen, trace.PCApp+0x4000)})
+		parts = append(parts, trace.Phase{Weight: p.scatterW * 1000, Leaves: []trace.Leaf{{
+			Op: trace.OpScatterStores, Dst: scatterReg, Count: scatterLen, PC: trace.PCApp + 0x4000}}})
 		otherInsts += p.scatterW * scatterLen
 	}
 
@@ -306,9 +318,9 @@ func (w Workload) build(seed uint64, base mem.Addr) trace.Reader {
 		if wB < 1 {
 			wB = 1
 		}
-		parts = append(parts, trace.Weighted{Weight: wB, Fragment: burst})
+		parts = append(parts, trace.Phase{Weight: wB, Leaves: burst})
 	}
-	return trace.Forever(trace.Mix(rng, 64, parts...))()
+	return trace.NewProgram(rng, parts...)
 }
 
 // Parallel is one multi-threaded (PARSEC-like) benchmark.
@@ -416,22 +428,17 @@ func (p Parallel) Build(seed uint64, threads int) []trace.Reader {
 		// reference counts), which is where PARSEC's coherence traffic
 		// actually comes from; reads roam the whole shared structure.
 		hot := trace.NewMemRegion(sharedBase+mem.Addr(sharedSize-hotSize), hotSize)
-		sharedPhase := trace.Seq(
-			trace.LoadUse(rng, shared, 48, p.base.missRate, trace.PCApp+0x5000),
-			trace.ScatterStores(rng, hot, 6, trace.PCApp+0x5800),
+		// The private stream participates as 512-instruction phases (the
+		// granularity readerPhases/Limit used to impose); the shared phase
+		// is a load-use sweep of the structure then a burst of hot stores.
+		readers[t] = trace.NewProgram(rng,
+			trace.Phase{Weight: 10, Sub: private, Take: 512},
+			trace.Phase{Weight: p.shareW, Leaves: []trace.Leaf{
+				{Op: trace.OpLoadUse, Dst: shared, Count: 48,
+					MissRate: p.base.missRate, PC: trace.PCApp + 0x5000},
+				{Op: trace.OpScatterStores, Dst: hot, Count: 6, PC: trace.PCApp + 0x5800},
+			}},
 		)
-		readers[t] = trace.Forever(trace.Mix(rng, 16,
-			trace.Weighted{Weight: 10, Fragment: readerPhases(private)},
-			trace.Weighted{Weight: p.shareW, Fragment: sharedPhase},
-		))()
 	}
 	return readers
-}
-
-// readerPhases adapts an infinite reader into phase-sized fragments so it
-// can participate in a Mix.
-func readerPhases(r trace.Reader) trace.Factory {
-	return func() trace.Reader {
-		return trace.Limit(512, r)
-	}
 }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: vet, build, tests, and a race pass
+# over the packages with real concurrency (the Runner's singleflight /
+# worker pool and the figure pipelines that drive it).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test =="
+go test ./...
+echo "== go test -race (sim, figures) =="
+go test -race ./internal/sim ./internal/figures
+echo "OK"
