@@ -1,4 +1,4 @@
-.PHONY: check bench test build
+.PHONY: check bench test build serve-check
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -9,6 +9,12 @@ check:
 # into BENCH_core.json.
 bench:
 	sh scripts/bench.sh
+
+# End-to-end smoke of the spbd service: build, start on a random port,
+# verify cold-run stats match spbsim -json, cache hit on repeat, cancel,
+# /healthz + /metrics, SIGTERM drain.
+serve-check:
+	sh scripts/serve_check.sh
 
 test:
 	go test ./...

@@ -1,0 +1,100 @@
+// Command spbd is the simulation-as-a-service daemon: it accepts RunSpec
+// jobs over HTTP, executes them on a bounded worker pool with FIFO queueing
+// and per-spec deduplication, and answers repeats from a two-tier cache
+// (in-memory + content-addressed disk store that survives restarts).
+//
+// Endpoints:
+//
+//	POST /v1/runs            submit a run (JSON RunRequest; ?wait=1 blocks for the result)
+//	GET  /v1/runs            list accepted runs
+//	GET  /v1/runs/{id}       job status + stats when done
+//	GET  /v1/runs/{id}/events  SSE progress stream (committed, cycles, IPC-so-far)
+//	POST /v1/runs/{id}/cancel  stop a queued or running job
+//	GET  /healthz            liveness / drain state
+//	GET  /metrics            Prometheus text metrics
+//
+// On SIGTERM/SIGINT the daemon drains: submissions get 503, queued and
+// running jobs finish and persist (bounded by -drain-timeout), then it
+// exits.
+//
+// Example:
+//
+//	spbd -addr :7077 -cache-dir /var/cache/spbd &
+//	curl -s localhost:7077/v1/runs?wait=1 -d '{"workload":"bwaves","policy":"spb","sb":56}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"spb/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7077", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+		queueDepth   = flag.Int("queue", 64, "max queued jobs before 429 backpressure")
+		cacheDir     = flag.String("cache-dir", "", "content-addressed result store directory (empty = memory tier only)")
+		runTimeout   = flag.Duration("run-timeout", 0, "per-run execution cap (0 = unlimited)")
+		sseInterval  = flag.Duration("sse-interval", 250*time.Millisecond, "progress event period on /events streams")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight runs are cancelled")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheDir:    *cacheDir,
+		RunTimeout:  *runTimeout,
+		SSEInterval: *sseInterval,
+	})
+	if err != nil {
+		log.Fatalf("spbd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("spbd: listen %s: %v", *addr, err)
+	}
+	// Port 0 resolves at bind time; print the real address so scripts can
+	// scrape it.
+	fmt.Printf("spbd: listening on %s (workers %d, queue %d, cache %q)\n",
+		ln.Addr(), *workers, *queueDepth, *cacheDir)
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case got := <-sig:
+		log.Printf("spbd: %v received, draining (budget %v)", got, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("spbd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("spbd: drain incomplete, in-flight runs cancelled: %v", err)
+	} else {
+		log.Printf("spbd: drained cleanly")
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("spbd: http shutdown: %v", err)
+	}
+}

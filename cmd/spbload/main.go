@@ -1,0 +1,179 @@
+// Command spbload replays an open-loop workload against an spbd daemon and
+// reports latency percentiles and error rate. Open-loop means requests are
+// launched on a fixed schedule regardless of how fast the daemon answers —
+// the arrival process does not slow down when the service does, so queueing
+// delay shows up in the tail latencies instead of being hidden by
+// coordinated omission.
+//
+// The generated mix cycles through workloads × policies × SB sizes ×
+// -distinct seeds; with -distinct smaller than the total request count the
+// mix revisits points, exercising the daemon's cache tiers the way a
+// design-space sweep with near-duplicate configurations would.
+//
+// Example:
+//
+//	spbload -addr http://localhost:7077 -rate 20 -duration 10s \
+//	        -workloads bwaves,mcf -policies spb,at-commit -insts 50000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spb/internal/client"
+	"spb/internal/core"
+	"spb/internal/sim"
+)
+
+type sample struct {
+	latency time.Duration
+	err     error
+	cached  string
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:7077", "spbd base URL")
+		rate      = flag.Float64("rate", 10, "requests per second (open loop)")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		workloads = flag.String("workloads", "bwaves,mcf,roms", "comma-separated workload mix")
+		policies  = flag.String("policies", "spb,at-commit", "comma-separated policy mix")
+		sbs       = flag.String("sb", "14,56", "comma-separated store-buffer sizes")
+		insts     = flag.Uint64("insts", 50_000, "committed instructions per request")
+		distinct  = flag.Int("distinct", 0, "number of distinct seeds cycled through (0 = every request unique: all cache misses)")
+		seed      = flag.Int64("seed", 1, "mix shuffle seed")
+	)
+	flag.Parse()
+
+	var specs []sim.RunSpec
+	for _, w := range strings.Split(*workloads, ",") {
+		for _, p := range strings.Split(*policies, ",") {
+			pol, err := core.ParsePolicy(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spbload:", err)
+				os.Exit(2)
+			}
+			for _, sb := range strings.Split(*sbs, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(sb), "%d", &n); err != nil {
+					fmt.Fprintf(os.Stderr, "spbload: bad -sb entry %q\n", sb)
+					os.Exit(2)
+				}
+				specs = append(specs, sim.RunSpec{
+					Workload: strings.TrimSpace(w),
+					Policy:   pol,
+					SQSize:   n,
+					Insts:    *insts,
+				})
+			}
+		}
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "spbload: empty mix")
+		os.Exit(2)
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base // accept bare host:port
+	}
+	cl := client.New(base)
+	if _, err := cl.Healthz(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "spbload: daemon not healthy at %s: %v\n", base, err)
+		os.Exit(1)
+	}
+
+	total := int(*rate * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / *rate)
+	rng := rand.New(rand.NewSource(*seed))
+
+	fmt.Printf("spbload: %d requests at %.1f req/s over %v against %s (%d spec points)\n",
+		total, *rate, *duration, *addr, len(specs))
+
+	samples := make([]sample, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < total; i++ {
+		spec := specs[rng.Intn(len(specs))]
+		if *distinct > 0 {
+			spec.Seed = uint64(1 + rng.Intn(*distinct))
+		} else {
+			spec.Seed = uint64(i + 1) // unique: defeats the cache
+		}
+		wg.Add(1)
+		go func(i int, spec sim.RunSpec) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			t0 := time.Now()
+			v, err := cl.Run(ctx, spec)
+			samples[i] = sample{latency: time.Since(t0), err: err, cached: v.Cached}
+		}(i, spec)
+		if i < total-1 {
+			<-tick.C
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	lat := make([]time.Duration, 0, total)
+	var errs, hitsMem, hitsDisk int
+	for _, s := range samples {
+		if s.err != nil {
+			errs++
+			continue
+		}
+		lat = append(lat, s.latency)
+		switch s.cached {
+		case "memory":
+			hitsMem++
+		case "disk":
+			hitsDisk++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx]
+	}
+
+	fmt.Printf("completed           %d ok, %d errors (%.1f%% error rate) in %v\n",
+		len(lat), errs, 100*float64(errs)/float64(total), elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput          %.1f ok/s\n", float64(len(lat))/elapsed.Seconds())
+	fmt.Printf("cache               %d memory hits, %d disk hits, %d simulated\n",
+		hitsMem, hitsDisk, len(lat)-hitsMem-hitsDisk)
+	fmt.Printf("latency p50         %v\n", pct(0.50).Round(time.Microsecond))
+	fmt.Printf("latency p95         %v\n", pct(0.95).Round(time.Microsecond))
+	fmt.Printf("latency p99         %v\n", pct(0.99).Round(time.Microsecond))
+	if len(lat) > 0 {
+		fmt.Printf("latency max         %v\n", lat[len(lat)-1].Round(time.Microsecond))
+	}
+	if errs > 0 {
+		// Show the first few distinct errors so a misconfigured mix is
+		// debuggable from the load generator's output alone.
+		seen := map[string]bool{}
+		for _, s := range samples {
+			if s.err != nil && !seen[s.err.Error()] && len(seen) < 5 {
+				seen[s.err.Error()] = true
+				fmt.Printf("error               %v\n", s.err)
+			}
+		}
+		os.Exit(1)
+	}
+}

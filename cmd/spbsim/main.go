@@ -18,27 +18,6 @@ import (
 	"spb/internal/stats"
 )
 
-func parsePolicy(s string) (core.Policy, error) {
-	for _, p := range core.Policies {
-		if p.String() == s {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown policy %q (want none|at-execute|at-commit|spb|ideal)", s)
-}
-
-func parsePrefetcher(s string) (config.PrefetcherKind, error) {
-	for _, k := range []config.PrefetcherKind{
-		config.PrefetchStream, config.PrefetchAggressive,
-		config.PrefetchAdaptive, config.PrefetchNone,
-	} {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown prefetcher %q (want stream|aggressive|adaptive|none)", s)
-}
-
 func main() {
 	var (
 		workload   = flag.String("workload", "bwaves", "workload name (SPEC-like for 1 core, PARSEC-like for >1)")
@@ -55,15 +34,16 @@ func main() {
 		coalesce   = flag.Bool("coalesce-sb", false, "enable the store-coalescing SB ablation (related work)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		dump       = flag.Bool("stats", false, "dump every raw counter (stable sorted format)")
+		jsonOut    = flag.Bool("json", false, "emit the full exported stats set as canonical JSON (the spbd service serialization) and nothing else")
 	)
 	flag.Parse()
 
-	pol, err := parsePolicy(*policy)
+	pol, err := core.ParsePolicy(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spbsim:", err)
 		os.Exit(2)
 	}
-	pf, err := parsePrefetcher(*prefetcher)
+	pf, err := config.ParsePrefetcher(*prefetcher)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spbsim:", err)
 		os.Exit(2)
@@ -87,6 +67,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spbsim:", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		// The canonical stats serialization shared with the spbd service:
+		// identical spec → byte-identical output, whether simulated locally
+		// or served remotely.
+		data, err := res.StatsJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
 	}
 
 	c, m := res.CPU, res.Mem

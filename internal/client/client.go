@@ -1,0 +1,211 @@
+// Package client is the Go client for the spbd simulation service. It
+// mirrors the sim package's Run/Get shape — submit a sim.RunSpec, get a
+// result — but over HTTP, so sweep harnesses and load generators can target
+// a shared daemon (and its caches) instead of simulating in-process.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"spb/internal/server"
+	"spb/internal/sim"
+)
+
+// Client talks to one spbd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://localhost:7077").
+func New(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{},
+	}
+}
+
+// StatusError is a non-2xx response from the daemon.
+type StatusError struct {
+	Code       int
+	Message    string
+	RetryAfter string // the Retry-After header, when present (429)
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("spbd: HTTP %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(data))
+		}
+		return &StatusError{Code: resp.StatusCode, Message: e.Error, RetryAfter: resp.Header.Get("Retry-After")}
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Submit enqueues spec without waiting and returns the accepted (or
+// cache-answered) job view.
+func (c *Client) Submit(ctx context.Context, spec sim.RunSpec) (server.JobView, error) {
+	var v server.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/runs", server.Request(spec), &v)
+	return v, err
+}
+
+// Run submits spec and blocks until the daemon returns the result (the
+// ?wait=1 form). Cancelling ctx abandons the request; if no other client is
+// interested the daemon stops the simulation.
+func (c *Client) Run(ctx context.Context, spec sim.RunSpec) (server.JobView, error) {
+	var v server.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/runs?wait=1", server.Request(spec), &v)
+	if err != nil {
+		return v, err
+	}
+	if v.Status != server.StatusDone {
+		return v, fmt.Errorf("spbd: run %s ended %s: %s", v.ID, v.Status, v.Error)
+	}
+	return v, nil
+}
+
+// Get fetches the current view of a job.
+func (c *Client) Get(ctx context.Context, id string) (server.JobView, error) {
+	var v server.JobView
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &v)
+	return v, err
+}
+
+// Cancel asks the daemon to stop a job.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobView, error) {
+	var v server.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/runs/"+id+"/cancel", nil, &v)
+	return v, err
+}
+
+// Wait polls a job until it reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobView, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		v, err := c.Get(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		if v.Status == server.StatusDone || v.Status == server.StatusFailed || v.Status == server.StatusCancelled {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Events subscribes to a job's SSE stream and invokes fn for every event
+// until the stream ends (job terminal), ctx is cancelled, or fn returns
+// false.
+func (c *Client) Events(ctx context.Context, id string, fn func(name string, data json.RawMessage) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var name string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if !fn(name, json.RawMessage(strings.TrimPrefix(line, "data: "))) {
+				return nil
+			}
+			if name == "done" {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// Healthz fetches the daemon's health document.
+func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
+	var v map[string]any
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &v)
+	return v, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spb/internal/core"
+	"spb/internal/server"
+	"spb/internal/sim"
+)
+
+func testDaemon(t *testing.T) (*server.Server, *Client) {
+	t.Helper()
+	s, err := server.New(server.Config{Workers: 2, SSEInterval: 5 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, New(ts.URL)
+}
+
+var quickSpec = sim.RunSpec{Workload: "mcf", Policy: core.PolicySPB, SQSize: 14, Insts: 10_000}
+
+func TestClientRunMatchesLocalSim(t *testing.T) {
+	_, cl := testDaemon(t)
+	v, err := cl.Run(context.Background(), quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sim.Run(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Stats) != string(want) {
+		t.Fatalf("remote stats differ from local:\n  %s\n  %s", v.Stats, want)
+	}
+	if v.IPC <= 0 || v.IPC != local.IPC() {
+		t.Fatalf("remote IPC %v, local %v", v.IPC, local.IPC())
+	}
+}
+
+func TestClientSubmitWaitCancel(t *testing.T) {
+	_, cl := testDaemon(t)
+	long := quickSpec
+	long.Insts = 2_000_000_000
+	ctx := context.Background()
+
+	v, err := cl.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status == server.StatusDone {
+		t.Fatal("unbounded run reported done")
+	}
+	// Watch a couple of SSE events while it runs.
+	evCtx, evCancel := context.WithTimeout(ctx, 5*time.Second)
+	defer evCancel()
+	var events int
+	err = cl.Events(evCtx, v.ID, func(name string, data json.RawMessage) bool {
+		events++
+		return events < 3
+	})
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("no SSE events observed")
+	}
+
+	if _, err := cl.Cancel(ctx, v.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Wait(ctx, v.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != server.StatusCancelled {
+		t.Fatalf("status = %s, want cancelled", got.Status)
+	}
+
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "spbd_runs_cancelled_total 1") {
+		t.Fatalf("metrics missing cancellation:\n%s", metrics)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	_, cl := testDaemon(t)
+	_, err := cl.Get(context.Background(), "missing")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("Get(missing) = %v, want 404 StatusError", err)
+	}
+	_, err = cl.Run(context.Background(), sim.RunSpec{})
+	if !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("Run(empty spec) = %v, want 400 StatusError", err)
+	}
+}

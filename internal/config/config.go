@@ -36,6 +36,20 @@ func (k PrefetcherKind) String() string {
 	return fmt.Sprintf("PrefetcherKind(%d)", int(k))
 }
 
+// Prefetchers lists every prefetcher kind in declaration order.
+var Prefetchers = []PrefetcherKind{PrefetchStream, PrefetchAggressive, PrefetchAdaptive, PrefetchNone}
+
+// ParsePrefetcher maps a prefetcher name (the String() form) back to the
+// kind. Shared by CLI flags and the spbd HTTP API.
+func ParsePrefetcher(s string) (PrefetcherKind, error) {
+	for _, k := range Prefetchers {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown prefetcher %q (want stream|aggressive|adaptive|none)", s)
+}
+
 // CoreConfig holds the out-of-order core parameters (Table I core details
 // and the Table II sensitivity configurations).
 type CoreConfig struct {

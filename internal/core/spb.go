@@ -57,6 +57,18 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// ParsePolicy maps a policy name (the String() form) back to the Policy.
+// It is the inverse shared by every surface that accepts policy names —
+// CLI flags and the spbd HTTP API — so they agree on the vocabulary.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (want none|at-execute|at-commit|spb|ideal)", s)
+}
+
 // PrefetchesAtCommit reports whether the policy issues a per-store
 // prefetch when the store enters the SB.
 func (p Policy) PrefetchesAtCommit() bool {

@@ -14,6 +14,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -289,9 +290,28 @@ func (c *Core) IdleTick() bool { return c.idle }
 // core could act again and jumps straight there with SkipTo, batching the
 // stall counters for the skipped span. Statistics are bit-identical to the
 // cycle-by-cycle loop.
-func (c *Core) Run(n uint64) error {
+func (c *Core) Run(n uint64) error { return c.RunCtx(context.Background(), n) }
+
+// cancelCheckEvery is how many loop iterations pass between context checks in
+// RunCtx: frequent enough for sub-millisecond cancellation at simulator
+// speeds, rare enough to stay off the per-cycle hot path.
+const cancelCheckEvery = 8192
+
+// RunCtx is Run under a context: if ctx is cancelled the loop stops within
+// cancelCheckEvery iterations and returns the context's error, leaving the
+// core's statistics at the point it stopped. A background context adds no
+// per-cycle overhead.
+func (c *Core) RunCtx(ctx context.Context, n uint64) error {
+	done := ctx.Done()
 	limit := c.cycle + n*1000 + 1_000_000
-	for c.St.Committed < n && !c.Done() {
+	for iter := uint64(0); c.St.Committed < n && !c.Done(); iter++ {
+		if done != nil && iter%cancelCheckEvery == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		c.Tick()
 		if c.cycle > limit {
 			return fmt.Errorf("cpu: no forward progress after %d cycles (%d/%d committed)",

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// JobView is the JSON shape of a job returned by POST /v1/runs and
+// GET /v1/runs/{id}. Stats is present only on done jobs and is the same
+// canonical serialization `spbsim -json` emits.
+type JobView struct {
+	ID        string          `json:"id"`
+	Key       string          `json:"key"`
+	Status    Status          `json:"status"`
+	Spec      RunRequest      `json:"spec"`
+	Cached    string          `json:"cached,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Committed uint64          `json:"committed"`
+	Cycles    uint64          `json:"cycles"`
+	IPC       float64         `json:"ipc"`
+	Stats     json.RawMessage `json:"stats,omitempty"`
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	st, errMsg, cached, stats := j.status, j.errMsg, j.cached, j.stats
+	j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Key:       j.key,
+		Status:    st,
+		Spec:      Request(j.spec),
+		Cached:    cached,
+		Error:     errMsg,
+		Committed: j.committed.Load(),
+		Cycles:    j.cycles.Load(),
+		Stats:     stats,
+	}
+	if v.Cycles > 0 {
+		v.IPC = float64(v.Committed) / float64(v.Cycles)
+	}
+	return v
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/runs", s.timed("POST /v1/runs", s.handleSubmit))
+	mux.Handle("GET /v1/runs", s.timed("GET /v1/runs", s.handleList))
+	mux.Handle("GET /v1/runs/{id}", s.timed("GET /v1/runs/{id}", s.handleGet))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents) // long-lived: kept out of the latency histogram
+	mux.Handle("POST /v1/runs/{id}/cancel", s.timed("POST /v1/runs/{id}/cancel", s.handleCancel))
+	mux.Handle("DELETE /v1/runs/{id}", s.timed("DELETE /v1/runs/{id}", s.handleCancel))
+	mux.Handle("GET /healthz", s.timed("GET /healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+}
+
+// timed wraps a handler with the per-endpoint latency histogram.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.ObserveLatency(endpoint, time.Since(start))
+	})
+}
+
+// writeJSON emits compact JSON: embedded json.RawMessage payloads (the
+// canonical stats set) pass through byte-identical to what `spbsim -json`
+// prints, which an indenting encoder would destroy.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a RunRequest. Cache hits return 200 with the full
+// result; fresh or coalesced jobs return 202 (or block for the result when
+// ?wait=1). A full queue returns 429 with Retry-After; a draining server
+// returns 503.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad run spec: %v", err)
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad run spec: %v", err)
+		return
+	}
+	j, err := s.submit(spec)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs deep); retry later", s.cfg.QueueDepth)
+		return
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	wait := r.URL.Query().Get("wait") == "1" || r.URL.Query().Get("wait") == "true"
+	if !wait {
+		j.retain() // asynchronous interest pins the job (the client polls later)
+		code := http.StatusAccepted
+		if v := j.view(); v.Status.terminal() {
+			code = http.StatusOK
+			writeJSON(w, code, v)
+			return
+		}
+		writeJSON(w, code, j.view())
+		return
+	}
+
+	// Synchronous: hold the request open until the job finishes. If every
+	// synchronous waiter disconnects first, the job is cancelled — an
+	// abandoned request stops simulating.
+	j.retain()
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, j.view())
+	case <-r.Context().Done():
+		s.releaseWaiter(j)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobs))
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		v := j.view()
+		v.Stats = nil // keep the listing light
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	s.cancelJob(j, errors.New("cancelled by client request"))
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// sseEvent is one progress (or terminal) event on an /events stream.
+type sseEvent struct {
+	ID        string  `json:"id"`
+	Status    Status  `json:"status"`
+	Committed uint64  `json:"committed"`
+	Cycles    uint64  `json:"cycles"`
+	IPC       float64 `json:"ipc"`
+	Target    uint64  `json:"target_insts"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// handleEvents streams job progress as Server-Sent Events: a "progress"
+// event every SSEInterval while the job runs, then one final "done" event.
+// A disconnecting client just ends the stream; the job keeps running for
+// whoever still holds interest in it.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	s.metrics.SSESubscribers.Add(1)
+	defer s.metrics.SSESubscribers.Add(-1)
+
+	send := func(event string) {
+		j.mu.Lock()
+		st, errMsg := j.status, j.errMsg
+		j.mu.Unlock()
+		ev := sseEvent{
+			ID:        j.id,
+			Status:    st,
+			Committed: j.committed.Load(),
+			Cycles:    j.cycles.Load(),
+			Target:    j.targetInsts,
+			Error:     errMsg,
+		}
+		if ev.Cycles > 0 {
+			ev.IPC = float64(ev.Committed) / float64(ev.Cycles)
+		}
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+
+	send("progress")
+	ticker := time.NewTicker(s.cfg.SSEInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			send("done")
+			return
+		case <-ticker.C:
+			send("progress")
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status, code := "ok", http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": s.QueueDepth(),
+		"inflight":    s.Inflight(),
+		"workers":     s.cfg.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w, s.QueueDepth, s.Inflight)
+}

@@ -1,0 +1,36 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"spb/internal/sim"
+)
+
+// keyVersion is baked into every content address. Bump it whenever the
+// simulator's statistics change meaning (a new counter, a model fix), so
+// stale disk-cache entries miss instead of serving results the current
+// binary would not produce.
+const keyVersion = "spb-runspec-v1"
+
+// Key returns the content address of a simulation point: a hex SHA-256 over
+// an explicit, field-by-field rendering of the normalized spec. Two specs
+// that differ only in defaulted fields (Cores 0 vs 1, Seed 0 vs 1, ...)
+// share a key, and the encoding uses no map iteration, pointer values, or
+// other process-varying input, so keys are stable across restarts — the
+// property the on-disk cache depends on.
+func Key(spec sim.RunSpec) string {
+	n := spec.Normalized()
+	h := sha256.New()
+	// %q on strings keeps workload/core names unambiguous (a name could
+	// otherwise collide with a separator); enums render as their stable
+	// String() names.
+	fmt.Fprintf(h,
+		"%s|workload=%q|policy=%s|sq=%d|pf=%s|core=%q|cores=%d|insts=%d|win=%d|dyn=%t|coalesce=%t|backward=%t|xpage=%t|bpred=%t|noff=%t|seed=%d",
+		keyVersion, n.Workload, n.Policy, n.SQSize, n.Prefetcher, n.CoreName,
+		n.Cores, n.Insts, n.WindowN, n.DynamicSPB, n.CoalesceSB,
+		n.BackwardBursts, n.CrossPageBursts, n.ModelBranchPredictor,
+		n.DisableFastForward, n.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"testing"
+
+	"spb/internal/core"
+	"spb/internal/sim"
+)
+
+// TestKeyDefaultedFieldsHashIdentically is the normalize-stability
+// guarantee: a spec written with defaults left implicit and the same spec
+// fully spelled out are the same simulation point and must share a content
+// address — otherwise the disk cache re-simulates every sweep that spells
+// its specs differently.
+func TestKeyDefaultedFieldsHashIdentically(t *testing.T) {
+	implicit := sim.RunSpec{Workload: "bwaves"}
+	explicit := sim.RunSpec{
+		Workload: "bwaves",
+		Cores:    1,       // normalize default
+		Insts:    200_000, // normalize default
+		WindowN:  48,      // normalize default
+		Seed:     1,       // normalize default
+	}
+	if Key(implicit) != Key(explicit) {
+		t.Fatalf("defaulted spec hashes differently:\n  implicit %s\n  explicit %s",
+			Key(implicit), Key(explicit))
+	}
+}
+
+// TestKeyStableAcrossRestarts pins the content address to a golden value.
+// The key must be a pure function of the normalized spec — no map
+// iteration, pointer values, or other process-varying input — because
+// on-disk cache entries written by one spbd process must hit in the next.
+// If this test fails because the spec encoding deliberately changed, bump
+// keyVersion and update the constants (old cache entries then miss, which
+// is the safe direction).
+func TestKeyStableAcrossRestarts(t *testing.T) {
+	golden := []struct {
+		spec sim.RunSpec
+		key  string
+	}{
+		{sim.RunSpec{Workload: "bwaves"},
+			"1404e99f589bd39c385c41377151511ae7d0d10e44f47be28065f6020d7b410f"},
+		{sim.RunSpec{Workload: "dedup", Cores: 8, SQSize: 56},
+			"f0e5e2b7661d1a637feda9717a0ff7301c98ed158007edc7fa546073ab8dc3a0"},
+	}
+	for _, g := range golden {
+		if got := Key(g.spec); got != g.key {
+			t.Errorf("Key(%+v) = %s, want %s", g.spec, got, g.key)
+		}
+	}
+	// And the same call twice in this process must agree with itself.
+	for _, g := range golden {
+		if Key(g.spec) != Key(g.spec) {
+			t.Errorf("Key(%+v) is not deterministic within a process", g.spec)
+		}
+	}
+}
+
+// TestKeyDistinguishesSpecs checks that every identifying field feeds the
+// hash: flipping any one of them must change the key.
+func TestKeyDistinguishesSpecs(t *testing.T) {
+	base := sim.RunSpec{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14}
+	variants := []sim.RunSpec{
+		{Workload: "mcf", Policy: core.PolicySPB, SQSize: 14},
+		{Workload: "bwaves", Policy: core.PolicyAtCommit, SQSize: 14},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 56},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Insts: 100},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Seed: 2},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, WindowN: 32},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Cores: 2},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, DynamicSPB: true},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, CoalesceSB: true},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, BackwardBursts: true},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, CrossPageBursts: true},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, ModelBranchPredictor: true},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, DisableFastForward: true},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, CoreName: "SLM"},
+	}
+	baseKey := Key(base)
+	seen := map[string]int{baseKey: -1}
+	for i, v := range variants {
+		k := Key(v)
+		if k == baseKey {
+			t.Errorf("variant %d (%+v) collides with base", i, v)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d collide", prev, i)
+		}
+		seen[k] = i
+	}
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds spbd's operational counters, exported at GET /metrics in
+// Prometheus text format. Hand-rolled (the repo takes no dependencies): the
+// counters are plain atomics bumped on the request path, and the text
+// rendering walks them under a snapshot. Gauges (queue depth, in-flight
+// runs) are read live from the server at scrape time.
+type Metrics struct {
+	CacheHitsMemory  atomic.Uint64
+	CacheHitsDisk    atomic.Uint64
+	CacheMisses      atomic.Uint64
+	RunsCoalesced    atomic.Uint64
+	RunsCompleted    atomic.Uint64
+	RunsFailed       atomic.Uint64
+	RunsCancelled    atomic.Uint64
+	QueueRejected    atomic.Uint64
+	SSESubscribers   atomic.Int64
+	DiskStoreErrors  atomic.Uint64
+	ProgressSnapshot atomic.Uint64 // progress callbacks delivered
+
+	mu         sync.Mutex
+	histograms map[string]*histogram
+}
+
+// latencyBuckets are the per-endpoint latency histogram upper bounds in
+// seconds. Simulations take milliseconds to minutes, cache hits take
+// microseconds; the range covers both.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket cumulative histogram. counts[i] is the number
+// of observations ≤ latencyBuckets[i]; inf and sum complete the Prometheus
+// triple.
+type histogram struct {
+	counts []atomic.Uint64 // one per latencyBuckets entry
+	inf    atomic.Uint64
+	sumNS  atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+		}
+	}
+	h.inf.Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{histograms: make(map[string]*histogram)}
+}
+
+// ObserveLatency records one request duration under the endpoint label
+// (the route pattern, e.g. "POST /v1/runs").
+func (m *Metrics) ObserveLatency(endpoint string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.histograms[endpoint]
+	if !ok {
+		h = &histogram{counts: make([]atomic.Uint64, len(latencyBuckets))}
+		m.histograms[endpoint] = h
+	}
+	m.mu.Unlock()
+	h.observe(d)
+}
+
+// WriteText renders every metric in Prometheus exposition format. The
+// queueDepth and inflight callbacks supply the live gauges.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("spbd_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth()))
+	gauge("spbd_inflight_runs", "Simulations currently executing.", int64(inflight()))
+	gauge("spbd_sse_subscribers", "Open SSE progress streams.", m.SSESubscribers.Load())
+
+	fmt.Fprintf(w, "# HELP spbd_cache_hits_total Run requests answered from cache, by tier.\n")
+	fmt.Fprintf(w, "# TYPE spbd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "spbd_cache_hits_total{tier=\"memory\"} %d\n", m.CacheHitsMemory.Load())
+	fmt.Fprintf(w, "spbd_cache_hits_total{tier=\"disk\"} %d\n", m.CacheHitsDisk.Load())
+	counter("spbd_cache_misses_total", "Run requests that had to simulate.", m.CacheMisses.Load())
+	counter("spbd_runs_coalesced_total", "Submissions deduplicated onto an active identical job.", m.RunsCoalesced.Load())
+	counter("spbd_runs_completed_total", "Jobs that finished successfully.", m.RunsCompleted.Load())
+	counter("spbd_runs_failed_total", "Jobs that ended in a simulation error.", m.RunsFailed.Load())
+	counter("spbd_runs_cancelled_total", "Jobs stopped by cancellation or timeout.", m.RunsCancelled.Load())
+	counter("spbd_queue_rejected_total", "Submissions rejected with 429 because the queue was full.", m.QueueRejected.Load())
+	counter("spbd_disk_store_errors_total", "Disk cache tier read/write failures.", m.DiskStoreErrors.Load())
+	counter("spbd_progress_snapshots_total", "Progress callbacks delivered by running simulations.", m.ProgressSnapshot.Load())
+
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.histograms))
+	for ep := range m.histograms {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	hists := make([]*histogram, len(endpoints))
+	for i, ep := range endpoints {
+		hists[i] = m.histograms[ep]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP spbd_http_request_duration_seconds HTTP request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE spbd_http_request_duration_seconds histogram\n")
+	for i, ep := range endpoints {
+		h := hists[i]
+		for j, ub := range latencyBuckets {
+			fmt.Fprintf(w, "spbd_http_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n",
+				ep, ub, h.counts[j].Load())
+		}
+		fmt.Fprintf(w, "spbd_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.inf.Load())
+		fmt.Fprintf(w, "spbd_http_request_duration_seconds_sum{endpoint=%q} %g\n",
+			ep, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "spbd_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.inf.Load())
+	}
+}

@@ -1,0 +1,432 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spb/internal/sim"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the number of simulations executed concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO of jobs waiting for a worker; submissions
+	// beyond it are rejected with 429 + Retry-After (default: 64).
+	QueueDepth int
+	// CacheDir roots the on-disk result store; empty disables the disk tier.
+	CacheDir string
+	// RunTimeout caps a single simulation's execution; 0 means no cap.
+	RunTimeout time.Duration
+	// SSEInterval is the progress-event period on /events streams
+	// (default: 250ms).
+	SSEInterval time.Duration
+	// Logf receives operational log lines (default: log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SSEInterval <= 0 {
+		c.SSEInterval = 250 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// job is one accepted simulation request.
+type job struct {
+	id        string
+	key       string
+	spec      sim.RunSpec
+	submitted time.Time
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// Progress, written by the simulating goroutine, read by SSE streams
+	// and status requests.
+	committed   atomic.Uint64
+	cycles      atomic.Uint64
+	targetInsts uint64
+
+	// waiters counts parties whose interest keeps the job alive: the
+	// asynchronous submitter pins it forever (they may poll later); a
+	// synchronous (?wait=1) submitter releases on disconnect, and when the
+	// count reaches zero the job is cancelled — abandoned requests stop
+	// simulating.
+	waiters atomic.Int64
+
+	done chan struct{} // closed when terminal
+
+	mu     sync.Mutex
+	status Status
+	result sim.Result
+	stats  json.RawMessage
+	errMsg string
+	cached string // "", "memory" or "disk"
+}
+
+// finish moves the job to a terminal state exactly once; later calls are
+// no-ops returning false (a cancel handler and the worker can race here).
+func (j *job) finish(st Status, res sim.Result, stats json.RawMessage, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return false
+	}
+	j.status = st
+	j.result = res
+	j.stats = stats
+	j.errMsg = errMsg
+	close(j.done)
+	return true
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	if j.status == StatusQueued {
+		j.status = StatusRunning
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) release() int64 { return j.waiters.Add(-1) }
+func (j *job) retain()        { j.waiters.Add(1) }
+
+// Server is the spbd daemon: HTTP API + queue + worker pool + 2-tier cache.
+type Server struct {
+	cfg     Config
+	runner  *sim.Runner
+	store   *DiskStore // nil when the disk tier is disabled
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job // every job ever accepted, by id
+	active   map[string]*job // queued or running jobs, by spec key
+	queue    chan *job
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining bool
+	nextID   atomic.Uint64
+
+	workers sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		runner:  sim.NewRunner(),
+		metrics: NewMetrics(),
+		jobs:    make(map[string]*job),
+		active:  make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.CacheDir != "" {
+		store, err := OpenDiskStore(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Runner exposes the in-memory tier (tests assert on its run count).
+func (s *Server) Runner() *sim.Runner { return s.runner }
+
+// Metrics exposes the metrics registry (tests and the /metrics handler).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Sentinel submission errors, mapped to HTTP statuses by the handler.
+var (
+	errQueueFull = errors.New("server: queue full")
+	errDraining  = errors.New("server: draining, not accepting jobs")
+)
+
+// submit resolves a normalized spec against the cache tiers or places it on
+// the queue. It returns the job (fresh, coalesced, or already-complete from
+// cache) — never both a job and an error.
+func (s *Server) submit(spec sim.RunSpec) (*job, error) {
+	spec = spec.Normalized()
+	key := Key(spec)
+
+	// Tier 1: memory (the Runner's memoization map).
+	if res, ok := s.runner.Lookup(spec); ok {
+		s.metrics.CacheHitsMemory.Add(1)
+		return s.completedJob(key, spec, res, "memory")
+	}
+	// Tier 2: content-addressed disk store; hits re-seed the memory tier.
+	if s.store != nil {
+		res, ok, err := s.store.Get(key)
+		switch {
+		case err != nil:
+			s.metrics.DiskStoreErrors.Add(1)
+			s.cfg.Logf("spbd: disk cache read %s: %v (falling through to run)", key[:12], err)
+		case ok:
+			s.runner.Put(spec, res)
+			s.metrics.CacheHitsDisk.Add(1)
+			return s.completedJob(key, spec, res, "disk")
+		}
+	}
+
+	s.mu.Lock()
+	if j, ok := s.active[key]; ok {
+		s.mu.Unlock()
+		s.metrics.RunsCoalesced.Add(1)
+		return j, nil
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	j := s.newJobLocked(key, spec)
+	select {
+	case s.queue <- j:
+		s.queued.Add(1)
+		s.jobs[j.id] = j
+		s.active[key] = j
+		s.mu.Unlock()
+		s.metrics.CacheMisses.Add(1)
+		return j, nil
+	default:
+		s.mu.Unlock()
+		s.metrics.QueueRejected.Add(1)
+		return nil, errQueueFull
+	}
+}
+
+func (s *Server) newJobLocked(key string, spec sim.RunSpec) *job {
+	id := fmt.Sprintf("r%06d-%s", s.nextID.Add(1), key[:8])
+	j := &job{
+		id:          id,
+		key:         key,
+		spec:        spec,
+		submitted:   time.Now(),
+		targetInsts: spec.Insts * uint64(spec.Cores),
+		done:        make(chan struct{}),
+		status:      StatusQueued,
+	}
+	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
+	return j
+}
+
+// completedJob materializes a cache hit as an already-terminal job so the
+// response shape (and GET /v1/runs/{id}) is uniform across hits and misses.
+func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier string) (*job, error) {
+	stats, err := res.StatsJSON()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	j := s.newJobLocked(key, spec)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	j.cached = tier
+	j.committed.Store(res.CPU.Committed)
+	j.cycles.Store(res.CPU.Cycles)
+	j.finish(StatusDone, res, stats, "")
+	j.retain() // uniform with queued jobs: the submitter pins it
+	return j, nil
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.queued.Add(-1)
+		s.inflight.Add(1)
+		s.runJob(j)
+		s.inflight.Add(-1)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	defer func() {
+		s.mu.Lock()
+		if s.active[j.key] == j {
+			delete(s.active, j.key)
+		}
+		s.mu.Unlock()
+	}()
+
+	if err := j.ctx.Err(); err != nil {
+		// Cancelled while still queued.
+		if j.finish(StatusCancelled, sim.Result{}, nil, cancelMsg(j.ctx)) {
+			s.metrics.RunsCancelled.Add(1)
+		}
+		return
+	}
+	j.setRunning()
+
+	ctx := j.ctx
+	if s.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(j.ctx, s.cfg.RunTimeout,
+			fmt.Errorf("run timeout %v exceeded", s.cfg.RunTimeout))
+		defer cancel()
+	}
+
+	res, err := s.runner.GetCtx(ctx, j.spec, func(p sim.Progress) {
+		j.committed.Store(p.Committed)
+		j.cycles.Store(p.Cycles)
+		s.metrics.ProgressSnapshot.Add(1)
+	})
+	switch {
+	case err == nil:
+		stats, jerr := res.StatsJSON()
+		if jerr != nil {
+			if j.finish(StatusFailed, sim.Result{}, nil, jerr.Error()) {
+				s.metrics.RunsFailed.Add(1)
+			}
+			return
+		}
+		j.committed.Store(res.CPU.Committed)
+		j.cycles.Store(res.CPU.Cycles)
+		if j.finish(StatusDone, res, stats, "") {
+			s.metrics.RunsCompleted.Add(1)
+		}
+		if s.store != nil {
+			if perr := s.store.Put(j.key, res); perr != nil {
+				s.metrics.DiskStoreErrors.Add(1)
+				s.cfg.Logf("spbd: disk cache write %s: %v", j.key[:12], perr)
+			}
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if j.finish(StatusCancelled, sim.Result{}, nil, cancelMsg(ctx)) {
+			s.metrics.RunsCancelled.Add(1)
+		}
+	default:
+		if j.finish(StatusFailed, sim.Result{}, nil, err.Error()) {
+			s.metrics.RunsFailed.Add(1)
+		}
+	}
+}
+
+// cancelMsg renders the most specific cancellation cause available.
+func cancelMsg(ctx context.Context) string {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause.Error()
+	}
+	return "cancelled"
+}
+
+// cancelJob cancels a job's context and, if the job had not started
+// running, finalizes it immediately (so a queued job doesn't report
+// "queued" until a worker gets around to it).
+func (s *Server) cancelJob(j *job, cause error) {
+	j.cancel(cause)
+	j.mu.Lock()
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		if j.finish(StatusCancelled, sim.Result{}, nil, cause.Error()) {
+			s.metrics.RunsCancelled.Add(1)
+		}
+		s.mu.Lock()
+		if s.active[j.key] == j {
+			delete(s.active, j.key)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// releaseWaiter drops one synchronous waiter's interest; the last one to
+// leave cancels the job.
+func (s *Server) releaseWaiter(j *job) {
+	if j.release() <= 0 {
+		s.cancelJob(j, errors.New("abandoned: every waiting client disconnected"))
+	}
+}
+
+// Drain gracefully shuts the server down: new submissions are rejected with
+// 503, queued and running jobs are given until ctx expires to finish (their
+// results are persisted to the disk tier as they complete), and anything
+// still running after that is force-cancelled. It returns nil on a clean
+// drain and ctx's error if force-cancellation was needed.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel(fmt.Errorf("drain deadline exceeded: %w", context.Cause(ctx)))
+		<-idle // cancellation propagates within a few thousand sim cycles
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server (tests). Prefer Drain in production.
+func (s *Server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_ = s.Drain(ctx)
+}
+
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// QueueDepth reports jobs waiting for a worker (metrics gauge).
+func (s *Server) QueueDepth() int { return int(s.queued.Load()) }
+
+// Inflight reports simulations currently executing (metrics gauge).
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }

@@ -1,0 +1,622 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spb/internal/core"
+	"spb/internal/sim"
+)
+
+// testServer builds a server + httptest front end with fast SSE ticks and a
+// hard stop on cleanup.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.SSEInterval == 0 {
+		cfg.SSEInterval = 5 * time.Millisecond
+	}
+	cfg.Logf = t.Logf
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, req RunRequest, query string) (*http.Response, JobView) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobView
+	if resp.StatusCode/100 == 2 {
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("bad response %s: %v", data, err)
+		}
+	}
+	return resp, v
+}
+
+// smallSpec is a quick (~10ms) simulation point used across the tests.
+var smallSpec = RunRequest{Workload: "bwaves", Policy: "spb", SB: 14, Insts: 10_000}
+
+// longSpec is effectively unbounded at test timescales; every test that
+// submits it must cancel it.
+var longSpec = RunRequest{Workload: "bwaves", Policy: "spb", SB: 14, Insts: 2_000_000_000}
+
+// TestColdRunMatchesInProcessStats is the acceptance core: a cold POST
+// returns byte-identical stats to running the same spec in-process (what
+// `spbsim -json` prints).
+func TestColdRunMatchesInProcessStats(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	resp, v := postRun(t, ts, smallSpec, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST = %d", resp.StatusCode)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", v.Status, v.Error)
+	}
+	if v.Cached != "" {
+		t.Fatalf("cold run reported cached=%q", v.Cached)
+	}
+	spec, err := smallSpec.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Stats) != string(want) {
+		t.Fatalf("service stats differ from in-process stats:\n  got  %s\n  want %s", v.Stats, want)
+	}
+	if got := s.Runner().Runs(); got != 1 {
+		t.Fatalf("runner executed %d simulations, want 1", got)
+	}
+}
+
+// TestSecondRequestServedFromMemoryCache: an identical repeat request must
+// not re-simulate — the runner's run count stays put and the response says
+// which tier answered.
+func TestSecondRequestServedFromMemoryCache(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	_, first := postRun(t, ts, smallSpec, "?wait=1")
+	if first.Status != StatusDone {
+		t.Fatalf("first run: %s (%s)", first.Status, first.Error)
+	}
+	runs := s.Runner().Runs()
+
+	resp, second := postRun(t, ts, smallSpec, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second POST = %d", resp.StatusCode)
+	}
+	if second.Cached != "memory" {
+		t.Fatalf("second run cached = %q, want memory", second.Cached)
+	}
+	if string(second.Stats) != string(first.Stats) {
+		t.Fatal("cache hit returned different stats")
+	}
+	if got := s.Runner().Runs(); got != runs {
+		t.Fatalf("cache hit re-ran the simulation (%d -> %d runs)", runs, got)
+	}
+	if s.Metrics().CacheHitsMemory.Load() != 1 {
+		t.Fatalf("memory hit metric = %d, want 1", s.Metrics().CacheHitsMemory.Load())
+	}
+
+	// A spec spelled with explicit defaults is the same point → still a hit.
+	explicit := smallSpec
+	explicit.Cores = 1
+	explicit.WindowN = 48
+	explicit.Seed = 1
+	_, third := postRun(t, ts, explicit, "?wait=1")
+	if third.Cached != "memory" {
+		t.Fatalf("defaulted-field respelling missed the cache (cached=%q)", third.Cached)
+	}
+}
+
+// TestDiskTierSurvivesRestart: a second server sharing the cache directory
+// answers from disk without simulating, and re-seeds its memory tier.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := testServer(t, Config{Workers: 2, CacheDir: dir})
+	_, first := postRun(t, ts1, smallSpec, "?wait=1")
+	if first.Status != StatusDone {
+		t.Fatalf("first run: %s (%s)", first.Status, first.Error)
+	}
+
+	s2, ts2 := testServer(t, Config{Workers: 2, CacheDir: dir})
+	resp, second := postRun(t, ts2, smallSpec, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restart POST = %d", resp.StatusCode)
+	}
+	if second.Cached != "disk" {
+		t.Fatalf("restarted server cached = %q, want disk", second.Cached)
+	}
+	if string(second.Stats) != string(first.Stats) {
+		t.Fatal("disk tier returned different stats")
+	}
+	if s2.Runner().Runs() != 0 {
+		t.Fatalf("restarted server simulated %d times, want 0", s2.Runner().Runs())
+	}
+	// The disk hit re-seeded memory: a third request is a memory hit.
+	_, third := postRun(t, ts2, smallSpec, "?wait=1")
+	if third.Cached != "memory" {
+		t.Fatalf("post-disk-hit request cached = %q, want memory", third.Cached)
+	}
+}
+
+// TestDuplicateSubmissionCoalesces: two concurrent async submissions of the
+// same spec share one job and one simulation.
+func TestDuplicateSubmissionCoalesces(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	resp1, v1 := postRun(t, ts, longSpec, "")
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d", resp1.StatusCode)
+	}
+	resp2, v2 := postRun(t, ts, longSpec, "")
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second POST = %d", resp2.StatusCode)
+	}
+	if v1.ID != v2.ID {
+		t.Fatalf("duplicate submission got a fresh job: %s vs %s", v1.ID, v2.ID)
+	}
+	if s.Metrics().RunsCoalesced.Load() != 1 {
+		t.Fatalf("coalesced metric = %d, want 1", s.Metrics().RunsCoalesced.Load())
+	}
+	// Cleanup: stop the long job.
+	http.Post(ts.URL+"/v1/runs/"+v1.ID+"/cancel", "", nil)
+}
+
+// TestQueueFullBackpressure: with one worker pinned and a queue of one, the
+// third submission must be rejected with 429 + Retry-After.
+func TestQueueFullBackpressure(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	specN := func(n uint64) RunRequest {
+		r := longSpec
+		r.Seed = n // distinct seeds defeat dedup so each occupies a slot
+		return r
+	}
+	_, v1 := postRun(t, ts, specN(1), "") // taken by the worker
+	waitStatus(t, ts, v1.ID, StatusRunning)
+	_, v2 := postRun(t, ts, specN(2), "") // sits in the queue
+
+	resp3, _ := postRun(t, ts, specN(3), "")
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity POST = %d, want 429", resp3.StatusCode)
+	}
+	if ra := resp3.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if s.Metrics().QueueRejected.Load() != 1 {
+		t.Fatalf("rejected metric = %d, want 1", s.Metrics().QueueRejected.Load())
+	}
+	for _, id := range []string{v1.ID, v2.ID} {
+		http.Post(ts.URL+"/v1/runs/"+id+"/cancel", "", nil)
+	}
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id string, want Status) JobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == want {
+			return v
+		}
+		if v.Status.terminal() {
+			t.Fatalf("job %s ended %s (%s) while waiting for %s", id, v.Status, v.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobView{}
+}
+
+// TestCancellationHaltsCoreLoop is the acceptance check that cancelling a
+// run actually stops the simulation: after the cancel is acknowledged the
+// committed-instruction count must stay put.
+func TestCancellationHaltsCoreLoop(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	_, v := postRun(t, ts, longSpec, "")
+	waitStatus(t, ts, v.ID, StatusRunning)
+
+	// Let it make observable progress first.
+	deadline := time.Now().Add(5 * time.Second)
+	var before JobView
+	for {
+		before = waitStatus(t, ts, v.ID, StatusRunning)
+		if before.Committed > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never reported progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/runs/"+v.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+
+	// The worker observes the cancel within progressEvery rounds; wait for
+	// the terminal state, then assert the core loop is actually halted.
+	var after JobView
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&after)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Status.terminal() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if after.Status != StatusCancelled {
+		t.Fatalf("status after cancel = %s (%s), want cancelled", after.Status, after.Error)
+	}
+	if s.Metrics().RunsCancelled.Load() != 1 {
+		t.Fatalf("cancelled metric = %d, want 1", s.Metrics().RunsCancelled.Load())
+	}
+
+	committed := after.Committed
+	time.Sleep(50 * time.Millisecond)
+	resp2, err := http.Get(ts.URL + "/v1/runs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var later JobView
+	err = json.NewDecoder(resp2.Body).Decode(&later)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if later.Committed != committed {
+		t.Fatalf("simulation kept running after cancel: committed %d -> %d", committed, later.Committed)
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight = %d after cancel, want 0", s.Inflight())
+	}
+}
+
+// TestSSEProgressAndDisconnect: a subscriber sees progress events with
+// advancing counters and a final done event; a subscriber that disconnects
+// mid-stream is released (gauge returns to zero) without disturbing the
+// job.
+func TestSSEProgressAndDisconnect(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	_, v := postRun(t, ts, longSpec, "")
+	waitStatus(t, ts, v.ID, StatusRunning)
+
+	// Subscriber 1: disconnects after the first event.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	req1, _ := http.NewRequestWithContext(ctx1, "GET", ts.URL+"/v1/runs/"+v.ID+"/events", nil)
+	resp1, err := http.DefaultClient.Do(req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp1.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp1.Body)
+	if _, err := br.ReadString('\n'); err != nil { // first "event:" line arrives
+		t.Fatal(err)
+	}
+	if got := s.Metrics().SSESubscribers.Load(); got != 1 {
+		t.Fatalf("subscriber gauge = %d, want 1", got)
+	}
+	cancel1()
+	resp1.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().SSESubscribers.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnected SSE subscriber never released")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The job survived its observer.
+	waitStatus(t, ts, v.ID, StatusRunning)
+
+	// Subscriber 2: reads progress until the job is cancelled, expects the
+	// terminal "done"-stream event carrying the cancelled status.
+	type ev struct {
+		name string
+		data sseEvent
+	}
+	events := make(chan ev, 64)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	req2, _ := http.NewRequestWithContext(ctx2, "GET", ts.URL+"/v1/runs/"+v.ID+"/events", nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp2.Body)
+		var name string
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: ") {
+				name = strings.TrimPrefix(line, "event: ")
+			} else if strings.HasPrefix(line, "data: ") {
+				var d sseEvent
+				if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &d) == nil {
+					events <- ev{name, d}
+				}
+				if name == "done" {
+					return
+				}
+			}
+		}
+	}()
+
+	for e := range events {
+		if e.name == "progress" && e.data.Status == StatusRunning {
+			if e.data.Target == 0 {
+				t.Fatalf("progress event missing target_insts: %+v", e.data)
+			}
+			break
+		}
+	}
+	http.Post(ts.URL+"/v1/runs/"+v.ID+"/cancel", "", nil)
+	var last ev
+	for e := range events {
+		last = e
+	}
+	if last.name != "done" || last.data.Status != StatusCancelled {
+		t.Fatalf("final SSE event = %q %+v, want done/cancelled", last.name, last.data)
+	}
+}
+
+// TestWaitingClientDisconnectCancelsRun: when the only synchronous waiter
+// goes away the daemon stops the simulation (abandoned work is cancelled).
+func TestWaitingClientDisconnectCancelsRun(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	body, _ := json.Marshal(longSpec)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/runs?wait=1", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel() // client disconnects
+	<-errCh
+
+	for s.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned run kept simulating")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.Metrics().RunsCancelled.Load() != 1 {
+		t.Fatalf("cancelled metric = %d, want 1", s.Metrics().RunsCancelled.Load())
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after a hit/miss/cancel sequence and
+// checks the counters the acceptance criteria name.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	postRun(t, ts, smallSpec, "?wait=1")
+	postRun(t, ts, smallSpec, "?wait=1") // memory hit
+	_, v := postRun(t, ts, longSpec, "")
+	waitStatus(t, ts, v.ID, StatusRunning)
+	http.Post(ts.URL+"/v1/runs/"+v.ID+"/cancel", "", nil)
+	waitTerminal(t, ts, v.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`spbd_cache_hits_total{tier="memory"} 1`,
+		`spbd_cache_hits_total{tier="disk"} 0`,
+		"spbd_cache_misses_total 2",
+		"spbd_runs_cancelled_total 1",
+		"spbd_runs_completed_total 1",
+		"spbd_queue_depth 0",
+		"spbd_inflight_runs 0",
+		`spbd_http_request_duration_seconds_count{endpoint="POST /v1/runs"}`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %q\n---\n%s", want, text)
+		}
+	}
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status.terminal() {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never terminal", id)
+	return JobView{}
+}
+
+// TestDrainRejectsAndFinishes: during drain new submissions get 503 and
+// queued work still completes and persists.
+func TestDrainRejectsAndFinishes(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{Workers: 1, CacheDir: dir})
+	_, v := postRun(t, ts, smallSpec, "")
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// Submissions during/after drain are refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		req := smallSpec
+		req.Seed = 99
+		resp, _ := postRun(t, ts, req, "")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started rejecting submissions")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := waitTerminal(t, ts, v.ID); got.Status != StatusDone {
+		t.Fatalf("queued job ended %s across drain, want done", got.Status)
+	}
+	// The drained job's result made it to the disk tier.
+	store, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := smallSpec.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := store.Get(Key(spec)); err != nil || !ok {
+		t.Fatalf("drained job's result not on disk: ok %v, %v", ok, err)
+	}
+	// Healthz reports draining.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestBadSpecRejected covers the 400 paths.
+func TestBadSpecRejected(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	for _, body := range []string{
+		`{"policy":"spb"}`,                       // missing workload
+		`{"workload":"bwaves","policy":"bogus"}`, // unknown policy
+		`{"workload":"bwaves","prefetcher":"?"}`, // unknown prefetcher
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown id = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestUnknownWorkloadFailsJob: a spec that parses but names a missing
+// workload must fail the job, not wedge it.
+func TestUnknownWorkloadFailsJob(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	req := RunRequest{Workload: "no-such-workload", Insts: 1000}
+	resp, v := postRun(t, ts, req, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST = %d", resp.StatusCode)
+	}
+	if v.Status != StatusFailed || v.Error == "" {
+		t.Fatalf("status = %s (%q), want failed with error", v.Status, v.Error)
+	}
+	if s.Metrics().RunsFailed.Load() != 1 {
+		t.Fatalf("failed metric = %d, want 1", s.Metrics().RunsFailed.Load())
+	}
+}
+
+func ExampleKey() {
+	k := Key(sim.RunSpec{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14})
+	fmt.Println(len(k))
+	// Output: 64
+}

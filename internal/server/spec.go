@@ -1,0 +1,100 @@
+// Package server implements spbd, the simulation-as-a-service daemon: an
+// HTTP front end that accepts RunSpec jobs, executes them on a bounded
+// worker pool with FIFO queueing and per-spec deduplication, and answers
+// repeat requests from a two-tier cache (the in-memory sim.Runner backed by
+// a content-addressed on-disk store). Progress is streamed over SSE and
+// operational counters are exported in Prometheus text format.
+package server
+
+import (
+	"fmt"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/sim"
+)
+
+// RunRequest is the JSON wire form of a sim.RunSpec. Enumerations travel as
+// their String() names ("spb", "stream", ...) so requests are writable by
+// hand with curl; zero-valued fields take the same defaults the simulator
+// applies (RunSpec.Normalized). It is shared by the POST /v1/runs body, the
+// stored cache entries, and the spbd client.
+type RunRequest struct {
+	Workload   string `json:"workload"`
+	Policy     string `json:"policy,omitempty"`
+	SB         int    `json:"sb,omitempty"`
+	Prefetcher string `json:"prefetcher,omitempty"`
+	Core       string `json:"core,omitempty"`
+	Cores      int    `json:"cores,omitempty"`
+	Insts      uint64 `json:"insts,omitempty"`
+	WindowN    int    `json:"window_n,omitempty"`
+
+	DynamicSPB         bool   `json:"dynamic_spb,omitempty"`
+	CoalesceSB         bool   `json:"coalesce_sb,omitempty"`
+	BackwardBursts     bool   `json:"backward_bursts,omitempty"`
+	CrossPageBursts    bool   `json:"cross_page_bursts,omitempty"`
+	BranchPredictor    bool   `json:"branch_predictor,omitempty"`
+	DisableFastForward bool   `json:"disable_fast_forward,omitempty"`
+	Seed               uint64 `json:"seed,omitempty"`
+}
+
+// Spec converts the wire form into a sim.RunSpec, resolving the enum names.
+// An empty policy or prefetcher means the corresponding zero value
+// ("none"-policy, "stream"-prefetcher), matching the zero sim.RunSpec.
+func (r RunRequest) Spec() (sim.RunSpec, error) {
+	spec := sim.RunSpec{
+		Workload:             r.Workload,
+		SQSize:               r.SB,
+		CoreName:             r.Core,
+		Cores:                r.Cores,
+		Insts:                r.Insts,
+		WindowN:              r.WindowN,
+		DynamicSPB:           r.DynamicSPB,
+		CoalesceSB:           r.CoalesceSB,
+		BackwardBursts:       r.BackwardBursts,
+		CrossPageBursts:      r.CrossPageBursts,
+		ModelBranchPredictor: r.BranchPredictor,
+		DisableFastForward:   r.DisableFastForward,
+		Seed:                 r.Seed,
+	}
+	if r.Workload == "" {
+		return sim.RunSpec{}, fmt.Errorf("missing workload")
+	}
+	if r.Policy != "" {
+		p, err := core.ParsePolicy(r.Policy)
+		if err != nil {
+			return sim.RunSpec{}, err
+		}
+		spec.Policy = p
+	}
+	if r.Prefetcher != "" {
+		k, err := config.ParsePrefetcher(r.Prefetcher)
+		if err != nil {
+			return sim.RunSpec{}, err
+		}
+		spec.Prefetcher = k
+	}
+	return spec, nil
+}
+
+// Request converts a sim.RunSpec into its wire form (the inverse of Spec,
+// modulo normalization).
+func Request(spec sim.RunSpec) RunRequest {
+	return RunRequest{
+		Workload:           spec.Workload,
+		Policy:             spec.Policy.String(),
+		SB:                 spec.SQSize,
+		Prefetcher:         spec.Prefetcher.String(),
+		Core:               spec.CoreName,
+		Cores:              spec.Cores,
+		Insts:              spec.Insts,
+		WindowN:            spec.WindowN,
+		DynamicSPB:         spec.DynamicSPB,
+		CoalesceSB:         spec.CoalesceSB,
+		BackwardBursts:     spec.BackwardBursts,
+		CrossPageBursts:    spec.CrossPageBursts,
+		BranchPredictor:    spec.ModelBranchPredictor,
+		DisableFastForward: spec.DisableFastForward,
+		Seed:               spec.Seed,
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"spb/internal/sim"
+)
+
+// DiskStore is the second cache tier: a content-addressed directory of
+// finished results, one JSON file per spec key, sharded by the key's first
+// byte (dir/ab/abcd....json) to keep directories small under large sweeps.
+// Entries are written atomically (temp file + rename), so a crashed or
+// SIGKILLed daemon never leaves a torn entry, and they survive restarts —
+// a warm spbd answers repeat sweep points without simulating.
+type DiskStore struct {
+	dir string
+}
+
+// diskEntry is the stored envelope. Spec is kept in wire form for humans
+// poking at the cache with jq; Stats is the canonical serialization the
+// service responds with; Result carries every raw counter so the memory
+// tier can be re-seeded losslessly.
+type diskEntry struct {
+	Key    string          `json:"key"`
+	Spec   RunRequest      `json:"spec"`
+	Stats  json.RawMessage `json:"stats"`
+	Result sim.Result      `json:"result"`
+}
+
+// OpenDiskStore opens (creating if needed) a result store rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: open disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(key string) string {
+	shard := "00"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".json")
+}
+
+// Get recalls the result stored under key. The boolean reports whether the
+// entry exists; a malformed or mismatched entry is an error, not a miss, so
+// corruption is surfaced rather than silently re-simulated over.
+func (s *DiskStore) Get(key string) (sim.Result, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return sim.Result{}, false, nil
+	}
+	if err != nil {
+		return sim.Result{}, false, fmt.Errorf("server: disk store get: %w", err)
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return sim.Result{}, false, fmt.Errorf("server: disk store entry %s: %w", key, err)
+	}
+	if e.Key != key {
+		return sim.Result{}, false, fmt.Errorf("server: disk store entry %s holds key %s", key, e.Key)
+	}
+	return e.Result, true, nil
+}
+
+// Put stores res under key, atomically replacing any existing entry.
+func (s *DiskStore) Put(key string, res sim.Result) error {
+	stats, err := res.StatsJSON()
+	if err != nil {
+		return fmt.Errorf("server: disk store put: %w", err)
+	}
+	data, err := json.MarshalIndent(diskEntry{
+		Key:    key,
+		Spec:   Request(res.Spec),
+		Stats:  stats,
+		Result: res,
+	}, "", "\t")
+	if err != nil {
+		return fmt.Errorf("server: disk store put: %w", err)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("server: disk store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("server: disk store put: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: disk store put %s: write %v, close %v", key, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: disk store put: %w", err)
+	}
+	return nil
+}
+
+// Len walks the store and counts entries (operational introspection and
+// tests; not a hot path).
+func (s *DiskStore) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

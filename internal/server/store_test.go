@@ -1,0 +1,97 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spb/internal/core"
+	"spb/internal/sim"
+)
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	store, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.RunSpec{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Insts: 5000}
+	res, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(spec)
+
+	if _, ok, err := store.Get(key); err != nil || ok {
+		t.Fatalf("Get before Put = ok %v err %v, want miss", ok, err)
+	}
+	if err := store.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := store.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok %v err %v", ok, err)
+	}
+	if back != res {
+		t.Fatalf("round trip changed the result:\n  got  %+v\n  want %+v", back, res)
+	}
+	if n, err := store.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+
+	// Same stats serialization on both sides of the trip (the property the
+	// service's byte-comparability rests on).
+	a, _ := res.StatsJSON()
+	b, _ := back.StatsJSON()
+	if string(a) != string(b) {
+		t.Fatalf("stats serialization changed across the disk round trip")
+	}
+}
+
+func TestDiskStoreCorruptEntryIsError(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	path := filepath.Join(dir, "ab", key+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := store.Get(key); err == nil {
+		t.Fatalf("corrupt entry: ok %v, want error", ok)
+	}
+}
+
+func TestDiskStoreKeyMismatchIsError(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.RunSpec{Workload: "bwaves", SQSize: 14, Insts: 5000}
+	res, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(spec)
+	if err := store.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	// Rename the entry under a different key: the envelope check must catch
+	// the mismatch instead of serving the wrong result.
+	other := strings.Repeat("cd", 32)
+	if err := os.MkdirAll(filepath.Join(dir, other[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(store.path(key), filepath.Join(dir, other[:2], other+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Get(other); err == nil {
+		t.Fatal("mismatched entry served without error")
+	}
+}

@@ -1,6 +1,10 @@
 package sim
 
-import "spb/internal/stats"
+import (
+	"encoding/json"
+
+	"spb/internal/stats"
+)
 
 // ExportStats writes every counter of the result into a stats.Set under
 // dotted names (cpu.*, mem.*, energy.* in microjoules), the stable format
@@ -59,4 +63,14 @@ func (r Result) ExportStats(s *stats.Set) {
 	s.Counter("energy.coreDynamicUJ").Add(uint64(r.Energy.CoreDynamic * 1e6))
 	s.Counter("energy.staticUJ").Add(uint64(r.Energy.Static * 1e6))
 	s.Counter("energy.totalUJ").Add(uint64(r.Energy.Total() * 1e6))
+}
+
+// StatsJSON renders the exported stats set as canonical JSON (sorted keys,
+// compact). It is the single serialization shared by `spbsim -json` and the
+// spbd service, so CLI and service output for the same spec are
+// byte-comparable.
+func (r Result) StatsJSON() (json.RawMessage, error) {
+	set := stats.NewSet()
+	r.ExportStats(set)
+	return json.Marshal(set)
 }

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -146,8 +147,60 @@ func (s RunSpec) normalize() RunSpec {
 	return s
 }
 
+// Normalized returns the spec with every defaulted field filled in. Two specs
+// that normalize identically are the same simulation point: this is the form
+// the Runner memoizes on and the form external caches must key on.
+func (s RunSpec) Normalized() RunSpec { return s.normalize() }
+
+// Progress is a point-in-time view of a running simulation, delivered to the
+// callback passed to RunCtx. Committed and Cycles aggregate over all cores
+// (cycles = max, committed = sum); TargetInsts is the total committed-
+// instruction budget (Insts × Cores), so Committed/TargetInsts approximates
+// completion.
+type Progress struct {
+	Committed   uint64
+	Cycles      uint64
+	TargetInsts uint64
+}
+
+// IPC returns committed instructions per cycle so far.
+func (p Progress) IPC() float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return float64(p.Committed) / float64(p.Cycles)
+}
+
+// snapshotProgress aggregates the running cores' counters into a Progress
+// point (cycles = max across cores, committed = sum, like the final Result).
+func snapshotProgress(cores []*cpu.Core, targetInsts uint64) Progress {
+	p := Progress{TargetInsts: targetInsts}
+	for _, c := range cores {
+		p.Committed += c.St.Committed
+		if c.St.Cycles > p.Cycles {
+			p.Cycles = c.St.Cycles
+		}
+	}
+	return p
+}
+
+// progressEvery is how many lock-step rounds pass between cancellation checks
+// and progress callbacks in RunCtx. A round is one cycle per running core, so
+// at simulator speeds this is a sub-millisecond reaction time while keeping
+// the check off the per-cycle hot path.
+const progressEvery = 8192
+
 // Run executes one simulation point.
 func Run(spec RunSpec) (Result, error) {
+	return RunCtx(context.Background(), spec, nil)
+}
+
+// RunCtx executes one simulation point under a context. If ctx is cancelled
+// the simulation stops within progressEvery rounds and the context's error is
+// returned — abandoned or timed-out requests do not keep simulating. If
+// onProgress is non-nil it is invoked periodically (every progressEvery
+// rounds) from the simulating goroutine; it must be cheap and must not block.
+func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Result, error) {
 	spec = spec.normalize()
 	coreCfg, err := spec.coreConfig()
 	if err != nil {
@@ -200,7 +253,22 @@ func Run(spec RunSpec) (Result, error) {
 	// event horizon stays valid.
 	useFF := !spec.DisableFastForward
 	guard := spec.Insts*1000*uint64(spec.Cores) + 1_000_000
+	targetInsts := spec.Insts * uint64(spec.Cores)
+	done := ctx.Done()
+	observed := done != nil || onProgress != nil
 	for round := uint64(0); ; round++ {
+		if observed && round%progressEvery == 0 {
+			if done != nil {
+				select {
+				case <-done:
+					return Result{}, ctx.Err()
+				default:
+				}
+			}
+			if onProgress != nil && round > 0 {
+				onProgress(snapshotProgress(cores, targetInsts))
+			}
+		}
 		running := false
 		allIdle := true
 		for _, c := range cores {
@@ -234,6 +302,9 @@ func Run(spec RunSpec) (Result, error) {
 		if round > guard {
 			return Result{}, fmt.Errorf("sim: %v made no progress after %d cycles", spec, round)
 		}
+	}
+	if onProgress != nil {
+		onProgress(snapshotProgress(cores, targetInsts))
 	}
 
 	res := Result{Spec: spec}
@@ -341,6 +412,39 @@ func NewRunner() *Runner {
 // simulation exactly once: the first caller executes, later callers wait for
 // its result.
 func (r *Runner) Get(spec RunSpec) (Result, error) {
+	return r.GetCtx(context.Background(), spec, nil)
+}
+
+// Lookup reports whether the runner has a memoized result for spec, without
+// running anything. External cache tiers use it to decide whether to consult
+// slower storage.
+func (r *Runner) Lookup(spec RunSpec) (Result, bool) {
+	spec = spec.normalize()
+	r.mu.Lock()
+	res, ok := r.cache[spec]
+	r.mu.Unlock()
+	return res, ok
+}
+
+// Put seeds the memoization cache with an externally obtained result (e.g.
+// one recalled from a disk store), so later Get calls for the same spec are
+// memory hits. The result is keyed under the normalized spec regardless of
+// the form res.Spec is in.
+func (r *Runner) Put(spec RunSpec, res Result) {
+	spec = spec.normalize()
+	r.mu.Lock()
+	r.cache[spec] = res
+	r.mu.Unlock()
+}
+
+// GetCtx is Get with cancellation and progress reporting. The first caller
+// for a spec executes the simulation under its own ctx; concurrent callers
+// for the same spec wait for that result, but stop waiting (with their own
+// ctx's error) if their context is cancelled first. If the executing caller
+// is cancelled, the waiters see its cancellation error and nothing is
+// cached; the next call re-runs the spec. onProgress only fires for the
+// caller that actually executes.
+func (r *Runner) GetCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Result, error) {
 	spec = spec.normalize()
 	r.mu.Lock()
 	if res, ok := r.cache[spec]; ok {
@@ -349,15 +453,19 @@ func (r *Runner) Get(spec RunSpec) (Result, error) {
 	}
 	if call, ok := r.inflight[spec]; ok {
 		r.mu.Unlock()
-		<-call.done
-		return call.res, call.err
+		select {
+		case <-call.done:
+			return call.res, call.err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
 	}
 	call := &runCall{done: make(chan struct{})}
 	r.inflight[spec] = call
 	r.mu.Unlock()
 
 	r.runs.Add(1)
-	call.res, call.err = Run(spec)
+	call.res, call.err = RunCtx(ctx, spec, onProgress)
 
 	r.mu.Lock()
 	if call.err == nil {

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// MarshalJSON renders the set as a JSON object with keys in sorted name
+// order. The byte stream is deterministic for a given set of counter values
+// — the same property String() has — so CLI output, service responses and
+// on-disk cache entries that share a Set are byte-comparable.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	names := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, err := json.Marshal(name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(key)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(s.counters[name].v, 10))
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON replaces the set's contents with the counters of a JSON
+// object as produced by MarshalJSON. Counters are registered in sorted name
+// order (the marshalled order), so a marshal/unmarshal round trip preserves
+// both values and iteration order.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var raw map[string]uint64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("stats: unmarshal set: %w", err)
+	}
+	names := make([]string, 0, len(raw))
+	for name := range raw {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s.order = s.order[:0]
+	s.counters = make(map[string]*Counter, len(raw))
+	for _, name := range names {
+		s.Counter(name).Add(raw[name])
+	}
+	return nil
+}

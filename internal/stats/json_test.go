@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSetJSONRoundTrip checks that marshal → unmarshal preserves values and
+// registration order, and that marshalling is byte-stable regardless of the
+// order counters were registered in (no map-iteration dependence).
+func TestSetJSONRoundTrip(t *testing.T) {
+	a := NewSet()
+	a.Counter("cpu.cycles").Add(123)
+	a.Counter("mem.l1Hits").Add(7)
+	a.Counter("cpu.committed").Add(99)
+
+	b := NewSet()
+	b.Counter("mem.l1Hits").Add(7)
+	b.Counter("cpu.committed").Add(99)
+	b.Counter("cpu.cycles").Add(123)
+
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("marshal depends on registration order:\n%s\n%s", ja, jb)
+	}
+	want := `{"cpu.committed":99,"cpu.cycles":123,"mem.l1Hits":7}`
+	if string(ja) != want {
+		t.Fatalf("marshal = %s, want %s", ja, want)
+	}
+
+	var back Set
+	if err := json.Unmarshal(ja, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Value("cpu.cycles") != 123 || back.Value("mem.l1Hits") != 7 || back.Value("cpu.committed") != 99 {
+		t.Fatalf("round trip lost values: %s", back.String())
+	}
+	j2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, j2) {
+		t.Fatalf("second marshal differs:\n%s\n%s", ja, j2)
+	}
+}
+
+// TestSetJSONEmpty checks the degenerate cases.
+func TestSetJSONEmpty(t *testing.T) {
+	s := NewSet()
+	j, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j) != "{}" {
+		t.Fatalf("empty set = %s, want {}", j)
+	}
+	var back Set
+	if err := json.Unmarshal([]byte("{}"), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Names()) != 0 {
+		t.Fatalf("unmarshal {} produced counters: %v", back.Names())
+	}
+}

@@ -11,6 +11,8 @@ echo "== go build =="
 go build ./...
 echo "== go test =="
 go test ./...
-echo "== go test -race (sim, figures) =="
-go test -race ./internal/sim ./internal/figures
+echo "== go test -race (sim, figures, server, client) =="
+go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client
+echo "== serve-check (spbd end-to-end smoke) =="
+sh scripts/serve_check.sh
 echo "OK"

@@ -1,0 +1,92 @@
+#!/bin/sh
+# serve_check.sh — end-to-end smoke of the spbd service: build the daemon,
+# start it on a random port with a disk cache, and check the acceptance
+# properties from the outside:
+#   1. a cold POST /v1/runs returns the same stats as spbsim -json for the
+#      same spec;
+#   2. an identical repeat request is served from cache without re-running
+#      (metrics: one miss, one memory hit);
+#   3. a cancelled request stops simulating and /metrics reports it;
+#   4. /healthz and /metrics answer;
+#   5. SIGTERM drains and exits cleanly.
+set -eu
+cd "$(dirname "$0")/.."
+
+command -v curl >/dev/null || { echo "serve-check: curl required"; exit 1; }
+command -v jq >/dev/null || { echo "serve-check: jq required"; exit 1; }
+
+TMP=$(mktemp -d)
+SPBD_PID=""
+cleanup() {
+    [ -n "$SPBD_PID" ] && kill "$SPBD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build spbd + spbsim =="
+go build -o "$TMP/spbd" ./cmd/spbd
+go build -o "$TMP/spbsim" ./cmd/spbsim
+
+echo "== start spbd =="
+"$TMP/spbd" -addr 127.0.0.1:0 -cache-dir "$TMP/cache" >"$TMP/spbd.log" 2>&1 &
+SPBD_PID=$!
+i=0
+until grep -q "listening on" "$TMP/spbd.log" 2>/dev/null; do
+    i=$((i+1)); [ "$i" -gt 100 ] && { echo "spbd never started"; cat "$TMP/spbd.log"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^spbd: listening on \([^ ]*\).*$/\1/p' "$TMP/spbd.log")
+BASE="http://127.0.0.1:${ADDR##*:}"
+echo "   $BASE"
+
+echo "== healthz =="
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' >/dev/null
+
+echo "== cold run matches spbsim -json =="
+SPEC='{"workload":"bwaves","policy":"spb","sb":14,"insts":20000}'
+curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SPEC" >"$TMP/run1.json"
+jq -e '.status == "done" and ((.cached // "") == "")' "$TMP/run1.json" >/dev/null
+"$TMP/spbsim" -workload bwaves -policy spb -sb 14 -insts 20000 -json >"$TMP/local.json"
+jq -ce '.stats' "$TMP/run1.json" >"$TMP/remote_stats.json"
+jq -ce '.' "$TMP/local.json" >"$TMP/local_stats.json"
+cmp "$TMP/remote_stats.json" "$TMP/local_stats.json" || {
+    echo "service stats differ from spbsim -json"; exit 1; }
+
+echo "== repeat run served from cache =="
+curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SPEC" >"$TMP/run2.json"
+jq -e '.cached == "memory"' "$TMP/run2.json" >/dev/null
+jq -ce '.stats' "$TMP/run2.json" | cmp - "$TMP/remote_stats.json"
+curl -fsS "$BASE/metrics" >"$TMP/metrics1.txt"
+grep -q 'spbd_cache_hits_total{tier="memory"} 1' "$TMP/metrics1.txt"
+grep -q 'spbd_cache_misses_total 1' "$TMP/metrics1.txt"
+
+echo "== cancellation stops the simulation =="
+LONG='{"workload":"bwaves","policy":"spb","sb":14,"insts":2000000000}'
+ID=$(curl -fsS -X POST "$BASE/v1/runs" -H 'Content-Type: application/json' -d "$LONG" | jq -r '.id')
+i=0
+until curl -fsS "$BASE/v1/runs/$ID" | jq -e '.status == "running" and .committed > 0' >/dev/null; do
+    i=$((i+1)); [ "$i" -gt 100 ] && { echo "long run never progressed"; exit 1; }
+    sleep 0.1
+done
+curl -fsS -X POST "$BASE/v1/runs/$ID/cancel" >/dev/null
+i=0
+until curl -fsS "$BASE/v1/runs/$ID" | jq -e '.status == "cancelled"' >/dev/null; do
+    i=$((i+1)); [ "$i" -gt 100 ] && { echo "cancel never landed"; exit 1; }
+    sleep 0.1
+done
+COMMITTED=$(curl -fsS "$BASE/v1/runs/$ID" | jq -r '.committed')
+sleep 0.3
+LATER=$(curl -fsS "$BASE/v1/runs/$ID" | jq -r '.committed')
+[ "$COMMITTED" = "$LATER" ] || { echo "simulation kept running after cancel"; exit 1; }
+curl -fsS "$BASE/metrics" >"$TMP/metrics2.txt"
+grep -q 'spbd_runs_cancelled_total 1' "$TMP/metrics2.txt"
+
+echo "== SIGTERM drains cleanly =="
+kill -TERM "$SPBD_PID"
+wait "$SPBD_PID"
+SPBD_PID=""
+grep -q "drained cleanly" "$TMP/spbd.log"
+
+echo "serve-check OK"
