@@ -1,4 +1,4 @@
-.PHONY: check bench test build serve-check
+.PHONY: check bench bench-sweep test build serve-check
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -9,6 +9,11 @@ check:
 # into BENCH_core.json.
 bench:
 	sh scripts/bench.sh
+
+# Record the scale-out sweep baseline (makespan in-process vs 1 vs 3 local
+# backends, batch vs per-spec submission overhead) into BENCH_sweep.json.
+bench-sweep:
+	sh scripts/bench_sweep.sh
 
 # End-to-end smoke of the spbd service: build, start on a random port,
 # verify cold-run stats match spbsim -json, cache hit on repeat, cancel,

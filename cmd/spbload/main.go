@@ -10,10 +10,17 @@
 // mix revisits points, exercising the daemon's cache tiers the way a
 // design-space sweep with near-duplicate configurations would.
 //
-// Example:
+// With -batch the same generated mix is submitted as a single POST
+// /v1/batch request instead of one HTTP round-trip per point, and the
+// report shows per-spec completion latency (time from batch submission to
+// that spec's terminal NDJSON line) at p50/p95/p99 — the numbers a sweep
+// client sees, where submission overhead is paid once for the whole grid.
+//
+// Examples:
 //
 //	spbload -addr http://localhost:7077 -rate 20 -duration 10s \
 //	        -workloads bwaves,mcf -policies spb,at-commit -insts 50000
+//	spbload -addr http://localhost:7077 -batch -count 200 -distinct 32
 package main
 
 import (
@@ -29,8 +36,86 @@ import (
 
 	"spb/internal/client"
 	"spb/internal/core"
+	"spb/internal/server"
 	"spb/internal/sim"
 )
+
+// runBatch submits total points drawn from the mix as one POST /v1/batch
+// request and reports per-spec completion latency: the time from batch
+// submission to each spec's terminal NDJSON line. The batch path pays
+// connection and encoding overhead once, so these percentiles isolate
+// queueing plus simulation time the way a real sweep client experiences
+// them.
+func runBatch(cl *client.Client, mix []sim.RunSpec, rng *rand.Rand, total, distinct int, timeout time.Duration) {
+	specs := make([]sim.RunSpec, total)
+	for i := range specs {
+		spec := mix[rng.Intn(len(mix))]
+		if distinct > 0 {
+			spec.Seed = uint64(1 + rng.Intn(distinct))
+		} else {
+			spec.Seed = uint64(i + 1) // unique: defeats the cache
+		}
+		specs[i] = spec
+	}
+	fmt.Printf("spbload: submitting %d specs as one batch (%d mix points)\n", total, len(mix))
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	lat := make([]time.Duration, 0, total)
+	var errs, hitsMem, hitsDisk, acked int
+	var firstErr error
+	start := time.Now()
+	err := cl.Batch(ctx, specs, func(it server.BatchItem) error {
+		if !it.Status.Terminal() {
+			acked++
+			return nil
+		}
+		if e := it.ErrorOf(); e != nil {
+			errs++
+			if firstErr == nil {
+				firstErr = e
+			}
+			return nil
+		}
+		lat = append(lat, time.Since(start))
+		switch it.Cached {
+		case "memory":
+			hitsMem++
+		case "disk":
+			hitsDisk++
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbload:", err)
+		os.Exit(1)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	fmt.Printf("completed           %d ok, %d errors (%.1f%% error rate) in %v\n",
+		len(lat), errs, 100*float64(errs)/float64(total), elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput          %.1f ok/s\n", float64(len(lat))/elapsed.Seconds())
+	fmt.Printf("acks                %d queued lines streamed before completion\n", acked)
+	fmt.Printf("cache               %d memory hits, %d disk hits, %d simulated\n",
+		hitsMem, hitsDisk, len(lat)-hitsMem-hitsDisk)
+	fmt.Printf("completion p50      %v\n", pct(0.50).Round(time.Microsecond))
+	fmt.Printf("completion p95      %v\n", pct(0.95).Round(time.Microsecond))
+	fmt.Printf("completion p99      %v\n", pct(0.99).Round(time.Microsecond))
+	if len(lat) > 0 {
+		fmt.Printf("completion max      %v\n", lat[len(lat)-1].Round(time.Microsecond))
+	}
+	if errs > 0 {
+		fmt.Printf("error               %v\n", firstErr)
+		os.Exit(1)
+	}
+}
 
 type sample struct {
 	latency time.Duration
@@ -50,6 +135,8 @@ func main() {
 		insts     = flag.Uint64("insts", 50_000, "committed instructions per request")
 		distinct  = flag.Int("distinct", 0, "number of distinct seeds cycled through (0 = every request unique: all cache misses)")
 		seed      = flag.Int64("seed", 1, "mix shuffle seed")
+		batch     = flag.Bool("batch", false, "submit the whole mix as one POST /v1/batch request and report per-spec completion latency")
+		count     = flag.Int("count", 0, "batch mode: number of specs to submit (default: rate×duration)")
 	)
 	flag.Parse()
 
@@ -97,6 +184,14 @@ func main() {
 	}
 	interval := time.Duration(float64(time.Second) / *rate)
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *batch {
+		if *count > 0 {
+			total = *count
+		}
+		runBatch(cl, specs, rng, total, *distinct, *timeout)
+		return
+	}
 
 	fmt.Printf("spbload: %d requests at %.1f req/s over %v against %s (%d spec points)\n",
 		total, *rate, *duration, *addr, len(specs))

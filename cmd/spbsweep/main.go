@@ -7,16 +7,21 @@
 //	spbsweep -sb 8,14,20,28,40,56 -policies at-commit,spb,ideal > sweep.csv
 //	spbsweep -suite parsec -cores 8 -sb 14,56 > parsec.csv
 //	spbsweep -suite sbbound -insts 1000000 -spb-n 8,16,24,32,48,64
+//	spbsweep -server http://h1:7077,http://h2:7077 -suite parsec > parsec.csv
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"spb/internal/client"
 	"spb/internal/core"
 	"spb/internal/prof"
 	"spb/internal/sim"
@@ -63,6 +68,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "core count (default: 1 for spec, 8 for parsec)")
 		insts    = flag.Uint64("insts", 200_000, "committed instructions per core")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		server   = flag.String("server", "", "comma-separated spbd base URLs; the sweep executes remotely via the sharded client pool")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -135,11 +141,31 @@ func main() {
 		}
 	}
 
-	runner := sim.NewRunner()
-	results, err := runner.GetAll(specs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "spbsweep:", err)
-		os.Exit(1)
+	// Ctrl-C cancels everything still queued or running, locally or on the
+	// remote daemons.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var results []sim.Result
+	if *server != "" {
+		pool, err := client.NewPool(strings.Split(*server, ","), client.PoolOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbsweep:", err)
+			os.Exit(2)
+		}
+		results, err = pool.GetAllCtx(ctx, specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbsweep:", err)
+			os.Exit(1)
+		}
+	} else {
+		runner := sim.NewRunner()
+		var err error
+		results, err = runner.GetAllCtx(ctx, specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbsweep:", err)
+			os.Exit(1)
+		}
 	}
 
 	w := csv.NewWriter(os.Stdout)

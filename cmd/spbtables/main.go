@@ -1,20 +1,28 @@
 // Command spbtables regenerates the paper's tables and figures from the
 // simulator. With no flags it runs every experiment at full scale; -exp
-// selects a single one, -quick switches to the reduced benchmark scale.
+// selects a single one, -quick switches to the reduced benchmark scale, and
+// -server routes every sweep through one or more spbd daemons — producing
+// byte-identical tables, since the daemons return the full simulation
+// results the harness would have computed in-process.
 //
 // Examples:
 //
 //	spbtables -exp fig5
 //	spbtables -quick
 //	spbtables -list
+//	spbtables -exp fig5 -server http://h1:7077,http://h2:7077,http://h3:7077
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"spb/internal/client"
 	"spb/internal/figures"
 	"spb/internal/prof"
 )
@@ -25,6 +33,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced scale (SB-bound apps only, fewer instructions)")
 		insts      = flag.Uint64("insts", 0, "override the per-run instruction budget")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		server     = flag.String("server", "", "comma-separated spbd base URLs; sweeps execute remotely via the sharded client pool")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -49,7 +58,22 @@ func main() {
 	if *insts > 0 {
 		scale.Insts = *insts
 	}
-	h := figures.NewHarness(scale)
+
+	// Ctrl-C cancels the harness context: every queued and in-flight
+	// simulation — local worker pool or remote daemons — stops.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var exec figures.Executor
+	if *server != "" {
+		pool, err := client.NewPool(strings.Split(*server, ","), client.PoolOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbtables:", err)
+			os.Exit(2)
+		}
+		exec = pool
+	}
+	h := figures.NewHarnessOn(ctx, scale, exec)
 	all := h.All()
 
 	ids := figures.Order

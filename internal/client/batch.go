@@ -1,0 +1,106 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"spb/internal/server"
+	"spb/internal/sim"
+)
+
+// Batch submits specs as one POST /v1/batch request and invokes fn for
+// every NDJSON item the daemon streams back — acknowledgment lines (status
+// "queued", carrying the job id) and one terminal line per spec index, in
+// completion order. A whole sweep costs one connection instead of N
+// submit+poll loops. fn returning an error abandons the stream (the daemon
+// releases the batch's interest in outstanding jobs) and Batch returns that
+// error.
+func (c *Client) Batch(ctx context.Context, specs []sim.RunSpec, fn func(server.BatchItem) error) error {
+	reqs := make([]server.RunRequest, len(specs))
+	for i, s := range specs {
+		reqs[i] = server.Request(s)
+	}
+	body, err := json.Marshal(server.BatchRequest{Specs: reqs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(data))
+		}
+		return &StatusError{Code: resp.StatusCode, Message: e.Error, RetryAfter: resp.Header.Get("Retry-After")}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // result payloads are large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var it server.BatchItem
+		if err := json.Unmarshal(line, &it); err != nil {
+			return fmt.Errorf("spbd: bad batch line %q: %w", line, err)
+		}
+		if err := fn(it); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// BatchResults runs specs through one batch request and returns the decoded
+// results in spec order. The first failed spec aborts with its error; a
+// stream that ends before every spec resolved (daemon draining mid-batch,
+// connection cut) is an error, not a silent truncation.
+func (c *Client) BatchResults(ctx context.Context, specs []sim.RunSpec) ([]sim.Result, error) {
+	results := make([]sim.Result, len(specs))
+	seen := make([]bool, len(specs))
+	remaining := len(specs)
+	err := c.Batch(ctx, specs, func(it server.BatchItem) error {
+		if !it.Status.Terminal() || it.Index < 0 || it.Index >= len(specs) || seen[it.Index] {
+			return nil
+		}
+		if err := it.ErrorOf(); err != nil {
+			return err
+		}
+		res, err := it.DecodeResult()
+		if err != nil {
+			return err
+		}
+		results[it.Index] = res
+		seen[it.Index] = true
+		remaining--
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("spbd: batch stream ended with %d of %d specs unresolved", remaining, len(specs))
+	}
+	return results, nil
+}

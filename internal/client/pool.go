@@ -1,0 +1,578 @@
+// Multi-backend sweep pool: shards a sweep's simulation points across
+// several spbd daemons, one batch stream per dispatch chunk, with
+// straggler hedging and failover.
+//
+// Sharding is rendezvous (highest-random-weight) hashing of each point's
+// canonical content address (server.Key) against the backend base URLs:
+// every client computes the same spec→backend mapping without coordination,
+// the mapping is stable across sweep re-runs — maximizing each backend's
+// disk-cache hit rate — and removing a backend only remaps the points that
+// backend owned. Stragglers are hedged: a point that has been outstanding
+// longer than an adaptive delay (a multiple of the observed p95 completion
+// latency) is re-dispatched to the next backend in its rendezvous order,
+// first result wins, and the loser's job is cancelled so no point is ever
+// simulated twice. Backends whose connections fail are removed from the
+// rendezvous and their points re-sharded across the survivors.
+package client
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spb/internal/server"
+	"spb/internal/sim"
+)
+
+// PoolOptions tunes a Pool. The zero value gives sensible defaults.
+type PoolOptions struct {
+	// MaxInflight bounds how many specs are outstanding on one backend at a
+	// time (one dispatch chunk; default 16). It should be at least the
+	// backend's worker count or the backend idles between chunks.
+	MaxInflight int
+	// HedgeMin floors the straggler hedge delay (default 2s). Hedging
+	// before any latency samples exist uses exactly this floor.
+	HedgeMin time.Duration
+	// HedgeMult scales the observed p95 completion latency into the hedge
+	// delay (default 3.0): a point is hedged once it has been outstanding
+	// max(HedgeMin, HedgeMult × p95).
+	HedgeMult float64
+	// HedgeTick is how often outstanding points are scanned for stragglers
+	// (default 50ms).
+	HedgeTick time.Duration
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 16
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 2 * time.Second
+	}
+	if o.HedgeMult <= 0 {
+		o.HedgeMult = 3.0
+	}
+	if o.HedgeTick <= 0 {
+		o.HedgeTick = 50 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Pool fans a sweep out over several spbd backends. It implements the same
+// GetAllCtx shape as sim.Runner, so the figures harness and the sweep CLIs
+// can swap in-process execution for the distributed path without caring
+// which they got.
+type Pool struct {
+	bases   []string
+	clients []*Client
+	opts    PoolOptions
+}
+
+// NewPool builds a pool over the given backend base URLs (e.g.
+// "http://host:7077"; a bare host:port gets http:// prepended).
+func NewPool(bases []string, opts PoolOptions) (*Pool, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("client: pool needs at least one backend")
+	}
+	p := &Pool{opts: opts.withDefaults()}
+	seen := make(map[string]bool, len(bases))
+	for _, b := range bases {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		b = strings.TrimRight(b, "/")
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		p.bases = append(p.bases, b)
+		p.clients = append(p.clients, New(b))
+	}
+	if len(p.bases) == 0 {
+		return nil, fmt.Errorf("client: pool needs at least one backend")
+	}
+	return p, nil
+}
+
+// Backends returns the normalized backend base URLs.
+func (p *Pool) Backends() []string { return append([]string(nil), p.bases...) }
+
+// hrwScore is the rendezvous weight of (key, backend): a stable hash both
+// sides of any re-run compute identically.
+func hrwScore(key, backend string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, backend)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	return h.Sum64()
+}
+
+// rank returns backend indices in descending rendezvous order for key. The
+// first healthy entry owns the point; the next is its hedge/failover.
+func (p *Pool) rank(key string) []int {
+	idx := make([]int, len(p.bases))
+	scores := make([]uint64, len(p.bases))
+	for i, b := range p.bases {
+		idx[i] = i
+		scores[i] = hrwScore(key, b)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+// assignment is one backend's claim on a task (primary or hedge).
+type assignment struct {
+	backend      int
+	jobID        string // learned from the ack line; empty until then
+	dispatchedAt time.Time
+	cancelled    bool // the pool itself cancelled this job (the other side won)
+}
+
+// poolTask is one unique simulation point of the sweep.
+type poolTask struct {
+	key     string
+	spec    sim.RunSpec
+	indices []int // positions in the caller's spec slice
+	rank    []int // rendezvous order over all backends
+
+	assigns []*assignment // one per dispatch (primary, then at most one hedge)
+	pending bool          // waiting in some backend's queue
+	done    bool
+	res     sim.Result
+}
+
+// poolRun is the state of one GetAllCtx invocation.
+type poolRun struct {
+	p      *Pool
+	ctx    context.Context
+	cancel context.CancelFunc
+	opts   PoolOptions
+
+	mu        sync.Mutex
+	tasks     []*poolTask
+	queues    [][]*poolTask // per-backend pending tasks
+	failed    []bool        // per-backend connection health
+	remaining int
+	err       error
+	latencies []time.Duration // completion-latency ring for the p95 estimate
+	latNext   int
+
+	kicks  []chan struct{} // per-backend dispatcher wakeups
+	doneCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+const latencyRing = 512
+
+// GetAllCtx runs every spec across the pool's backends and returns results
+// in spec order, semantically identical to sim.Runner.GetAllCtx: the first
+// simulation error aborts the sweep, cancellation stops it, and duplicate
+// specs are simulated once.
+func (p *Pool) GetAllCtx(ctx context.Context, specs []sim.RunSpec) ([]sim.Result, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &poolRun{
+		p: p, ctx: ctx, cancel: cancel, opts: p.opts,
+		queues: make([][]*poolTask, len(p.bases)),
+		failed: make([]bool, len(p.bases)),
+		kicks:  make([]chan struct{}, len(p.bases)),
+		doneCh: make(chan struct{}),
+	}
+	for i := range r.kicks {
+		r.kicks[i] = make(chan struct{}, 1)
+	}
+
+	// Unique tasks, keyed by content address; duplicates share a task.
+	byKey := make(map[string]*poolTask, len(specs))
+	for i, spec := range specs {
+		spec = spec.Normalized()
+		key := server.Key(spec)
+		t, ok := byKey[key]
+		if !ok {
+			t = &poolTask{key: key, spec: spec, rank: p.rank(key)}
+			byKey[key] = t
+			r.tasks = append(r.tasks, t)
+		}
+		t.indices = append(t.indices, i)
+	}
+	r.remaining = len(r.tasks)
+
+	// Initial sharding: every task to the highest-ranked backend. LPT
+	// ordering within each backend queue happens at enqueue time.
+	r.mu.Lock()
+	for _, t := range r.tasks {
+		r.enqueueLocked(t, t.rank[0])
+	}
+	r.mu.Unlock()
+
+	for b := range p.bases {
+		r.wg.Add(1)
+		go r.dispatcher(b)
+		r.kick(b)
+	}
+	r.wg.Add(1)
+	go r.hedgeMonitor()
+
+	select {
+	case <-r.doneCh:
+	case <-ctx.Done():
+	}
+	cancel()
+	r.wg.Wait()
+
+	r.mu.Lock()
+	err := r.err
+	if err == nil && r.remaining > 0 {
+		err = ctx.Err()
+		if err == nil {
+			err = fmt.Errorf("client: pool finished with %d unresolved points", r.remaining)
+		}
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]sim.Result, len(specs))
+	for _, t := range r.tasks {
+		for _, idx := range t.indices {
+			results[idx] = t.res
+		}
+	}
+	return results, nil
+}
+
+// enqueueLocked appends t to backend b's pending queue in LPT position
+// (queues are kept sorted by descending cost so chunks dispatch the longest
+// points first).
+func (r *poolRun) enqueueLocked(t *poolTask, b int) {
+	t.pending = true
+	q := r.queues[b]
+	cost := t.spec.CostEstimate()
+	pos := sort.Search(len(q), func(i int) bool { return q[i].spec.CostEstimate() < cost })
+	q = append(q, nil)
+	copy(q[pos+1:], q[pos:])
+	q[pos] = t
+	r.queues[b] = q
+}
+
+func (r *poolRun) kick(b int) {
+	select {
+	case r.kicks[b] <- struct{}{}:
+	default:
+	}
+}
+
+// dispatcher drains backend b's pending queue in chunks of at most
+// MaxInflight specs, one batch stream per chunk, serially: the bound on
+// outstanding work per backend is the chunk size.
+func (r *poolRun) dispatcher(b int) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-r.kicks[b]:
+		}
+		for {
+			chunk := r.takeChunk(b)
+			if len(chunk) == 0 {
+				break
+			}
+			r.runChunk(b, chunk)
+			if r.ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// takeChunk pops up to MaxInflight not-yet-done tasks from backend b's
+// queue and registers an assignment for each.
+func (r *poolRun) takeChunk(b int) []*poolTask {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed[b] {
+		return nil
+	}
+	var chunk []*poolTask
+	q := r.queues[b]
+	for len(q) > 0 && len(chunk) < r.opts.MaxInflight {
+		t := q[0]
+		q = q[1:]
+		if t.done {
+			continue
+		}
+		t.pending = false
+		t.assigns = append(t.assigns, &assignment{backend: b, dispatchedAt: time.Now()})
+		chunk = append(chunk, t)
+	}
+	r.queues[b] = q
+	return chunk
+}
+
+// runChunk streams one batch of tasks to backend b and folds the results
+// back into the run. A transport failure marks the backend dead and
+// re-shards the chunk's unfinished tasks.
+func (r *poolRun) runChunk(b int, chunk []*poolTask) {
+	specs := make([]sim.RunSpec, len(chunk))
+	for i, t := range chunk {
+		specs[i] = t.spec
+	}
+	err := r.p.clients[b].Batch(r.ctx, specs, func(it server.BatchItem) error {
+		if it.Index < 0 || it.Index >= len(chunk) {
+			return nil
+		}
+		r.observe(b, chunk[it.Index], it)
+		return nil
+	})
+	if err != nil && r.ctx.Err() == nil {
+		r.backendFailed(b, chunk, err)
+	}
+}
+
+// observe folds one batch item for task t (dispatched on backend b) into
+// the run state.
+func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) {
+	r.mu.Lock()
+	var a *assignment
+	for _, cand := range t.assigns {
+		if cand.backend == b {
+			a = cand
+		}
+	}
+	if a == nil { // can't happen: items only arrive on streams we opened
+		r.mu.Unlock()
+		return
+	}
+	if !it.Status.Terminal() {
+		a.jobID = it.ID // ack: remember the id so the loser can be cancelled
+		// The point may have already been won elsewhere while this ack was
+		// in flight; cancel the losing job now that its id is known.
+		lose := t.done && !a.cancelled
+		if lose {
+			a.cancelled = true
+		}
+		r.mu.Unlock()
+		if lose {
+			r.cancelJob(a)
+		}
+		return
+	}
+	if t.done {
+		r.mu.Unlock()
+		return
+	}
+	switch it.Status {
+	case server.StatusDone:
+		res, err := it.DecodeResult()
+		if err != nil {
+			r.failLocked(err)
+			r.mu.Unlock()
+			return
+		}
+		t.done = true
+		t.res = res
+		r.remaining--
+		r.recordLatencyLocked(time.Since(a.dispatchedAt))
+		// Cancel the losing assignment's job, if any: the point must not be
+		// simulated twice.
+		var losers []*assignment
+		for _, other := range t.assigns {
+			if other != a && !other.cancelled && other.jobID != "" {
+				other.cancelled = true
+				losers = append(losers, other)
+			}
+		}
+		done := r.remaining == 0
+		r.mu.Unlock()
+		for _, l := range losers {
+			r.cancelJob(l)
+		}
+		if done {
+			close(r.doneCh)
+		}
+		return
+	case server.StatusCancelled:
+		// Our own cancellation of a losing job echoes back on its stream;
+		// anything else cancelled the job out from under the sweep.
+		if !a.cancelled {
+			r.failLocked(fmt.Errorf("client: %s cancelled externally on %s: %s",
+				t.spec.Workload, r.p.bases[b], it.Error))
+		}
+	case server.StatusFailed:
+		r.failLocked(it.ErrorOf())
+	}
+	r.mu.Unlock()
+}
+
+// cancelJob asks an assignment's backend to stop its job, detached from the
+// run's (possibly already finished) context.
+func (r *poolRun) cancelJob(a *assignment) {
+	go func() {
+		cctx, cc := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cc()
+		_, _ = r.p.clients[a.backend].Cancel(cctx, a.jobID)
+	}()
+}
+
+// failLocked records the sweep's first fatal error and stops everything.
+func (r *poolRun) failLocked(err error) {
+	if r.err == nil {
+		r.err = err
+		r.cancel()
+	}
+}
+
+// backendFailed marks backend b dead and re-shards its outstanding tasks
+// (the failed chunk plus anything still queued) onto the next healthy
+// backend in each task's rendezvous order.
+func (r *poolRun) backendFailed(b int, chunk []*poolTask, cause error) {
+	r.mu.Lock()
+	if !r.failed[b] {
+		r.opts.Logf("pool: backend %s failed, re-sharding: %v", r.p.bases[b], cause)
+		r.failed[b] = true
+	}
+	orphans := append(append([]*poolTask(nil), chunk...), r.queues[b]...)
+	r.queues[b] = nil
+	healthy := 0
+	for _, f := range r.failed {
+		if !f {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		r.failLocked(fmt.Errorf("client: every pool backend failed (last: %s: %w)", r.p.bases[b], cause))
+		r.mu.Unlock()
+		return
+	}
+	rekicks := map[int]bool{}
+	for _, t := range orphans {
+		if t.done || t.pending {
+			continue
+		}
+		if r.liveAssignLocked(t) {
+			continue // a hedge is still running it elsewhere
+		}
+		for _, cand := range t.rank {
+			if !r.failed[cand] {
+				r.enqueueLocked(t, cand)
+				rekicks[cand] = true
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+	for cand := range rekicks {
+		r.kick(cand)
+	}
+}
+
+// liveAssignLocked reports whether t still has an assignment on a healthy
+// backend.
+func (r *poolRun) liveAssignLocked(t *poolTask) bool {
+	for _, a := range t.assigns {
+		if !r.failed[a.backend] && !a.cancelled {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *poolRun) recordLatencyLocked(d time.Duration) {
+	if len(r.latencies) < latencyRing {
+		r.latencies = append(r.latencies, d)
+		return
+	}
+	r.latencies[r.latNext] = d
+	r.latNext = (r.latNext + 1) % latencyRing
+}
+
+// hedgeDelay is the adaptive straggler threshold: HedgeMult × the p95 of
+// recent completion latencies, floored at HedgeMin.
+func (r *poolRun) hedgeDelay() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.latencies) == 0 {
+		return r.opts.HedgeMin
+	}
+	lat := append([]time.Duration(nil), r.latencies...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p95 := lat[int(0.95*float64(len(lat)-1))]
+	d := time.Duration(r.opts.HedgeMult * float64(p95))
+	if d < r.opts.HedgeMin {
+		d = r.opts.HedgeMin
+	}
+	return d
+}
+
+// hedgeMonitor periodically re-dispatches stragglers: a point outstanding
+// on its primary backend longer than the adaptive delay is queued on the
+// next healthy backend in its rendezvous order. One hedge per point; first
+// result wins.
+func (r *poolRun) hedgeMonitor() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.opts.HedgeTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		delay := r.hedgeDelay()
+		now := time.Now()
+		rekicks := map[int]bool{}
+		r.mu.Lock()
+		for _, t := range r.tasks {
+			if t.done || t.pending {
+				continue
+			}
+			// Hedge when exactly one live claim exists and it has aged past
+			// the delay. (A hedge whose backend later failed leaves the task
+			// with one live claim again, making it eligible once more.)
+			var live *assignment
+			claimed := map[int]bool{}
+			lives := 0
+			for _, a := range t.assigns {
+				if !a.cancelled && !r.failed[a.backend] {
+					live = a
+					lives++
+					claimed[a.backend] = true
+				}
+			}
+			if lives != 1 || now.Sub(live.dispatchedAt) < delay {
+				continue
+			}
+			for _, cand := range t.rank {
+				if !claimed[cand] && !r.failed[cand] {
+					r.opts.Logf("pool: hedging %s (key %.12s) from %s to %s after %v",
+						t.spec.Workload, t.key, r.p.bases[live.backend], r.p.bases[cand], now.Sub(live.dispatchedAt))
+					r.enqueueLocked(t, cand)
+					rekicks[cand] = true
+					break
+				}
+			}
+		}
+		r.mu.Unlock()
+		for cand := range rekicks {
+			r.kick(cand)
+		}
+	}
+}

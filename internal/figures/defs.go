@@ -116,11 +116,17 @@ func (h *Harness) Fig3() ([]Table, error) {
 		Title: "Fig. 3: location of stores causing SB-induced stalls (at-commit, SB56)",
 		Cols:  []string{"app", "lib", "kernel"},
 	}
-	for _, w := range workloads.SBBoundSPEC() {
-		r, err := h.runner.Get(h.spec(w.Name, core.PolicyAtCommit, 56))
-		if err != nil {
-			return nil, err
-		}
+	bound := workloads.SBBoundSPEC()
+	specs := make([]sim.RunSpec, len(bound))
+	for i, w := range bound {
+		specs[i] = h.spec(w.Name, core.PolicyAtCommit, 56)
+	}
+	results, err := h.getAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range bound {
+		r := results[i]
 		total := float64(r.CPU.SBStallApp + r.CPU.SBStallLib + r.CPU.SBStallKernel)
 		if total == 0 {
 			// No attributed stalls at this scale: nothing to break down.
@@ -676,7 +682,7 @@ func (h *Harness) Fig18() ([]Table, error) {
 			}
 		}
 	}
-	results, err := h.runner.GetAll(specs)
+	results, err := h.getAll(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -751,7 +757,7 @@ func (h *Harness) SensN() ([]Table, error) {
 		dyn.DynamicSPB = true
 		specs = append(specs, dyn)
 	}
-	results, err := h.runner.GetAll(specs)
+	results, err := h.getAll(specs)
 	if err != nil {
 		return nil, err
 	}

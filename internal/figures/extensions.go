@@ -39,7 +39,7 @@ func (h *Harness) Extensions() ([]Table, error) {
 			specs = append(specs, s)
 		}
 	}
-	results, err := h.runner.GetAll(specs)
+	results, err := h.getAll(specs)
 	if err != nil {
 		return nil, err
 	}

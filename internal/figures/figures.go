@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -67,15 +68,44 @@ func (t Table) Format() string {
 	return b.String()
 }
 
-// Harness runs sweeps against a shared memoizing runner.
+// Executor runs a batch of simulation points and returns results in spec
+// order. sim.Runner is the in-process implementation; the spbd client pool
+// is the distributed one. Both compute identical results, so every figure
+// is byte-identical regardless of where its sweeps execute.
+type Executor interface {
+	GetAllCtx(ctx context.Context, specs []sim.RunSpec) ([]sim.Result, error)
+}
+
+// Harness runs sweeps against a shared executor (by default an in-process
+// memoizing runner).
 type Harness struct {
 	runner *sim.Runner
+	exec   Executor
+	ctx    context.Context
 	scale  Scale
 }
 
-// NewHarness returns a harness at the given scale.
+// NewHarness returns an in-process harness at the given scale.
 func NewHarness(scale Scale) *Harness {
-	return &Harness{runner: sim.NewRunner(), scale: scale}
+	return NewHarnessOn(context.Background(), scale, nil)
+}
+
+// NewHarnessOn returns a harness whose sweeps execute on exec (nil = an
+// in-process runner) and are cancelled when ctx is: interrupting a figure
+// regeneration stops every in-flight and queued simulation, local or
+// remote.
+func NewHarnessOn(ctx context.Context, scale Scale, exec Executor) *Harness {
+	r := sim.NewRunner()
+	h := &Harness{runner: r, exec: exec, ctx: ctx, scale: scale}
+	if h.exec == nil {
+		h.exec = r
+	}
+	return h
+}
+
+// getAll routes one sweep through the harness executor.
+func (h *Harness) getAll(specs []sim.RunSpec) ([]sim.Result, error) {
+	return h.exec.GetAllCtx(h.ctx, specs)
 }
 
 func (h *Harness) suite() []workloads.Workload {
@@ -122,7 +152,7 @@ func (h *Harness) runMatrix(mk func(name string) []sim.RunSpec) (map[string][]si
 		names = append(names, w.Name)
 		all = append(all, specs...)
 	}
-	results, err := h.runner.GetAll(all)
+	results, err := h.getAll(all)
 	if err != nil {
 		return nil, err
 	}

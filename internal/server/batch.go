@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"spb/internal/sim"
+)
+
+// The batch endpoint accepts a whole sweep in one request and streams
+// per-spec results back as newline-delimited JSON, so a five-figure grid
+// costs one connection instead of N submit+poll loops. Specs are
+// deduplicated twice before any simulation is enqueued — within the request
+// (identical points share one job) and against both cache tiers (submit
+// consults the memory and disk stores) — and the surviving misses are
+// dispatched longest-processing-time first so the sweep's makespan is not
+// set by an 8-core PARSEC or ideal-SB straggler landing last.
+
+// maxBatchSpecs bounds one batch request; larger sweeps should be split
+// across requests (or backends).
+const maxBatchSpecs = 65536
+
+// batchQueuePoll is how often a batch dispatcher re-tries enqueueing when
+// the worker queue is full (other clients can saturate it independently of
+// the batch's own in-flight bound).
+const batchQueuePoll = 25 * time.Millisecond
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Specs []RunRequest `json:"specs"`
+}
+
+// BatchItem is one NDJSON line of a batch response. Every spec produces an
+// acknowledgment line (status "queued", carrying the job id so clients can
+// cancel or hedge individual points) unless it was answered from cache, and
+// exactly one terminal line (status "done", "failed" or "cancelled"). Done
+// lines carry both the canonical stats serialization and the full result —
+// the same lossless envelope the disk cache stores — so a client can
+// reconstruct a sim.Result byte-identically to an in-process run. Duplicate
+// specs within the request produce one line per index, sharing a job.
+type BatchItem struct {
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	ID     string          `json:"id,omitempty"`
+	Status Status          `json:"status"`
+	Cached string          `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Stats  json.RawMessage `json:"stats,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// batchWriter serializes NDJSON lines onto the response; dispatcher and
+// per-job completion goroutines write concurrently.
+type batchWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func (bw *batchWriter) write(item BatchItem) {
+	data, err := json.Marshal(item)
+	if err != nil {
+		return
+	}
+	bw.mu.Lock()
+	bw.w.Write(data)
+	bw.w.Write([]byte{'\n'})
+	bw.fl.Flush()
+	bw.mu.Unlock()
+}
+
+// batchGroup is one unique simulation point and the request indices that
+// asked for it.
+type batchGroup struct {
+	spec    sim.RunSpec
+	key     string
+	indices []int
+}
+
+// terminalItems renders the job's terminal state as one BatchItem per
+// requesting index. The result payload is marshalled once and shared.
+func terminalItems(j *job, indices []int) []BatchItem {
+	j.mu.Lock()
+	st, errMsg, cached, stats := j.status, j.errMsg, j.cached, j.stats
+	res := j.result
+	j.mu.Unlock()
+	var raw json.RawMessage
+	if st == StatusDone {
+		if data, err := json.Marshal(res); err == nil {
+			raw = data
+		}
+	}
+	items := make([]BatchItem, len(indices))
+	for i, idx := range indices {
+		items[i] = BatchItem{
+			Index: idx, Key: j.key, ID: j.id, Status: st,
+			Cached: cached, Error: errMsg, Stats: stats, Result: raw,
+		}
+	}
+	return items
+}
+
+// handleBatch accepts N specs in one request and streams per-spec results
+// as NDJSON while they finish. Disconnecting releases the batch's interest
+// in every outstanding job: points nobody else is waiting on stop
+// simulating, exactly like an abandoned ?wait=1 submission.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch request: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no specs")
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		writeError(w, http.StatusBadRequest, "batch has %d specs, max %d", len(req.Specs), maxBatchSpecs)
+		return
+	}
+	specs := make([]sim.RunSpec, len(req.Specs))
+	for i, rr := range req.Specs {
+		spec, err := rr.Spec()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad spec at index %d: %v", i, err)
+			return
+		}
+		specs[i] = spec.Normalized()
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+
+	// In-request dedup: identical points share one job and one simulation.
+	byKey := make(map[string]*batchGroup, len(specs))
+	var groups []*batchGroup
+	for i, spec := range specs {
+		key := Key(spec)
+		g, ok := byKey[key]
+		if !ok {
+			g = &batchGroup{spec: spec, key: key}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.indices = append(g.indices, i)
+	}
+	// LPT dispatch: hand the expensive points to workers first.
+	sort.SliceStable(groups, func(a, b int) bool {
+		return groups[a].spec.CostEstimate() > groups[b].spec.CostEstimate()
+	})
+
+	s.metrics.BatchRequests.Add(1)
+	s.metrics.BatchSpecs.Add(uint64(len(specs)))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	bw := &batchWriter{w: w, fl: fl}
+
+	// The in-flight bound keeps one batch from monopolizing the worker
+	// queue: at most QueueDepth of its points are enqueued-or-running at a
+	// time, and a slot frees only when a point reaches a terminal state.
+	sem := make(chan struct{}, s.cfg.QueueDepth)
+	ctx := r.Context()
+	var wg sync.WaitGroup
+	failRest := func(gs []*batchGroup, err error) {
+		for _, g := range gs {
+			for _, idx := range g.indices {
+				bw.write(BatchItem{Index: idx, Key: g.key, Status: StatusFailed, Error: err.Error()})
+			}
+		}
+	}
+
+dispatch:
+	for gi, g := range groups {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		var j *job
+		for {
+			var err error
+			j, err = s.submit(g.spec)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, errQueueFull) {
+				// Another client saturated the queue; wait for space.
+				select {
+				case <-time.After(batchQueuePoll):
+					continue
+				case <-ctx.Done():
+					<-sem
+					break dispatch
+				}
+			}
+			// Draining or a marshalling failure: the rest of the batch
+			// cannot run either; report and stop dispatching.
+			failRest(groups[gi:], err)
+			<-sem
+			wg.Wait()
+			return
+		}
+		j.retain() // the batch's interest in this point
+		if st := func() Status { j.mu.Lock(); defer j.mu.Unlock(); return j.status }(); st.terminal() {
+			for _, item := range terminalItems(j, g.indices) {
+				bw.write(item)
+			}
+			<-sem
+			continue
+		}
+		for _, idx := range g.indices {
+			bw.write(BatchItem{Index: idx, Key: g.key, ID: j.id, Status: StatusQueued})
+		}
+		wg.Add(1)
+		go func(j *job, g *batchGroup) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			select {
+			case <-j.done:
+				for _, item := range terminalItems(j, g.indices) {
+					bw.write(item)
+				}
+			case <-ctx.Done():
+				s.releaseWaiter(j)
+			}
+		}(j, g)
+	}
+	wg.Wait()
+}
+
+// ErrorOf returns the item's error as a Go error (nil for non-failed items).
+func (it BatchItem) ErrorOf() error {
+	if it.Status == StatusDone || !it.Status.terminal() {
+		return nil
+	}
+	msg := it.Error
+	if msg == "" {
+		msg = string(it.Status)
+	}
+	return fmt.Errorf("spbd: batch spec %d ended %s: %s", it.Index, it.Status, msg)
+}
+
+// DecodeResult reconstructs the full simulation result carried by a done
+// item — the same lossless round trip the disk cache performs, so remote
+// sweeps compute byte-identical tables.
+func (it BatchItem) DecodeResult() (sim.Result, error) {
+	if it.Status != StatusDone {
+		return sim.Result{}, fmt.Errorf("spbd: batch spec %d is %s, not done", it.Index, it.Status)
+	}
+	if len(it.Result) == 0 {
+		return sim.Result{}, fmt.Errorf("spbd: batch spec %d carries no result payload", it.Index)
+	}
+	var res sim.Result
+	if err := json.Unmarshal(it.Result, &res); err != nil {
+		return sim.Result{}, fmt.Errorf("spbd: batch spec %d result: %w", it.Index, err)
+	}
+	return res, nil
+}

@@ -48,6 +48,7 @@ func (j *job) view() JobView {
 func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/runs", s.timed("POST /v1/runs", s.handleSubmit))
+	mux.HandleFunc("POST /v1/batch", s.handleBatch) // long-lived stream: kept out of the latency histogram
 	mux.Handle("GET /v1/runs", s.timed("GET /v1/runs", s.handleList))
 	mux.Handle("GET /v1/runs/{id}", s.timed("GET /v1/runs/{id}", s.handleGet))
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents) // long-lived: kept out of the latency histogram

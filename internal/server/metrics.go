@@ -26,6 +26,8 @@ type Metrics struct {
 	SSESubscribers   atomic.Int64
 	DiskStoreErrors  atomic.Uint64
 	ProgressSnapshot atomic.Uint64 // progress callbacks delivered
+	BatchRequests    atomic.Uint64
+	BatchSpecs       atomic.Uint64 // specs received across all batch requests
 
 	mu         sync.Mutex
 	histograms map[string]*histogram
@@ -102,6 +104,8 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int) {
 	counter("spbd_queue_rejected_total", "Submissions rejected with 429 because the queue was full.", m.QueueRejected.Load())
 	counter("spbd_disk_store_errors_total", "Disk cache tier read/write failures.", m.DiskStoreErrors.Load())
 	counter("spbd_progress_snapshots_total", "Progress callbacks delivered by running simulations.", m.ProgressSnapshot.Load())
+	counter("spbd_batch_requests_total", "Batch sweep requests accepted.", m.BatchRequests.Load())
+	counter("spbd_batch_specs_total", "Specs received across all batch requests.", m.BatchSpecs.Load())
 
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.histograms))

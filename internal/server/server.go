@@ -65,6 +65,10 @@ func (s Status) terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCancelled
 }
 
+// Terminal reports whether the status is final (done, failed or cancelled);
+// batch-stream consumers filter on it.
+func (s Status) Terminal() bool { return s.terminal() }
+
 // job is one accepted simulation request.
 type job struct {
 	id        string

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -151,6 +152,28 @@ func (s RunSpec) normalize() RunSpec {
 // that normalize identically are the same simulation point: this is the form
 // the Runner memoizes on and the form external caches must key on.
 func (s RunSpec) Normalized() RunSpec { return s.normalize() }
+
+// CostEstimate ranks a spec by expected wall-clock simulation time, for
+// longest-processing-time-first dispatch. The absolute value is meaningless;
+// only the ordering matters. Total work scales with the committed-instruction
+// budget across cores; multi-core runs pay lock-step coordination on top; an
+// ideal SB never stalls, so its runs have no dead spans for the event-horizon
+// fast forward to skip; and disabling the fast forward altogether simulates
+// every cycle of every core.
+func (s RunSpec) CostEstimate() uint64 {
+	n := s.normalize()
+	cost := n.Insts * uint64(n.Cores)
+	if n.Cores > 1 {
+		cost += cost / 2
+	}
+	if n.Policy == core.PolicyIdeal {
+		cost *= 2
+	}
+	if n.DisableFastForward {
+		cost *= 4
+	}
+	return cost
+}
 
 // Progress is a point-in-time view of a running simulation, delivered to the
 // callback passed to RunCtx. Committed and Cycles aggregate over all cores
@@ -481,38 +504,82 @@ func (r *Runner) GetCtx(ctx context.Context, spec RunSpec, onProgress func(Progr
 // singleflight hits excluded).
 func (r *Runner) Runs() uint64 { return r.runs.Load() }
 
-// GetAll runs the specs on a fixed worker pool (min(GOMAXPROCS, len(specs))
-// workers) and returns the results in spec order. The first error aborts the
-// batch. A fixed pool — rather than one goroutine per spec parked behind a
-// semaphore — keeps a five-figure sweep from materializing hundreds of idle
-// goroutines up front.
+// GetAll runs the specs on a fixed worker pool and returns the results in
+// spec order. The first error aborts the batch.
 func (r *Runner) GetAll(specs []RunSpec) ([]Result, error) {
+	return r.GetAllCtx(context.Background(), specs)
+}
+
+// lptOrder returns spec indices sorted by descending CostEstimate (ties keep
+// submission order). Dispatching the longest points first keeps a sweep's
+// makespan from being set by an 8-core PARSEC or ideal-SB straggler that a
+// naive ordering hands to a worker last.
+func lptOrder(specs []RunSpec) []int {
+	order := make([]int, len(specs))
+	costs := make([]uint64, len(specs))
+	for i, s := range specs {
+		order[i] = i
+		costs[i] = s.CostEstimate()
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return costs[order[a]] > costs[order[b]]
+	})
+	return order
+}
+
+// GetAllCtx runs the specs on a fixed worker pool (min(GOMAXPROCS,
+// len(specs)) workers) and returns the results in spec order. Specs are
+// dispatched longest-first (see lptOrder) but results land at their original
+// indices, so callers see no difference from in-order execution. The first
+// error stops all further dispatch — workers finish the spec they are on and
+// exit, since the batch is doomed anyway — and cancelling ctx aborts the
+// batch the same way, with running simulations stopped via RunCtx. A fixed
+// pool — rather than one goroutine per spec parked behind a semaphore —
+// keeps a five-figure sweep from materializing hundreds of idle goroutines
+// up front.
+func (r *Runner) GetAllCtx(ctx context.Context, specs []RunSpec) ([]Result, error) {
 	results := make([]Result, len(specs))
-	errs := make([]error, len(specs))
+	order := lptOrder(specs)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(specs) {
 		workers = len(specs)
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(specs) {
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
-				results[i], errs[i] = r.Get(specs[i])
+				k := int(next.Add(1)) - 1
+				if k >= len(order) {
+					return
+				}
+				i := order[k]
+				res, err := r.GetCtx(ctx, specs[i], nil)
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+				results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -231,5 +234,63 @@ func TestRunnerGetAllPropagatesError(t *testing.T) {
 	_, err := r.GetAll([]RunSpec{quickSpec("bogus", core.PolicyAtCommit, 56)})
 	if err == nil {
 		t.Fatal("error should propagate from GetAll")
+	}
+}
+
+func TestRunnerGetAllStopsDispatchOnError(t *testing.T) {
+	r := NewRunner()
+	// The bogus spec carries the largest cost estimate, so LPT dispatch hands
+	// it out first; it fails immediately (unknown workload), after which no
+	// new specs may be dispatched. At most one spec per worker can already be
+	// in flight when the error is recorded.
+	specs := []RunSpec{quickSpec("bogus", core.PolicyAtCommit, 56)}
+	specs[0].Insts = 1_000_000 // dispatched first under LPT
+	for i := 0; i < 64; i++ {
+		s := quickSpec("leela", core.PolicyAtCommit, 56)
+		s.Seed = uint64(i + 1)
+		specs = append(specs, s)
+	}
+	_, err := r.GetAll(specs)
+	if err == nil {
+		t.Fatal("error should propagate from GetAll")
+	}
+	limit := uint64(2 * runtime.GOMAXPROCS(0))
+	if got := r.Runs(); got > limit {
+		t.Fatalf("Runs() = %d after early failure, want <= %d (workers kept dispatching a doomed batch)", got, limit)
+	}
+}
+
+func TestRunnerGetAllCtxCancelled(t *testing.T) {
+	r := NewRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.GetAllCtx(ctx, []RunSpec{quickSpec("leela", core.PolicyAtCommit, 56)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetAllCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if got := r.Runs(); got != 0 {
+		t.Fatalf("Runs() = %d on cancelled ctx, want 0", got)
+	}
+}
+
+func TestCostEstimateOrdersStragglersFirst(t *testing.T) {
+	spec1 := RunSpec{Workload: "leela", Policy: core.PolicyAtCommit, SQSize: 56, Insts: 100_000}
+	parsec := RunSpec{Workload: "canneal", Policy: core.PolicyAtCommit, SQSize: 56, Insts: 100_000, Cores: 8}
+	ideal := spec1
+	ideal.Policy = core.PolicyIdeal
+	noFF := spec1
+	noFF.DisableFastForward = true
+	if parsec.CostEstimate() <= spec1.CostEstimate() {
+		t.Fatal("8-core PARSEC point must rank above a 1-core point")
+	}
+	if ideal.CostEstimate() <= spec1.CostEstimate() {
+		t.Fatal("ideal-SB point must rank above an at-commit point")
+	}
+	if noFF.CostEstimate() <= spec1.CostEstimate() {
+		t.Fatal("reference-loop point must rank above a fast-forwarded point")
+	}
+	order := lptOrder([]RunSpec{spec1, parsec, ideal})
+	if order[0] != 1 {
+		t.Fatalf("lptOrder dispatched index %d first, want the PARSEC point (1)", order[0])
 	}
 }

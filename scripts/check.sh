@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the full pre-merge gate: vet, build, tests, and a race pass
 # over the packages with real concurrency (the Runner's singleflight /
-# worker pool and the figure pipelines that drive it).
+# worker pool, the figure pipelines that drive it, the spbd job queue, and
+# the client pool's sharding/hedging machinery).
 set -eu
 cd "$(dirname "$0")/.."
 

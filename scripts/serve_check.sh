@@ -7,8 +7,11 @@
 #   2. an identical repeat request is served from cache without re-running
 #      (metrics: one miss, one memory hit);
 #   3. a cancelled request stops simulating and /metrics reports it;
-#   4. /healthz and /metrics answer;
-#   5. SIGTERM drains and exits cleanly.
+#   4. a POST /v1/batch streams one terminal NDJSON line per spec, dedups
+#      an in-request duplicate, and answers already-cached specs from the
+#      memory tier;
+#   5. /healthz and /metrics answer;
+#   6. SIGTERM drains and exits cleanly.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -82,6 +85,37 @@ LATER=$(curl -fsS "$BASE/v1/runs/$ID" | jq -r '.committed')
 [ "$COMMITTED" = "$LATER" ] || { echo "simulation kept running after cancel"; exit 1; }
 curl -fsS "$BASE/metrics" >"$TMP/metrics2.txt"
 grep -q 'spbd_runs_cancelled_total 1' "$TMP/metrics2.txt"
+
+echo "== batch streams, dedups, and answers from cache =="
+# Three specs: index 0 is the spec cached by the earlier sections, indices
+# 1 and 2 are an identical new point (in-request duplicate).
+BATCH='{"specs":[
+  {"workload":"bwaves","policy":"spb","sb":14,"insts":20000},
+  {"workload":"mcf","policy":"at-commit","sb":28,"insts":20000},
+  {"workload":"mcf","policy":"at-commit","sb":28,"insts":20000}]}'
+curl -fsSN -X POST "$BASE/v1/batch" -H 'Content-Type: application/json' \
+    -d "$BATCH" >"$TMP/batch.ndjson"
+# One terminal line per index, each with a result payload.
+for idx in 0 1 2; do
+    N=$(jq -c --argjson i "$idx" \
+        'select(.index == $i and (.status == "done" or .status == "failed" or .status == "cancelled"))' \
+        "$TMP/batch.ndjson" | wc -l)
+    [ "$N" = 1 ] || { echo "index $idx: $N terminal lines, want 1"; cat "$TMP/batch.ndjson"; exit 1; }
+done
+jq -se '[.[] | select(.index == 0)] | .[0].status == "done" and .[0].cached == "memory"' \
+    "$TMP/batch.ndjson" >/dev/null || { echo "cached spec not answered from memory tier"; exit 1; }
+# The duplicate pair shares one job (same id, same stats bytes).
+ID1=$(jq -r 'select(.index == 1 and .status == "done") | .id' "$TMP/batch.ndjson")
+ID2=$(jq -r 'select(.index == 2 and .status == "done") | .id' "$TMP/batch.ndjson")
+[ -n "$ID1" ] && [ "$ID1" = "$ID2" ] || { echo "in-request duplicate not deduped ($ID1 vs $ID2)"; exit 1; }
+jq -c 'select(.index == 1 and .status == "done") | .stats' "$TMP/batch.ndjson" >"$TMP/batch_s1.json"
+jq -c 'select(.index == 2 and .status == "done") | .stats' "$TMP/batch.ndjson" >"$TMP/batch_s2.json"
+cmp "$TMP/batch_s1.json" "$TMP/batch_s2.json" || { echo "duplicate specs returned different stats"; exit 1; }
+# The cached spec's stats match what the per-run API returned earlier.
+jq -c 'select(.index == 0 and .status == "done") | .stats' "$TMP/batch.ndjson" | cmp - "$TMP/remote_stats.json"
+curl -fsS "$BASE/metrics" >"$TMP/metrics3.txt"
+grep -q 'spbd_batch_requests_total 1' "$TMP/metrics3.txt"
+grep -q 'spbd_batch_specs_total 3' "$TMP/metrics3.txt"
 
 echo "== SIGTERM drains cleanly =="
 kill -TERM "$SPBD_PID"
