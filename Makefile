@@ -1,4 +1,4 @@
-.PHONY: check bench bench-sweep test build serve-check
+.PHONY: check bench bench-sweep test build serve-check chaos
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -20,6 +20,12 @@ bench-sweep:
 # /healthz + /metrics, SIGTERM drain.
 serve-check:
 	sh scripts/serve_check.sh
+
+# Resilience gate: race-enabled chaos/fault-injection suites, then a real
+# 3-backend sweep under a seeded fault storm (byte-identical CSV), disk
+# corruption quarantine-and-heal, and SIGTERM drain of faulted daemons.
+chaos:
+	sh scripts/chaos_check.sh
 
 test:
 	go test ./...

@@ -10,7 +10,8 @@
 //	GET  /v1/runs/{id}       job status + stats when done
 //	GET  /v1/runs/{id}/events  SSE progress stream (committed, cycles, IPC-so-far)
 //	POST /v1/runs/{id}/cancel  stop a queued or running job
-//	GET  /healthz            liveness / drain state
+//	GET  /healthz            liveness (always 200 while the process is up)
+//	GET  /healthz?ready=1    readiness (queue headroom, disk-tier state, drain)
 //	GET  /metrics            Prometheus text metrics
 //
 // On SIGTERM/SIGINT the daemon drains: submissions get 503, queued and
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"spb/internal/faults"
 	"spb/internal/server"
 )
 
@@ -49,8 +51,17 @@ func main() {
 		runTimeout   = flag.Duration("run-timeout", 0, "per-run execution cap (0 = unlimited)")
 		sseInterval  = flag.Duration("sse-interval", 250*time.Millisecond, "progress event period on /events streams")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight runs are cancelled")
+		faultSpec    = flag.String("faults", os.Getenv("SPB_FAULTS"), "fault injection spec, e.g. 'seed=7;store.read:corrupt:0.1;batch.stream:cut:0.01' (default: $SPB_FAULTS; empty disables)")
 	)
 	flag.Parse()
+
+	injector, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatalf("spbd: -faults: %v", err)
+	}
+	if injector.Enabled() {
+		log.Printf("spbd: FAULT INJECTION ACTIVE: %s", injector)
+	}
 
 	srv, err := server.New(server.Config{
 		Workers:     *workers,
@@ -58,6 +69,7 @@ func main() {
 		CacheDir:    *cacheDir,
 		RunTimeout:  *runTimeout,
 		SSEInterval: *sseInterval,
+		Faults:      injector,
 	})
 	if err != nil {
 		log.Fatalf("spbd: %v", err)

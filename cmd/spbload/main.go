@@ -65,7 +65,7 @@ func runBatch(cl *client.Client, mix []sim.RunSpec, rng *rand.Rand, total, disti
 	var errs, hitsMem, hitsDisk, acked int
 	var firstErr error
 	start := time.Now()
-	err := cl.Batch(ctx, specs, func(it server.BatchItem) error {
+	err := cl.BatchEach(ctx, specs, func(it server.BatchItem) error {
 		if !it.Status.Terminal() {
 			acked++
 			return nil
@@ -260,13 +260,12 @@ func main() {
 		fmt.Printf("latency max         %v\n", lat[len(lat)-1].Round(time.Microsecond))
 	}
 	if errs > 0 {
-		// Show the first few distinct errors so a misconfigured mix is
-		// debuggable from the load generator's output alone.
-		seen := map[string]bool{}
+		// The client retries transient failures (429 backpressure included)
+		// itself now, so anything surfacing here is a real failure.
 		for _, s := range samples {
-			if s.err != nil && !seen[s.err.Error()] && len(seen) < 5 {
-				seen[s.err.Error()] = true
+			if s.err != nil {
 				fmt.Printf("error               %v\n", s.err)
+				break
 			}
 		}
 		os.Exit(1)

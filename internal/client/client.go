@@ -2,6 +2,12 @@
 // mirrors the sim package's Run/Get shape — submit a sim.RunSpec, get a
 // result — but over HTTP, so sweep harnesses and load generators can target
 // a shared daemon (and its caches) instead of simulating in-process.
+//
+// Transient failures are retried with capped exponential backoff plus
+// jitter, honoring Retry-After: every request is idempotent (specs are
+// content-keyed and the daemon deduplicates), so a retried submission
+// coalesces onto the original job or hits a cache tier rather than
+// simulating twice.
 package client
 
 import (
@@ -9,27 +15,123 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"spb/internal/faults"
 	"spb/internal/server"
 	"spb/internal/sim"
 )
 
-// Client talks to one spbd instance.
-type Client struct {
-	base string
-	http *http.Client
+// RetryPolicy shapes the client's transient-failure handling: up to
+// MaxAttempts tries per call, exponential backoff from BaseDelay capped at
+// MaxDelay (with jitter), the whole call bounded by Budget. A Retry-After
+// header from the daemon (429 backpressure) overrides the computed backoff.
+type RetryPolicy struct {
+	MaxAttempts int           // total tries including the first (default 4; negative disables retries)
+	BaseDelay   time.Duration // first backoff step (default 100ms)
+	MaxDelay    time.Duration // backoff ceiling (default 5s)
+	Budget      time.Duration // wall-clock bound per call, waits included (default 30s)
 }
 
-// New returns a client for the daemon at base (e.g. "http://localhost:7077").
-func New(base string) *Client {
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.MaxAttempts < 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 30 * time.Second
+	}
+	return p
+}
+
+// backoff computes the wait before try number attempt (1-based over
+// retries). A daemon-supplied Retry-After wins; otherwise exponential with
+// equal jitter so a fleet of clients does not retry in lockstep.
+func (p RetryPolicy) backoff(attempt int, lastErr error) time.Duration {
+	var se *StatusError
+	if errors.As(lastErr, &se) {
+		if d, ok := parseRetryAfter(se.RetryAfter); ok {
+			return d
+		}
+	}
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// parseRetryAfter understands both Retry-After forms: delta-seconds and an
+// HTTP date.
+func parseRetryAfter(s string) (time.Duration, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(s); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Options configures a Client beyond its base URL.
+type Options struct {
+	// HTTPClient overrides the transport (default: a fresh http.Client).
+	HTTPClient *http.Client
+	// Retry is the transient-failure policy; the zero value means the
+	// defaults documented on RetryPolicy.
+	Retry RetryPolicy
+	// Faults, when set, injects transport failures and latency at the
+	// "client.request" site (tests, chaos). Nil disables injection.
+	Faults *faults.Injector
+}
+
+// Client talks to one spbd instance.
+type Client struct {
+	base   string
+	http   *http.Client
+	retry  RetryPolicy
+	faults *faults.Injector
+}
+
+// New returns a client for the daemon at base (e.g. "http://localhost:7077")
+// with default retry behavior.
+func New(base string) *Client { return NewWithOptions(base, Options{}) }
+
+// NewWithOptions returns a client with explicit transport, retry and fault
+// injection settings.
+func NewWithOptions(base string, opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{},
+		base:   strings.TrimRight(base, "/"),
+		http:   hc,
+		retry:  opts.Retry.withDefaults(),
+		faults: opts.Faults,
 	}
 }
 
@@ -37,21 +139,81 @@ func New(base string) *Client {
 type StatusError struct {
 	Code       int
 	Message    string
-	RetryAfter string // the Retry-After header, when present (429)
+	RetryAfter string // the Retry-After header, when present (429/503)
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("spbd: HTTP %d: %s", e.Code, e.Message)
 }
 
+// retryable reports whether err is transient: daemon backpressure and
+// gateway-style statuses, injected faults, and transport-level failures.
+// Context cancellation, 4xx mistakes, and malformed responses are not.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	var inj *faults.InjectedError
+	if errors.As(err, &inj) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue) // connection refused/reset, truncated response, ...
+}
+
+// do runs one JSON request with the retry policy. The body is marshalled
+// once and replayed on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
+	}
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.retry.backoff(attempt, lastErr)
+			if time.Since(start)+delay > c.retry.Budget {
+				break
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err := c.doOnce(ctx, method, path, data, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	c.faults.Sleep("client.request", ctx.Done())
+	if err := c.faults.Err("client.request"); err != nil {
+		return err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -95,7 +257,8 @@ func (c *Client) Submit(ctx context.Context, spec sim.RunSpec) (server.JobView, 
 
 // Run submits spec and blocks until the daemon returns the result (the
 // ?wait=1 form). Cancelling ctx abandons the request; if no other client is
-// interested the daemon stops the simulation.
+// interested the daemon stops the simulation. Transient failures retry —
+// safe because a re-submitted spec coalesces or cache-hits.
 func (c *Client) Run(ctx context.Context, spec sim.RunSpec) (server.JobView, error) {
 	var v server.JobView
 	err := c.do(ctx, http.MethodPost, "/v1/runs?wait=1", server.Request(spec), &v)
@@ -182,11 +345,49 @@ func (c *Client) Events(ctx context.Context, id string, fn func(name string, dat
 	return nil
 }
 
-// Healthz fetches the daemon's health document.
+// Healthz fetches the daemon's liveness document.
 func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
 	var v map[string]any
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &v)
 	return v, err
+}
+
+// ReadyView is the readiness document served at GET /healthz?ready=1.
+type ReadyView struct {
+	Status        string   `json:"status"`
+	Ready         bool     `json:"ready"`
+	Draining      bool     `json:"draining"`
+	Degraded      bool     `json:"degraded"`
+	QueueHeadroom int      `json:"queue_headroom"`
+	Reasons       []string `json:"reasons"`
+}
+
+// Ready probes the daemon's readiness. Unlike every other call it never
+// retries and bypasses fault injection: a 503 *is* the answer (an unready
+// view with a nil error), and probing is itself the recovery path. Only
+// transport-level failure returns an error.
+func (c *Client) Ready(ctx context.Context) (ReadyView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz?ready=1", nil)
+	if err != nil {
+		return ReadyView{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return ReadyView{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ReadyView{}, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return ReadyView{}, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	var rv ReadyView
+	if err := json.Unmarshal(data, &rv); err != nil {
+		return ReadyView{}, err
+	}
+	return rv, nil
 }
 
 // Metrics fetches the raw Prometheus exposition text.

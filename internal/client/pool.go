@@ -11,15 +11,25 @@
 // longer than an adaptive delay (a multiple of the observed p95 completion
 // latency) is re-dispatched to the next backend in its rendezvous order,
 // first result wins, and the loser's job is cancelled so no point is ever
-// simulated twice. Backends whose connections fail are removed from the
-// rendezvous and their points re-sharded across the survivors.
+// simulated twice.
+//
+// Failure handling is a per-backend circuit breaker (closed → open →
+// half-open, see breaker.go) shared across the pool's sweeps: batch streams
+// that die without progress accumulate toward a trip, dial failures trip
+// immediately, a tripped backend sheds its queued points to the next
+// backend in each point's rendezvous order, and a half-open trial — led by
+// a readiness probe of GET /healthz?ready=1 — decides whether it rejoins.
+// Backends that keep flapping are marked dead and removed from the
+// rendezvous for good; their points re-shard across the survivors.
 package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -45,6 +55,24 @@ type PoolOptions struct {
 	// HedgeTick is how often outstanding points are scanned for stragglers
 	// (default 50ms).
 	HedgeTick time.Duration
+	// BreakerThreshold is how many consecutive no-progress stream failures
+	// trip a backend's circuit (default 5). Streams that deliver at least
+	// one new terminal result before dying reset the count.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped circuit stays open before a
+	// half-open trial (default 500ms).
+	BreakerCooldown time.Duration
+	// BreakerMaxTrips is how many consecutive trips (no success in between)
+	// mark a backend permanently dead for this pool (default 3).
+	BreakerMaxTrips int
+	// ProbeTimeout bounds the readiness probe issued before a run's first
+	// dispatch to a backend and on every half-open trial (default 2s).
+	ProbeTimeout time.Duration
+	// ClientOptions configures the per-backend clients (transport, retry,
+	// fault injection). The pool halves the default retry attempts to 2:
+	// it has failover of its own and prefers re-sharding over long
+	// client-side retry loops.
+	ClientOptions Options
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -62,6 +90,21 @@ func (o PoolOptions) withDefaults() PoolOptions {
 	if o.HedgeTick <= 0 {
 		o.HedgeTick = 50 * time.Millisecond
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 500 * time.Millisecond
+	}
+	if o.BreakerMaxTrips <= 0 {
+		o.BreakerMaxTrips = 3
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.ClientOptions.Retry.MaxAttempts == 0 {
+		o.ClientOptions.Retry.MaxAttempts = 2
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -73,9 +116,10 @@ func (o PoolOptions) withDefaults() PoolOptions {
 // can swap in-process execution for the distributed path without caring
 // which they got.
 type Pool struct {
-	bases   []string
-	clients []*Client
-	opts    PoolOptions
+	bases    []string
+	clients  []*Client
+	breakers []*breaker // per-backend circuits, shared across sweeps
+	opts     PoolOptions
 }
 
 // NewPool builds a pool over the given backend base URLs (e.g.
@@ -100,12 +144,21 @@ func NewPool(bases []string, opts PoolOptions) (*Pool, error) {
 		}
 		seen[b] = true
 		p.bases = append(p.bases, b)
-		p.clients = append(p.clients, New(b))
+		p.clients = append(p.clients, NewWithOptions(b, p.opts.ClientOptions))
+		p.breakers = append(p.breakers, newBreaker(
+			p.opts.BreakerThreshold, p.opts.BreakerCooldown, p.opts.BreakerMaxTrips))
 	}
 	if len(p.bases) == 0 {
 		return nil, fmt.Errorf("client: pool needs at least one backend")
 	}
 	return p, nil
+}
+
+// isHardErr reports whether err is a hard connection failure — nothing is
+// listening (dial refused) — as opposed to a stream that died mid-flight.
+func isHardErr(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
 }
 
 // Backends returns the normalized backend base URLs.
@@ -151,9 +204,15 @@ type poolTask struct {
 
 	assigns []*assignment // one per dispatch (primary, then at most one hedge)
 	pending bool          // waiting in some backend's queue
+	retries int           // externally-cancelled re-dispatches consumed
 	done    bool
 	res     sim.Result
 }
+
+// poolTaskMaxRetries bounds re-dispatches of a point whose job was
+// cancelled out from under the sweep (a draining backend, an operator
+// cancel) before the sweep gives up on it.
+const poolTaskMaxRetries = 3
 
 // poolRun is the state of one GetAllCtx invocation.
 type poolRun struct {
@@ -214,11 +273,23 @@ func (p *Pool) GetAllCtx(ctx context.Context, specs []sim.RunSpec) ([]sim.Result
 	}
 	r.remaining = len(r.tasks)
 
-	// Initial sharding: every task to the highest-ranked backend. LPT
-	// ordering within each backend queue happens at enqueue time.
+	// Initial sharding: every task to its highest-ranked backend whose
+	// circuit is not permanently dead (earlier sweeps may have buried some).
+	// LPT ordering within each backend queue happens at enqueue time.
 	r.mu.Lock()
 	for _, t := range r.tasks {
-		r.enqueueLocked(t, t.rank[0])
+		target := -1
+		for _, cand := range t.rank {
+			if !p.breakers[cand].Dead() {
+				target = cand
+				break
+			}
+		}
+		if target < 0 {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("client: every pool backend is dead")
+		}
+		r.enqueueLocked(t, target)
 	}
 	r.mu.Unlock()
 
@@ -281,18 +352,49 @@ func (r *poolRun) kick(b int) {
 
 // dispatcher drains backend b's pending queue in chunks of at most
 // MaxInflight specs, one batch stream per chunk, serially: the bound on
-// outstanding work per backend is the chunk size.
+// outstanding work per backend is the chunk size. Every dispatch passes
+// through the backend's circuit breaker: an open circuit waits out its
+// cooldown, a half-open trial (and a run's first dispatch) leads with a
+// readiness probe, and a dead circuit evacuates the queue for good.
 func (r *poolRun) dispatcher(b int) {
 	defer r.wg.Done()
+	br := r.p.breakers[b]
+	probed := false
 	for {
 		select {
 		case <-r.ctx.Done():
 			return
 		case <-r.kicks[b]:
 		}
-		for {
+		for r.hasWork(b) {
+			ok, trial, wait := br.Acquire()
+			if !ok {
+				if wait == 0 { // dead: this backend is done for
+					r.shedLoad(b, nil, fmt.Errorf("circuit permanently open"))
+					break
+				}
+				select {
+				case <-r.ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+				continue
+			}
+			if trial || !probed {
+				if err := r.probe(b); err != nil {
+					br.Fail(isHardErr(err))
+					r.opts.Logf("pool: backend %s failed its readiness probe (circuit %s): %v",
+						r.p.bases[b], br.State(), err)
+					r.shedLoad(b, nil, err)
+					continue
+				}
+				probed = true
+			}
 			chunk := r.takeChunk(b)
 			if len(chunk) == 0 {
+				if trial {
+					br.Success() // the probe passed; nothing left to prove it with
+				}
 				break
 			}
 			r.runChunk(b, chunk)
@@ -301,6 +403,28 @@ func (r *poolRun) dispatcher(b int) {
 			}
 		}
 	}
+}
+
+func (r *poolRun) hasWork(b int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queues[b]) > 0 && !r.failed[b]
+}
+
+// probe checks backend b's readiness. A transport failure or a draining
+// daemon is a probe failure; a daemon that is merely out of queue headroom
+// is alive and accepted — the batch path waits for queue space server-side.
+func (r *poolRun) probe(b int) error {
+	ctx, cancel := context.WithTimeout(r.ctx, r.opts.ProbeTimeout)
+	defer cancel()
+	rv, err := r.p.clients[b].Ready(ctx)
+	if err != nil {
+		return err
+	}
+	if rv.Draining {
+		return fmt.Errorf("backend %s is draining", r.p.bases[b])
+	}
+	return nil
 }
 
 // takeChunk pops up to MaxInflight not-yet-done tasks from backend b's
@@ -328,28 +452,74 @@ func (r *poolRun) takeChunk(b int) []*poolTask {
 }
 
 // runChunk streams one batch of tasks to backend b and folds the results
-// back into the run. A transport failure marks the backend dead and
-// re-shards the chunk's unfinished tasks.
+// back into the run, then settles with the circuit breaker: a stream that
+// delivered at least one new terminal result counts as a success even if it
+// died afterwards (the backend is alive and producing — resume, don't
+// punish), while a stream that died without progress counts toward a trip —
+// immediately, when nothing was even listening. Unfinished tasks are
+// re-queued either way.
 func (r *poolRun) runChunk(b int, chunk []*poolTask) {
 	specs := make([]sim.RunSpec, len(chunk))
 	for i, t := range chunk {
 		specs[i] = t.spec
 	}
+	progressed := false
 	err := r.p.clients[b].Batch(r.ctx, specs, func(it server.BatchItem) error {
 		if it.Index < 0 || it.Index >= len(chunk) {
 			return nil
 		}
-		r.observe(b, chunk[it.Index], it)
+		if r.observe(b, chunk[it.Index], it) {
+			progressed = true
+		}
 		return nil
 	})
-	if err != nil && r.ctx.Err() == nil {
-		r.backendFailed(b, chunk, err)
+	if r.ctx.Err() != nil {
+		return
 	}
+	br := r.p.breakers[b]
+	if err == nil && !r.chunkHasUnfinished(b, chunk) {
+		br.Success()
+		return
+	}
+	if progressed {
+		br.Success()
+	} else {
+		br.Fail(isHardErr(err))
+	}
+	if err == nil {
+		err = fmt.Errorf("stream ended with unresolved points")
+	}
+	r.shedLoad(b, chunk, err)
+}
+
+// chunkHasUnfinished reports whether any chunk task still needs a home
+// after its stream ended.
+func (r *poolRun) chunkHasUnfinished(b int, chunk []*poolTask) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range chunk {
+		if !t.done && !t.pending && !r.liveElsewhereLocked(t, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// liveElsewhereLocked reports whether t has a live claim on a healthy
+// backend other than b (a hedge still running it).
+func (r *poolRun) liveElsewhereLocked(t *poolTask, b int) bool {
+	for _, a := range t.assigns {
+		if a.backend != b && !a.cancelled && !r.failed[a.backend] {
+			return true
+		}
+	}
+	return false
 }
 
 // observe folds one batch item for task t (dispatched on backend b) into
-// the run state.
-func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) {
+// the run state. It reports whether the item newly resolved the task — the
+// per-stream progress signal the circuit breaker keys on.
+func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) bool {
 	r.mu.Lock()
 	var a *assignment
 	for _, cand := range t.assigns {
@@ -359,7 +529,7 @@ func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) {
 	}
 	if a == nil { // can't happen: items only arrive on streams we opened
 		r.mu.Unlock()
-		return
+		return false
 	}
 	if !it.Status.Terminal() {
 		a.jobID = it.ID // ack: remember the id so the loser can be cancelled
@@ -373,11 +543,11 @@ func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) {
 		if lose {
 			r.cancelJob(a)
 		}
-		return
+		return false
 	}
 	if t.done {
 		r.mu.Unlock()
-		return
+		return false
 	}
 	switch it.Status {
 	case server.StatusDone:
@@ -385,7 +555,7 @@ func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) {
 		if err != nil {
 			r.failLocked(err)
 			r.mu.Unlock()
-			return
+			return false
 		}
 		t.done = true
 		t.res = res
@@ -408,11 +578,26 @@ func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) {
 		if done {
 			close(r.doneCh)
 		}
-		return
+		return true
 	case server.StatusCancelled:
 		// Our own cancellation of a losing job echoes back on its stream;
-		// anything else cancelled the job out from under the sweep.
+		// anything else (a draining backend, an operator) cancelled the job
+		// out from under the sweep. Re-dispatch the point a bounded number
+		// of times before declaring the sweep failed.
 		if !a.cancelled {
+			a.cancelled = true
+			if t.retries < poolTaskMaxRetries {
+				t.retries++
+				target := r.requeueTargetLocked(t)
+				if target >= 0 {
+					r.opts.Logf("pool: %s (key %.12s) cancelled externally on %s, re-dispatching to %s (retry %d)",
+						t.spec.Workload, t.key, r.p.bases[b], r.p.bases[target], t.retries)
+					r.enqueueLocked(t, target)
+					r.mu.Unlock()
+					r.kick(target)
+					return false
+				}
+			}
 			r.failLocked(fmt.Errorf("client: %s cancelled externally on %s: %s",
 				t.spec.Workload, r.p.bases[b], it.Error))
 		}
@@ -420,6 +605,7 @@ func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) {
 		r.failLocked(it.ErrorOf())
 	}
 	r.mu.Unlock()
+	return false
 }
 
 // cancelJob asks an assignment's backend to stop its job, detached from the
@@ -440,27 +626,38 @@ func (r *poolRun) failLocked(err error) {
 	}
 }
 
-// backendFailed marks backend b dead and re-shards its outstanding tasks
-// (the failed chunk plus anything still queued) onto the next healthy
-// backend in each task's rendezvous order.
-func (r *poolRun) backendFailed(b int, chunk []*poolTask, cause error) {
+// shedLoad evacuates backend b's outstanding work after a failure. The
+// failed chunk's assignments on b are written off; when b's circuit has gone
+// permanently dead the backend is also marked failed for this run and its
+// whole pending queue drains. Every orphaned task is re-homed onto the best
+// available backend in its rendezvous order — which may be b itself when the
+// circuit is merely open (the point parks until the cooldown's half-open
+// trial). With no backend left at all the sweep fails.
+func (r *poolRun) shedLoad(b int, chunk []*poolTask, cause error) {
+	dead := r.p.breakers[b].Dead()
 	r.mu.Lock()
-	if !r.failed[b] {
-		r.opts.Logf("pool: backend %s failed, re-sharding: %v", r.p.bases[b], cause)
-		r.failed[b] = true
-	}
-	orphans := append(append([]*poolTask(nil), chunk...), r.queues[b]...)
-	r.queues[b] = nil
-	healthy := 0
-	for _, f := range r.failed {
-		if !f {
-			healthy++
+	for _, t := range chunk {
+		for _, a := range t.assigns {
+			if a.backend == b {
+				a.cancelled = true
+			}
 		}
 	}
-	if healthy == 0 {
-		r.failLocked(fmt.Errorf("client: every pool backend failed (last: %s: %w)", r.p.bases[b], cause))
-		r.mu.Unlock()
-		return
+	orphans := append([]*poolTask(nil), chunk...)
+	if dead {
+		if !r.failed[b] {
+			r.failed[b] = true
+			r.opts.Logf("pool: backend %s is dead (circuit tripped %d times), re-sharding: %v",
+				r.p.bases[b], r.opts.BreakerMaxTrips, cause)
+		}
+		for _, t := range r.queues[b] {
+			t.pending = false // drained: no longer queued anywhere
+		}
+		orphans = append(orphans, r.queues[b]...)
+		r.queues[b] = nil
+	} else if len(chunk) > 0 {
+		r.opts.Logf("pool: shedding %d points from %s (circuit %s): %v",
+			len(chunk), r.p.bases[b], r.p.breakers[b].State(), cause)
 	}
 	rekicks := map[int]bool{}
 	for _, t := range orphans {
@@ -470,18 +667,39 @@ func (r *poolRun) backendFailed(b int, chunk []*poolTask, cause error) {
 		if r.liveAssignLocked(t) {
 			continue // a hedge is still running it elsewhere
 		}
-		for _, cand := range t.rank {
-			if !r.failed[cand] {
-				r.enqueueLocked(t, cand)
-				rekicks[cand] = true
-				break
-			}
+		target := r.requeueTargetLocked(t)
+		if target < 0 {
+			r.failLocked(fmt.Errorf("client: every pool backend failed (last: %s: %w)", r.p.bases[b], cause))
+			r.mu.Unlock()
+			return
 		}
+		r.enqueueLocked(t, target)
+		rekicks[target] = true
 	}
 	r.mu.Unlock()
 	for cand := range rekicks {
 		r.kick(cand)
 	}
+}
+
+// requeueTargetLocked picks a new home for t: the highest-ranked backend
+// that is still in the run and not circuit-dead, preferring one whose
+// circuit would admit a dispatch right now over one waiting out a cooldown.
+// Returns -1 when no backend is left.
+func (r *poolRun) requeueTargetLocked(t *poolTask) int {
+	fallback := -1
+	for _, cand := range t.rank {
+		if r.failed[cand] || r.p.breakers[cand].Dead() {
+			continue
+		}
+		if r.p.breakers[cand].Settled() {
+			return cand
+		}
+		if fallback < 0 {
+			fallback = cand
+		}
+	}
+	return fallback
 }
 
 // liveAssignLocked reports whether t still has an assignment on a healthy
@@ -561,7 +779,7 @@ func (r *poolRun) hedgeMonitor() {
 				continue
 			}
 			for _, cand := range t.rank {
-				if !claimed[cand] && !r.failed[cand] {
+				if !claimed[cand] && !r.failed[cand] && !r.p.breakers[cand].Dead() {
 					r.opts.Logf("pool: hedging %s (key %.12s) from %s to %s after %v",
 						t.spec.Workload, t.key, r.p.bases[live.backend], r.p.bases[cand], now.Sub(live.dispatchedAt))
 					r.enqueueLocked(t, cand)

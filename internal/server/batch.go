@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"spb/internal/faults"
 	"spb/internal/sim"
 )
 
@@ -55,11 +56,15 @@ type BatchItem struct {
 }
 
 // batchWriter serializes NDJSON lines onto the response; dispatcher and
-// per-job completion goroutines write concurrently.
+// per-job completion goroutines write concurrently. It also hosts the
+// "batch.stream" fault site: injected delays slow the stream, and an
+// injected cut severs the TCP connection mid-response.
 type batchWriter struct {
-	mu sync.Mutex
-	w  http.ResponseWriter
-	fl http.Flusher
+	mu     sync.Mutex
+	w      http.ResponseWriter
+	fl     http.Flusher
+	faults *faults.Injector
+	cut    bool // stream severed by an injected fault; later writes are no-ops
 }
 
 func (bw *batchWriter) write(item BatchItem) {
@@ -68,10 +73,30 @@ func (bw *batchWriter) write(item BatchItem) {
 		return
 	}
 	bw.mu.Lock()
+	defer bw.mu.Unlock()
+	if bw.cut {
+		return
+	}
+	bw.faults.Sleep("batch.stream", nil)
+	if bw.faults.Cut("batch.stream") {
+		// Sever the connection underneath the response, like a mid-stream
+		// network failure, WITHOUT cancelling the request context: the
+		// batch's jobs stay retained and complete into the cache, so a
+		// resuming client coalesces or cache-hits instead of re-simulating
+		// — exactly-once survives the truncation. (write is called from
+		// non-handler goroutines, so panicking with http.ErrAbortHandler is
+		// not an option here.)
+		if hj, ok := bw.w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		bw.cut = true
+		return
+	}
 	bw.w.Write(data)
 	bw.w.Write([]byte{'\n'})
 	bw.fl.Flush()
-	bw.mu.Unlock()
 }
 
 // batchGroup is one unique simulation point and the request indices that
@@ -162,7 +187,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	bw := &batchWriter{w: w, fl: fl}
+	bw := &batchWriter{w: w, fl: fl, faults: s.cfg.Faults}
 
 	// The in-flight bound keeps one batch from monopolizing the worker
 	// queue: at most QueueDepth of its points are enqueued-or-running at a
@@ -192,8 +217,11 @@ dispatch:
 			if err == nil {
 				break
 			}
-			if errors.Is(err, errQueueFull) {
-				// Another client saturated the queue; wait for space.
+			var inj *faults.InjectedError
+			if errors.Is(err, errQueueFull) || errors.As(err, &inj) {
+				// A saturated queue — or an injected transient submission
+				// fault — clears with time; wait and resubmit rather than
+				// failing the point.
 				select {
 				case <-time.After(batchQueuePoll):
 					continue

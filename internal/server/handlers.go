@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"spb/internal/faults"
 )
 
 // JobView is the JSON shape of a job returned by POST /v1/runs and
@@ -106,6 +108,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case err != nil:
+		// Injected faults model transient server trouble: report them as
+		// 503 so well-behaved clients retry instead of failing the sweep.
+		var inj *faults.InjectedError
+		if errors.As(err, &inj) {
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -240,23 +250,68 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz serves both probes. Plain GET /healthz is *liveness*: the
+// process is up and answering, so it is always 200 — even while draining
+// (a draining daemon is alive, just not accepting work). GET /healthz?ready=1
+// is *readiness*: 200 only when the daemon can accept a new submission right
+// now (not draining, queue has headroom); the body carries queue headroom
+// and the disk tier's state either way so dispatchers (client.Pool) and
+// operators can see *why* a backend is unready. A degraded disk tier is
+// reported but does not unready the daemon — memory-only service is slower,
+// not wrong.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	status, code := "ok", http.StatusOK
+
+	if r.URL.Query().Get("ready") == "" {
+		status := "ok"
+		if draining {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      status,
+			"queue_depth": s.QueueDepth(),
+			"inflight":    s.Inflight(),
+			"workers":     s.cfg.Workers,
+		})
+		return
+	}
+
+	headroom := s.cfg.QueueDepth - s.QueueDepth()
+	if headroom < 0 {
+		headroom = 0
+	}
+	degraded := s.Degraded()
+	var reasons []string
 	if draining {
-		status, code = "draining", http.StatusServiceUnavailable
+		reasons = append(reasons, "draining")
+	}
+	if headroom == 0 {
+		reasons = append(reasons, "queue full")
+	}
+	if degraded {
+		reasons = append(reasons, "disk tier degraded (memory-only)")
+	}
+	ready := !draining && headroom > 0
+	status, code := "ready", http.StatusOK
+	if !ready {
+		status, code = "unready", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
-		"status":      status,
-		"queue_depth": s.QueueDepth(),
-		"inflight":    s.Inflight(),
-		"workers":     s.cfg.Workers,
+		"status":         status,
+		"ready":          ready,
+		"draining":       draining,
+		"degraded":       degraded,
+		"queue_headroom": headroom,
+		"queue_depth":    s.QueueDepth(),
+		"inflight":       s.Inflight(),
+		"workers":        s.cfg.Workers,
+		"reasons":        reasons,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteText(w, s.QueueDepth, s.Inflight)
+	s.metrics.WriteText(w, s.QueueDepth, s.Inflight, s.Degraded)
 }

@@ -25,6 +25,7 @@ type Metrics struct {
 	QueueRejected    atomic.Uint64
 	SSESubscribers   atomic.Int64
 	DiskStoreErrors  atomic.Uint64
+	StoreCorrupt     atomic.Uint64 // quarantined disk cache entries
 	ProgressSnapshot atomic.Uint64 // progress callbacks delivered
 	BatchRequests    atomic.Uint64
 	BatchSpecs       atomic.Uint64 // specs received across all batch requests
@@ -80,8 +81,8 @@ func (m *Metrics) ObserveLatency(endpoint string, d time.Duration) {
 }
 
 // WriteText renders every metric in Prometheus exposition format. The
-// queueDepth and inflight callbacks supply the live gauges.
-func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int) {
+// queueDepth, inflight and degraded callbacks supply the live gauges.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degraded func() bool) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -91,6 +92,11 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int) {
 	gauge("spbd_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth()))
 	gauge("spbd_inflight_runs", "Simulations currently executing.", int64(inflight()))
 	gauge("spbd_sse_subscribers", "Open SSE progress streams.", m.SSESubscribers.Load())
+	var deg int64
+	if degraded() {
+		deg = 1
+	}
+	gauge("spbd_store_degraded", "1 while the disk tier is in degraded memory-only mode.", deg)
 
 	fmt.Fprintf(w, "# HELP spbd_cache_hits_total Run requests answered from cache, by tier.\n")
 	fmt.Fprintf(w, "# TYPE spbd_cache_hits_total counter\n")
@@ -103,6 +109,7 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int) {
 	counter("spbd_runs_cancelled_total", "Jobs stopped by cancellation or timeout.", m.RunsCancelled.Load())
 	counter("spbd_queue_rejected_total", "Submissions rejected with 429 because the queue was full.", m.QueueRejected.Load())
 	counter("spbd_disk_store_errors_total", "Disk cache tier read/write failures.", m.DiskStoreErrors.Load())
+	counter("spbd_store_corrupt_total", "Corrupt disk cache entries quarantined and recomputed.", m.StoreCorrupt.Load())
 	counter("spbd_progress_snapshots_total", "Progress callbacks delivered by running simulations.", m.ProgressSnapshot.Load())
 	counter("spbd_batch_requests_total", "Batch sweep requests accepted.", m.BatchRequests.Load())
 	counter("spbd_batch_specs_total", "Specs received across all batch requests.", m.BatchSpecs.Load())

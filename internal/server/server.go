@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spb/internal/faults"
 	"spb/internal/sim"
 )
 
@@ -30,6 +31,16 @@ type Config struct {
 	// SSEInterval is the progress-event period on /events streams
 	// (default: 250ms).
 	SSEInterval time.Duration
+	// Faults, when set, injects failures at the server's sites ("submit",
+	// "run", "store.read", "store.write", "batch.stream"). Nil disables
+	// injection at zero cost.
+	Faults *faults.Injector
+	// DiskErrorThreshold is how many *consecutive* disk-tier I/O errors put
+	// the store into degraded memory-only mode (default: 5).
+	DiskErrorThreshold int
+	// DiskRetryInterval is how often a degraded disk tier is re-probed with
+	// one real operation (default: 5s). A success leaves degraded mode.
+	DiskRetryInterval time.Duration
 	// Logf receives operational log lines (default: log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -43,6 +54,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEInterval <= 0 {
 		c.SSEInterval = 250 * time.Millisecond
+	}
+	if c.DiskErrorThreshold <= 0 {
+		c.DiskErrorThreshold = 5
+	}
+	if c.DiskRetryInterval <= 0 {
+		c.DiskRetryInterval = 5 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -149,6 +166,15 @@ type Server struct {
 	draining bool
 	nextID   atomic.Uint64
 
+	// Degraded-mode bookkeeping for the disk tier: diskErrStreak counts
+	// consecutive I/O errors; crossing DiskErrorThreshold sets degraded and
+	// the tier goes memory-only except for one probe per DiskRetryInterval
+	// (diskProbeAt, unix nanos). Any successful operation clears the streak
+	// and leaves degraded mode.
+	diskErrStreak atomic.Int64
+	degraded      atomic.Bool
+	diskProbeAt   atomic.Int64
+
 	workers sync.WaitGroup
 }
 
@@ -167,6 +193,11 @@ func New(cfg Config) (*Server, error) {
 		store, err := OpenDiskStore(cfg.CacheDir)
 		if err != nil {
 			return nil, err
+		}
+		store.Faults = cfg.Faults
+		store.OnCorrupt = func(key string, cause error) {
+			s.metrics.StoreCorrupt.Add(1)
+			s.cfg.Logf("spbd: disk cache entry %.12s quarantined: %v (will recompute)", key, cause)
 		}
 		s.store = store
 	}
@@ -198,6 +229,9 @@ var (
 // the queue. It returns the job (fresh, coalesced, or already-complete from
 // cache) — never both a job and an error.
 func (s *Server) submit(spec sim.RunSpec) (*job, error) {
+	if err := s.cfg.Faults.Err("submit"); err != nil {
+		return nil, err
+	}
 	spec = spec.Normalized()
 	key := Key(spec)
 
@@ -207,16 +241,20 @@ func (s *Server) submit(spec sim.RunSpec) (*job, error) {
 		return s.completedJob(key, spec, res, "memory")
 	}
 	// Tier 2: content-addressed disk store; hits re-seed the memory tier.
-	if s.store != nil {
+	// In degraded mode the tier is skipped except for one probe per
+	// DiskRetryInterval.
+	if s.diskUsable() {
 		res, ok, err := s.store.Get(key)
 		switch {
 		case err != nil:
-			s.metrics.DiskStoreErrors.Add(1)
-			s.cfg.Logf("spbd: disk cache read %s: %v (falling through to run)", key[:12], err)
+			s.diskError("read", key, err)
 		case ok:
+			s.diskHealthy()
 			s.runner.Put(spec, res)
 			s.metrics.CacheHitsDisk.Add(1)
 			return s.completedJob(key, spec, res, "disk")
+		default:
+			s.diskHealthy()
 		}
 	}
 
@@ -307,6 +345,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.setRunning()
+	s.cfg.Faults.Sleep("run", j.ctx.Done())
 
 	ctx := j.ctx
 	if s.cfg.RunTimeout > 0 {
@@ -335,10 +374,11 @@ func (s *Server) runJob(j *job) {
 		if j.finish(StatusDone, res, stats, "") {
 			s.metrics.RunsCompleted.Add(1)
 		}
-		if s.store != nil {
+		if s.diskUsable() {
 			if perr := s.store.Put(j.key, res); perr != nil {
-				s.metrics.DiskStoreErrors.Add(1)
-				s.cfg.Logf("spbd: disk cache write %s: %v", j.key[:12], perr)
+				s.diskError("write", j.key, perr)
+			} else {
+				s.diskHealthy()
 			}
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -434,3 +474,49 @@ func (s *Server) QueueDepth() int { return int(s.queued.Load()) }
 
 // Inflight reports simulations currently executing (metrics gauge).
 func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// Degraded reports whether the disk tier is in memory-only mode after
+// repeated I/O errors (readiness + metrics gauge).
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// diskUsable reports whether the disk tier should be consulted for this
+// operation. A healthy tier always is; a degraded tier admits exactly one
+// probe per DiskRetryInterval so recovery is noticed without hammering a
+// dead disk on every request.
+func (s *Server) diskUsable() bool {
+	if s.store == nil {
+		return false
+	}
+	if !s.degraded.Load() {
+		return true
+	}
+	now := time.Now().UnixNano()
+	at := s.diskProbeAt.Load()
+	if now < at {
+		return false
+	}
+	// One winner per interval gets to probe.
+	return s.diskProbeAt.CompareAndSwap(at, now+s.cfg.DiskRetryInterval.Nanoseconds())
+}
+
+// diskError accounts one disk-tier I/O failure. Crossing the consecutive-
+// error threshold flips the tier into degraded memory-only mode. Corrupt
+// entries never land here — the store heals those itself as clean misses.
+func (s *Server) diskError(op, key string, err error) {
+	s.metrics.DiskStoreErrors.Add(1)
+	streak := s.diskErrStreak.Add(1)
+	s.cfg.Logf("spbd: disk cache %s %.12s: %v (error streak %d)", op, key, err, streak)
+	if streak >= int64(s.cfg.DiskErrorThreshold) && s.degraded.CompareAndSwap(false, true) {
+		s.diskProbeAt.Store(time.Now().Add(s.cfg.DiskRetryInterval).UnixNano())
+		s.cfg.Logf("spbd: disk tier degraded after %d consecutive errors; memory-only until a probe succeeds", streak)
+	}
+}
+
+// diskHealthy accounts one successful disk-tier operation: the error streak
+// resets and a degraded tier rejoins service.
+func (s *Server) diskHealthy() {
+	s.diskErrStreak.Store(0)
+	if s.degraded.CompareAndSwap(true, false) {
+		s.cfg.Logf("spbd: disk tier recovered; leaving memory-only mode")
+	}
+}

@@ -559,14 +559,23 @@ func TestDrainRejectsAndFinishes(t *testing.T) {
 	if _, ok, err := store.Get(Key(spec)); err != nil || !ok {
 		t.Fatalf("drained job's result not on disk: ok %v, %v", ok, err)
 	}
-	// Healthz reports draining.
+	// Liveness stays 200 while draining (the process is up); readiness
+	// reports unready.
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("liveness while draining = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz?ready=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+		t.Fatalf("readiness while draining = %d, want 503", resp.StatusCode)
 	}
 }
 

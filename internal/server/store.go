@@ -1,6 +1,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"spb/internal/faults"
 	"spb/internal/sim"
 )
 
@@ -17,19 +20,51 @@ import (
 // Entries are written atomically (temp file + rename), so a crashed or
 // SIGKILLed daemon never leaves a torn entry, and they survive restarts —
 // a warm spbd answers repeat sweep points without simulating.
+//
+// Reads are checksum-verified and self-healing: every entry embeds the
+// SHA-256 of its own canonical serialization, and an entry that fails to
+// parse, carries the wrong key, or fails the checksum is *quarantined* —
+// renamed to <name>.json.corrupt, reported through OnCorrupt, and treated
+// as a miss so the caller recomputes it. Corruption therefore costs one
+// re-simulation, never a wrong answer and never a fatal error, and a
+// restart after quarantine is clean: .corrupt files are invisible to both
+// Get and Len.
 type DiskStore struct {
 	dir string
+
+	// Faults, when set, injects read/write failures and read-side payload
+	// corruption at the "store.read" / "store.write" sites (tests, chaos).
+	Faults *faults.Injector
+	// OnCorrupt, when set, observes every quarantined entry (metrics/logs).
+	OnCorrupt func(key string, err error)
 }
 
 // diskEntry is the stored envelope. Spec is kept in wire form for humans
 // poking at the cache with jq; Stats is the canonical serialization the
 // service responds with; Result carries every raw counter so the memory
-// tier can be re-seeded losslessly.
+// tier can be re-seeded losslessly; Sum is the hex SHA-256 of the entry's
+// own serialization with Sum blanked — the integrity check behind
+// self-healing reads. Entries written before checksumming existed carry no
+// Sum and are deliberately treated as corrupt: quarantined and recomputed
+// once, rather than trusted unverified.
 type diskEntry struct {
 	Key    string          `json:"key"`
+	Sum    string          `json:"sum,omitempty"`
 	Spec   RunRequest      `json:"spec"`
 	Stats  json.RawMessage `json:"stats"`
 	Result sim.Result      `json:"result"`
+}
+
+// sum computes the entry's checksum: SHA-256 over the canonical marshalling
+// with the Sum field emptied.
+func (e diskEntry) sum() (string, error) {
+	e.Sum = ""
+	data, err := json.MarshalIndent(e, "", "\t")
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:]), nil
 }
 
 // OpenDiskStore opens (creating if needed) a result store rooted at dir.
@@ -51,39 +86,82 @@ func (s *DiskStore) path(key string) string {
 	return filepath.Join(s.dir, shard, key+".json")
 }
 
-// Get recalls the result stored under key. The boolean reports whether the
-// entry exists; a malformed or mismatched entry is an error, not a miss, so
-// corruption is surfaced rather than silently re-simulated over.
+// quarantine moves a corrupt entry aside (kept for forensics, never read
+// again) and reports it. The entry then reads as a miss, so the caller
+// recomputes and Put overwrites with a clean copy.
+func (s *DiskStore) quarantine(key, path string, cause error) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Last resort: make sure the bad entry cannot be read again.
+		os.Remove(path)
+	}
+	if s.OnCorrupt != nil {
+		s.OnCorrupt(key, cause)
+	}
+}
+
+// Get recalls the result stored under key. The boolean reports whether a
+// valid entry exists. A malformed, mis-keyed, or checksum-failing entry is
+// quarantined and reported as a miss — corruption heals by recomputation —
+// while real I/O failures (disk gone, permissions) remain errors so the
+// caller can count them and consider degrading the tier.
 func (s *DiskStore) Get(key string) (sim.Result, bool, error) {
-	data, err := os.ReadFile(s.path(key))
+	if err := s.Faults.Err("store.read"); err != nil {
+		return sim.Result{}, false, fmt.Errorf("server: disk store get: %w", err)
+	}
+	path := s.path(key)
+	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return sim.Result{}, false, nil
 	}
 	if err != nil {
 		return sim.Result{}, false, fmt.Errorf("server: disk store get: %w", err)
 	}
+	data = s.Faults.Corrupt("store.read", data)
 	var e diskEntry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return sim.Result{}, false, fmt.Errorf("server: disk store entry %s: %w", key, err)
+		s.quarantine(key, path, fmt.Errorf("entry does not parse: %w", err))
+		return sim.Result{}, false, nil
 	}
 	if e.Key != key {
-		return sim.Result{}, false, fmt.Errorf("server: disk store entry %s holds key %s", key, e.Key)
+		s.quarantine(key, path, fmt.Errorf("entry holds key %s", e.Key))
+		return sim.Result{}, false, nil
+	}
+	if e.Sum == "" {
+		s.quarantine(key, path, errors.New("entry has no checksum"))
+		return sim.Result{}, false, nil
+	}
+	want, err := e.sum()
+	if err != nil {
+		s.quarantine(key, path, fmt.Errorf("entry checksum uncomputable: %w", err))
+		return sim.Result{}, false, nil
+	}
+	if e.Sum != want {
+		s.quarantine(key, path, fmt.Errorf("checksum mismatch (stored %.12s, computed %.12s)", e.Sum, want))
+		return sim.Result{}, false, nil
 	}
 	return e.Result, true, nil
 }
 
 // Put stores res under key, atomically replacing any existing entry.
 func (s *DiskStore) Put(key string, res sim.Result) error {
+	s.Faults.Sleep("store.write", nil)
+	if err := s.Faults.Err("store.write"); err != nil {
+		return fmt.Errorf("server: disk store put: %w", err)
+	}
 	stats, err := res.StatsJSON()
 	if err != nil {
 		return fmt.Errorf("server: disk store put: %w", err)
 	}
-	data, err := json.MarshalIndent(diskEntry{
+	e := diskEntry{
 		Key:    key,
 		Spec:   Request(res.Spec),
 		Stats:  stats,
 		Result: res,
-	}, "", "\t")
+	}
+	if e.Sum, err = e.sum(); err != nil {
+		return fmt.Errorf("server: disk store put: %w", err)
+	}
+	data, err := json.MarshalIndent(e, "", "\t")
 	if err != nil {
 		return fmt.Errorf("server: disk store put: %w", err)
 	}
@@ -108,8 +186,8 @@ func (s *DiskStore) Put(key string, res sim.Result) error {
 	return nil
 }
 
-// Len walks the store and counts entries (operational introspection and
-// tests; not a hot path).
+// Len walks the store and counts valid entries (operational introspection
+// and tests; not a hot path). Quarantined .corrupt files are not entries.
 func (s *DiskStore) Len() (int, error) {
 	n := 0
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {

@@ -1,0 +1,112 @@
+#!/bin/sh
+# chaos_check.sh — the resilience gate: run the fault-injection and
+# self-healing test suites under the race detector, then exercise the real
+# binaries end to end under a seeded fault storm:
+#   1. a 3-backend spbsweep under injected submit errors, stream cuts, disk
+#      I/O failures and run delays produces a CSV byte-identical to the
+#      in-process sweep;
+#   2. a bit-rotted disk-cache entry is quarantined on restart, counted in
+#      spbd_store_corrupt_total, recomputed with identical stats, and the
+#      damaged bytes are preserved in a .corrupt file;
+#   3. spbload -batch completes cleanly (exit 0) against a daemon that cuts
+#      NDJSON streams and fails submissions;
+#   4. every faulted daemon still drains cleanly on SIGTERM.
+set -eu
+cd "$(dirname "$0")/.."
+
+command -v curl >/dev/null || { echo "chaos-check: curl required"; exit 1; }
+command -v jq >/dev/null || { echo "chaos-check: jq required"; exit 1; }
+
+echo "== go test -race (fault injector + chaos/resilience suites) =="
+go test -race ./internal/faults
+go test -race -run 'Chaos|Breaker|Resume|Quarantine|Corrupt|Degraded|Readiness|Retr|Reshard|Dead|Injected|ReadyProbe|Hedge' \
+    ./internal/client ./internal/server
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build spbd + spbsweep + spbload =="
+go build -o "$TMP/spbd" ./cmd/spbd
+go build -o "$TMP/spbsweep" ./cmd/spbsweep
+go build -o "$TMP/spbload" ./cmd/spbload
+
+# start_daemon <name> <fault-spec> — starts one spbd with its own disk
+# cache and appends its pid to PIDS; sets BASE to the daemon's base URL.
+start_daemon() {
+    name=$1; faults=$2
+    "$TMP/spbd" -addr 127.0.0.1:0 -cache-dir "$TMP/cache-$name" -workers 2 \
+        -faults "$faults" >"$TMP/$name.log" 2>&1 &
+    PIDS="$PIDS $!"
+    i=0
+    until grep -q "listening on" "$TMP/$name.log" 2>/dev/null; do
+        i=$((i+1)); [ "$i" -gt 100 ] && { echo "$name never started"; cat "$TMP/$name.log"; exit 1; }
+        sleep 0.1
+    done
+    ADDR=$(sed -n 's/^spbd: listening on \([^ ]*\).*$/\1/p' "$TMP/$name.log")
+    BASE="http://127.0.0.1:${ADDR##*:}"
+    echo "   $name at $BASE ($faults)"
+}
+
+echo "== start 3 spbd backends under seeded fault storms =="
+start_daemon d1 "seed=101;run:delay:0.2:2ms;batch.stream:cut:0.1:limit=4"; B1=$BASE
+start_daemon d2 "seed=102;submit:error:0.3:limit=4;batch.stream:cut:1:after=5:limit=1"; B2=$BASE
+start_daemon d3 "seed=103;store.read:error:0.3:limit=2;store.write:error:0.3:limit=2"; B3=$BASE
+
+GRID="-suite sbbound -sb 14,56 -policies at-commit,spb -insts 30000"
+
+echo "== sharded sweep under faults is byte-identical to in-process =="
+"$TMP/spbsweep" $GRID >"$TMP/local.csv"
+"$TMP/spbsweep" $GRID -server "$B1,$B2,$B3" >"$TMP/remote.csv"
+cmp "$TMP/local.csv" "$TMP/remote.csv" || {
+    echo "faulted sweep CSV differs from in-process"; exit 1; }
+
+echo "== spbload -batch completes against a faulted daemon =="
+"$TMP/spbload" -addr "$B1" -batch -count 24 -insts 20000 >"$TMP/spbload.txt"
+grep -q " 0 errors " "$TMP/spbload.txt" || {
+    echo "spbload saw errors under faults"; cat "$TMP/spbload.txt"; exit 1; }
+
+echo "== corrupt disk entry quarantines, recomputes, heals =="
+start_daemon d4 ""; B4=$BASE; D4_PID=${PIDS##* }
+SPEC='{"workload":"mcf","policy":"spb","sb":28,"insts":20000}'
+curl -fsS -X POST "$B4/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SPEC" >"$TMP/cold.json"
+jq -e '.status == "done" and ((.cached // "") == "")' "$TMP/cold.json" >/dev/null
+KEY=$(jq -r '.key' "$TMP/cold.json")
+ENTRY="$TMP/cache-d4/$(printf %s "$KEY" | cut -c1-2)/$KEY.json"
+i=0
+until [ -s "$ENTRY" ]; do
+    i=$((i+1)); [ "$i" -gt 100 ] && { echo "disk entry never written"; exit 1; }
+    sleep 0.1
+done
+kill -TERM "$D4_PID"; wait "$D4_PID" 2>/dev/null || true
+# Bit-rot: truncate the stored entry to a third of its length.
+head -c "$(($(wc -c <"$ENTRY") / 3))" "$ENTRY" >"$ENTRY.tmp" && mv "$ENTRY.tmp" "$ENTRY"
+start_daemon d4 ""; B4=$BASE
+curl -fsS -X POST "$B4/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SPEC" >"$TMP/heal.json"
+jq -e '.status == "done" and ((.cached // "") == "")' "$TMP/heal.json" >/dev/null || {
+    echo "corrupt entry served from cache instead of recomputing"; exit 1; }
+jq -ce '.stats' "$TMP/cold.json" >"$TMP/cold_stats.json"
+jq -ce '.stats' "$TMP/heal.json" | cmp - "$TMP/cold_stats.json" || {
+    echo "recomputed stats differ from the original"; exit 1; }
+curl -fsS "$B4/metrics" | grep -q 'spbd_store_corrupt_total 1' || {
+    echo "corruption not counted in spbd_store_corrupt_total"; exit 1; }
+[ -f "$ENTRY.corrupt" ] || { echo "no quarantine file at $ENTRY.corrupt"; exit 1; }
+curl -fsS "$B4/healthz?ready=1" | jq -e '.ready == true and .degraded == false' >/dev/null || {
+    echo "daemon degraded after quarantine (corruption is not an I/O failure)"; exit 1; }
+
+echo "== SIGTERM drains every faulted daemon cleanly =="
+for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
+for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
+PIDS=""
+for name in d1 d2 d3 d4; do
+    grep -q "drained cleanly" "$TMP/$name.log" || {
+        echo "$name did not drain cleanly"; tail "$TMP/$name.log"; exit 1; }
+done
+
+echo "chaos-check OK"

@@ -16,4 +16,6 @@ echo "== go test -race (sim, figures, server, client) =="
 go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client
 echo "== serve-check (spbd end-to-end smoke) =="
 sh scripts/serve_check.sh
+echo "== chaos-check (fault injection + self-healing) =="
+sh scripts/chaos_check.sh
 echo "OK"
