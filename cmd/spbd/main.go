@@ -10,9 +10,10 @@
 //	GET  /v1/runs/{id}       job status + stats when done
 //	GET  /v1/runs/{id}/events  SSE progress stream (committed, cycles, IPC-so-far)
 //	POST /v1/runs/{id}/cancel  stop a queued or running job
+//	GET  /v1/runs/{id}/trace   per-phase span timeline (submit, queue-wait, run, ...)
 //	GET  /healthz            liveness (always 200 while the process is up)
 //	GET  /healthz?ready=1    readiness (queue headroom, disk-tier state, drain)
-//	GET  /metrics            Prometheus text metrics
+//	GET  /metrics            Prometheus text metrics (counters + phase latency histograms)
 //
 // On SIGTERM/SIGINT the daemon drains: submissions get 503, queued and
 // running jobs finish and persist (bounded by -drain-timeout), then it
@@ -29,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -39,6 +41,8 @@ import (
 	"time"
 
 	"spb/internal/faults"
+	"spb/internal/obs"
+	"spb/internal/prof"
 	"spb/internal/server"
 )
 
@@ -52,6 +56,10 @@ func main() {
 		sseInterval  = flag.Duration("sse-interval", 250*time.Millisecond, "progress event period on /events streams")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight runs are cancelled")
 		faultSpec    = flag.String("faults", os.Getenv("SPB_FAULTS"), "fault injection spec, e.g. 'seed=7;store.read:corrupt:0.1;batch.stream:cut:0.01' (default: $SPB_FAULTS; empty disables)")
+		trace        = flag.Bool("trace", true, "record per-phase span timelines for every job (GET /v1/runs/{id}/trace)")
+		traceCap     = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "traces retained in memory; older ones are evicted first")
+		traceLog     = flag.String("trace-log", "", "append finished traces as NDJSON to this file (empty disables)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; port 0 picks a free port)")
 	)
 	flag.Parse()
 
@@ -63,6 +71,28 @@ func main() {
 		log.Printf("spbd: FAULT INJECTION ACTIVE: %s", injector)
 	}
 
+	var tracer *obs.Tracer
+	if *trace {
+		var sink io.Writer
+		if *traceLog != "" {
+			f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("spbd: -trace-log: %v", err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		tracer = obs.NewTracer(*traceCap, sink)
+	}
+
+	if *debugAddr != "" {
+		dbg, err := prof.DebugServer(*debugAddr)
+		if err != nil {
+			log.Fatalf("spbd: %v", err)
+		}
+		log.Printf("spbd: pprof on http://%s/debug/pprof/", dbg)
+	}
+
 	srv, err := server.New(server.Config{
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
@@ -70,6 +100,7 @@ func main() {
 		RunTimeout:  *runTimeout,
 		SSEInterval: *sseInterval,
 		Faults:      injector,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		log.Fatalf("spbd: %v", err)

@@ -36,9 +36,41 @@ import (
 
 	"spb/internal/client"
 	"spb/internal/core"
+	"spb/internal/obs"
 	"spb/internal/server"
 	"spb/internal/sim"
 )
+
+// report prints the shared result summary of both load modes. lat must be
+// sorted ascending. Percentiles use the nearest-rank definition from
+// obs.PercentileDuration — the earlier floor-index formula under-reported
+// the tail (p99 of 50 samples read element 48 instead of 49). The zero
+// guards keep a fully-failed or instantly-finished run from printing
+// NaN/+Inf. acked < 0 suppresses the batch-only acknowledgment line.
+func report(label string, lat []time.Duration, errs, total, acked, hitsMem, hitsDisk int, elapsed time.Duration) {
+	errRate := 0.0
+	if total > 0 {
+		errRate = 100 * float64(errs) / float64(total)
+	}
+	fmt.Printf("completed           %d ok, %d errors (%.1f%% error rate) in %v\n",
+		len(lat), errs, errRate, elapsed.Round(time.Millisecond))
+	throughput := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		throughput = float64(len(lat)) / secs
+	}
+	fmt.Printf("throughput          %.1f ok/s\n", throughput)
+	if acked >= 0 {
+		fmt.Printf("acks                %d queued lines streamed before completion\n", acked)
+	}
+	fmt.Printf("cache               %d memory hits, %d disk hits, %d simulated\n",
+		hitsMem, hitsDisk, len(lat)-hitsMem-hitsDisk)
+	fmt.Printf("%-19s %v\n", label+" p50", obs.PercentileDuration(lat, 0.50).Round(time.Microsecond))
+	fmt.Printf("%-19s %v\n", label+" p95", obs.PercentileDuration(lat, 0.95).Round(time.Microsecond))
+	fmt.Printf("%-19s %v\n", label+" p99", obs.PercentileDuration(lat, 0.99).Round(time.Microsecond))
+	if len(lat) > 0 {
+		fmt.Printf("%-19s %v\n", label+" max", lat[len(lat)-1].Round(time.Microsecond))
+	}
+}
 
 // runBatch submits total points drawn from the mix as one POST /v1/batch
 // request and reports per-spec completion latency: the time from batch
@@ -93,24 +125,7 @@ func runBatch(cl *client.Client, mix []sim.RunSpec, rng *rand.Rand, total, disti
 	}
 
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	pct := func(p float64) time.Duration {
-		if len(lat) == 0 {
-			return 0
-		}
-		return lat[int(p*float64(len(lat)-1))]
-	}
-	fmt.Printf("completed           %d ok, %d errors (%.1f%% error rate) in %v\n",
-		len(lat), errs, 100*float64(errs)/float64(total), elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput          %.1f ok/s\n", float64(len(lat))/elapsed.Seconds())
-	fmt.Printf("acks                %d queued lines streamed before completion\n", acked)
-	fmt.Printf("cache               %d memory hits, %d disk hits, %d simulated\n",
-		hitsMem, hitsDisk, len(lat)-hitsMem-hitsDisk)
-	fmt.Printf("completion p50      %v\n", pct(0.50).Round(time.Microsecond))
-	fmt.Printf("completion p95      %v\n", pct(0.95).Round(time.Microsecond))
-	fmt.Printf("completion p99      %v\n", pct(0.99).Round(time.Microsecond))
-	if len(lat) > 0 {
-		fmt.Printf("completion max      %v\n", lat[len(lat)-1].Round(time.Microsecond))
-	}
+	report("completion", lat, errs, total, acked, hitsMem, hitsDisk, elapsed)
 	if errs > 0 {
 		fmt.Printf("error               %v\n", firstErr)
 		os.Exit(1)
@@ -240,25 +255,7 @@ func main() {
 		}
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	pct := func(p float64) time.Duration {
-		if len(lat) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(lat)-1))
-		return lat[idx]
-	}
-
-	fmt.Printf("completed           %d ok, %d errors (%.1f%% error rate) in %v\n",
-		len(lat), errs, 100*float64(errs)/float64(total), elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput          %.1f ok/s\n", float64(len(lat))/elapsed.Seconds())
-	fmt.Printf("cache               %d memory hits, %d disk hits, %d simulated\n",
-		hitsMem, hitsDisk, len(lat)-hitsMem-hitsDisk)
-	fmt.Printf("latency p50         %v\n", pct(0.50).Round(time.Microsecond))
-	fmt.Printf("latency p95         %v\n", pct(0.95).Round(time.Microsecond))
-	fmt.Printf("latency p99         %v\n", pct(0.99).Round(time.Microsecond))
-	if len(lat) > 0 {
-		fmt.Printf("latency max         %v\n", lat[len(lat)-1].Round(time.Microsecond))
-	}
+	report("latency", lat, errs, total, -1, hitsMem, hitsDisk, elapsed)
 	if errs > 0 {
 		// The client retries transient failures (429 backpressure included)
 		// itself now, so anything surfacing here is a real failure.

@@ -72,6 +72,7 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address while the sweep runs (empty disables)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,14 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+	if *debugAddr != "" {
+		dbg, err := prof.DebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "spbsweep: pprof on http://%s/debug/pprof/\n", dbg)
+	}
 
 	sbs, err := parseInts(*sbList)
 	if err != nil {

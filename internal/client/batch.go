@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"spb/internal/obs"
 	"spb/internal/server"
 	"spb/internal/sim"
 )
@@ -74,6 +75,9 @@ func (c *Client) batchOnce(ctx context.Context, body []byte, fn func(server.Batc
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.traceID != "" {
+		req.Header.Set(obs.TraceHeader, c.traceID)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return false, err

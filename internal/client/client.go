@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"spb/internal/faults"
+	"spb/internal/obs"
 	"spb/internal/server"
 	"spb/internal/sim"
 )
@@ -106,14 +107,20 @@ type Options struct {
 	// Faults, when set, injects transport failures and latency at the
 	// "client.request" site (tests, chaos). Nil disables injection.
 	Faults *faults.Injector
+	// TraceID, when set, is propagated to the daemon on every request via
+	// the X-Spb-Trace-Id header, grouping all jobs this client submits under
+	// one trace (e.g. a sweep). Empty sends no header; the daemon then mints
+	// a fresh ID per job when tracing is enabled.
+	TraceID string
 }
 
 // Client talks to one spbd instance.
 type Client struct {
-	base   string
-	http   *http.Client
-	retry  RetryPolicy
-	faults *faults.Injector
+	base    string
+	http    *http.Client
+	retry   RetryPolicy
+	faults  *faults.Injector
+	traceID string
 }
 
 // New returns a client for the daemon at base (e.g. "http://localhost:7077")
@@ -128,12 +135,17 @@ func NewWithOptions(base string, opts Options) *Client {
 		hc = &http.Client{}
 	}
 	return &Client{
-		base:   strings.TrimRight(base, "/"),
-		http:   hc,
-		retry:  opts.Retry.withDefaults(),
-		faults: opts.Faults,
+		base:    strings.TrimRight(base, "/"),
+		http:    hc,
+		retry:   opts.Retry.withDefaults(),
+		faults:  opts.Faults,
+		traceID: opts.TraceID,
 	}
 }
+
+// TraceID reports the trace ID this client stamps on its requests ("" when
+// unset).
+func (c *Client) TraceID() string { return c.traceID }
 
 // StatusError is a non-2xx response from the daemon.
 type StatusError struct {
@@ -222,6 +234,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.traceID != "" {
+		req.Header.Set(obs.TraceHeader, c.traceID)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -276,6 +291,14 @@ func (c *Client) Get(ctx context.Context, id string) (server.JobView, error) {
 	var v server.JobView
 	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &v)
 	return v, err
+}
+
+// JobTrace fetches a job's per-phase span timeline. The daemon answers 404
+// when the job is unknown or tracing is disabled.
+func (c *Client) JobTrace(ctx context.Context, id string) (obs.TraceView, error) {
+	var tv obs.TraceView
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id+"/trace", nil, &tv)
+	return tv, err
 }
 
 // Cancel asks the daemon to stop a job.

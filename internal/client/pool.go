@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"spb/internal/obs"
 	"spb/internal/server"
 	"spb/internal/sim"
 )
@@ -129,6 +130,12 @@ func NewPool(bases []string, opts PoolOptions) (*Pool, error) {
 		return nil, fmt.Errorf("client: pool needs at least one backend")
 	}
 	p := &Pool{opts: opts.withDefaults()}
+	// One trace ID per pool: every job any backend runs for this sweep is
+	// grouped under it, so a single grep over the daemons' trace logs
+	// reconstructs the whole distributed sweep.
+	if p.opts.ClientOptions.TraceID == "" {
+		p.opts.ClientOptions.TraceID = obs.NewTraceID()
+	}
 	seen := make(map[string]bool, len(bases))
 	for _, b := range bases {
 		b = strings.TrimSpace(b)
@@ -732,7 +739,7 @@ func (r *poolRun) hedgeDelay() time.Duration {
 	}
 	lat := append([]time.Duration(nil), r.latencies...)
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	p95 := lat[int(0.95*float64(len(lat)-1))]
+	p95 := obs.PercentileDuration(lat, 0.95)
 	d := time.Duration(r.opts.HedgeMult * float64(p95))
 	if d < r.opts.HedgeMin {
 		d = r.opts.HedgeMin

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a hand-rolled log-bucketed latency histogram: bucket i
+// covers durations in (2^(minShift+i-1), 2^(minShift+i)] nanoseconds, so
+// the buckets span ~4µs to ~68s in factors of two — microsecond cache hits
+// and minute-long PARSEC points land in the same instrument with bounded
+// relative error (any quantile estimate is within one power of two of the
+// exact value). Observation is one atomic add on a bucket picked with a
+// bit-length computation: lock-free and allocation-free, fit for the
+// request path.
+//
+// Counts are stored per-bucket and rendered cumulatively in Prometheus
+// exposition format by WriteProm.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Uint64 // +1: overflow (+Inf) bucket
+	sumNS  atomic.Int64
+}
+
+const (
+	histMinShift = 12 // first bucket upper bound: 2^12 ns = 4.096µs
+	histMaxShift = 36 // last finite bucket: 2^36 ns ≈ 68.7s
+	histBuckets  = histMaxShift - histMinShift + 1
+)
+
+// bucketFor returns the index of the smallest bucket whose upper bound is
+// >= n nanoseconds (histBuckets for the +Inf overflow bucket).
+func bucketFor(n int64) int {
+	if n <= 1<<histMinShift {
+		return 0
+	}
+	// ceil(log2(n)) - histMinShift: Len64(x-1) is ceil(log2(x)) for x >= 2.
+	b := bits.Len64(uint64(n-1)) - histMinShift
+	if b > histBuckets {
+		return histBuckets
+	}
+	return b
+}
+
+// UpperBound returns bucket i's inclusive upper bound in seconds
+// (+Inf for the overflow bucket).
+func (h *Histogram) UpperBound(i int) float64 {
+	if i >= histBuckets {
+		return float64(1<<63 - 1) // effectively +Inf; rendered as "+Inf"
+	}
+	return float64(uint64(1)<<(histMinShift+i)) / 1e9
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	h.counts[bucketFor(n)].Add(1)
+	h.sumNS.Add(n)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed durations in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNS.Load()) / 1e9 }
+
+// Quantile estimates the p-quantile (0 < p <= 1) as the upper bound of the
+// bucket holding the nearest-rank observation. The estimate E brackets the
+// exact value x as E/2 < x <= E (one log2 bucket); it returns 0 on an empty
+// histogram.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := NearestRank(int(total), p)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > uint64(rank) {
+			return time.Duration(uint64(1) << (histMinShift + i))
+		}
+	}
+	return time.Duration(1<<63 - 1)
+}
+
+// WriteProm renders the histogram under name in Prometheus exposition
+// format: cumulative _bucket series with le labels, then _sum and _count.
+// labels, when non-empty, is a rendered label list without braces
+// (`endpoint="POST /v1/runs"`) merged ahead of the le label. Empty buckets
+// between populated ones are skipped (log buckets make most of them empty)
+// except the first and +Inf, keeping the exposition compact while still
+// cumulative-correct for Prometheus-style consumers.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.counts[i].Load()
+		cum += n
+		if n == 0 && i != 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, h.UpperBound(i), cum)
+	}
+	cum += h.counts[histBuckets].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	}
+}

@@ -1,0 +1,59 @@
+// Package obs is the observability layer shared by the spbd service stack:
+// structured per-job traces (propagated trace IDs + timestamped phase spans,
+// dumpable as NDJSON), hand-rolled log-bucketed latency histograms for the
+// /metrics endpoint, and the nearest-rank percentile math the load tools
+// report with.
+//
+// Everything here is stdlib-only and nil-safe: a nil *Tracer hands out nil
+// *Trace values whose methods are no-ops, so the instrumented request path
+// costs nothing when observability is disabled — the property the PR 1
+// AllocsPerRun guards and the byte-identical stats invariants rely on.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that propagates a trace ID from clients
+// (client.Client, client.Pool) into spbd, where it is attached to every job
+// the request creates. Absent or empty, the daemon mints one per job.
+const TraceHeader = "X-Spb-Trace-Id"
+
+// idCounter disambiguates IDs minted in the same process when the entropy
+// source fails (it realistically cannot, but an ID must never be empty).
+var idCounter atomic.Uint64
+
+// NewTraceID mints a 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", idCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type traceCtxKey struct{}
+
+// NewContext returns ctx carrying t, so layers below the server (sim.RunCtx)
+// can attach sub-spans to the job's trace. A nil t returns ctx unchanged.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// FromContext extracts the trace carried by ctx, or nil. The nil result is
+// usable directly: every *Trace method no-ops on a nil receiver.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// now is stubbed in tests that need deterministic span timestamps.
+var now = time.Now

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNearestRankRegression pins the bugfix: the floor-index formula
+// int(p·(n-1)) under-reported the tail on small samples (p99 of 50 read
+// element 48); nearest-rank reads the true 50th order statistic.
+func TestNearestRankRegression(t *testing.T) {
+	n := 50
+	if got := NearestRank(n, 0.99); got != 49 {
+		t.Fatalf("NearestRank(50, 0.99) = %d, want 49", got)
+	}
+	if old := int(0.99 * float64(n-1)); old == 49 {
+		t.Fatalf("floor formula unexpectedly agrees; regression test is vacuous")
+	}
+	if got := NearestRank(100, 0.99); got != 98 {
+		t.Fatalf("NearestRank(100, 0.99) = %d, want 98", got)
+	}
+	if got := NearestRank(100, 0.95); got != 94 {
+		t.Fatalf("NearestRank(100, 0.95) = %d, want 94", got)
+	}
+	if got := NearestRank(4, 0.50); got != 1 {
+		t.Fatalf("NearestRank(4, 0.50) = %d, want 1", got)
+	}
+	if got := NearestRank(1, 0.99); got != 0 {
+		t.Fatalf("NearestRank(1, 0.99) = %d, want 0", got)
+	}
+	if got := NearestRank(0, 0.5); got != 0 {
+		t.Fatalf("NearestRank(0, 0.5) = %d, want 0", got)
+	}
+	if got := NearestRank(10, 1.0); got != 9 {
+		t.Fatalf("NearestRank(10, 1.0) = %d, want 9", got)
+	}
+}
+
+func TestPercentileDuration(t *testing.T) {
+	if got := PercentileDuration(nil, 0.99); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	lat := make([]time.Duration, 50)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := PercentileDuration(lat, 0.99); got != 50*time.Millisecond {
+		t.Fatalf("p99 of 1..50ms = %v, want 50ms", got)
+	}
+	if got := PercentileDuration(lat, 0.50); got != 25*time.Millisecond {
+		t.Fatalf("p50 of 1..50ms = %v, want 25ms", got)
+	}
+	if got := PercentileDuration(lat, 1.0); got != 50*time.Millisecond {
+		t.Fatalf("p100 of 1..50ms = %v, want 50ms", got)
+	}
+}

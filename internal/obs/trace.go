@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timestamped phase of a job's life. Top-level phase names carry
+// no dot ("submit", "queue-wait", "run", "store-write", "stream-out");
+// a dotted name ("run.sim") is a sub-span nested under the phase named by
+// its prefix and is excluded from the trace's top-level total, so summing
+// phases never double-counts.
+type Span struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	DurNS int64     `json:"dur_ns"`
+}
+
+// Nested reports whether the span is a sub-span of another phase.
+func (s Span) Nested() bool {
+	for i := 0; i < len(s.Name); i++ {
+		if s.Name[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// TraceView is the JSON shape served at GET /v1/runs/{id}/trace and emitted
+// as one NDJSON line per finished trace. Spans are in start order; TotalNS
+// sums the top-level phases only (see Span).
+type TraceView struct {
+	TraceID string `json:"trace_id"`
+	JobID   string `json:"job_id"`
+	Key     string `json:"key"`
+	Done    bool   `json:"done"`
+	Spans   []Span `json:"spans"`
+	TotalNS int64  `json:"total_ns"`
+}
+
+// Trace accumulates the spans of one job. All methods are safe for
+// concurrent use and no-ops on a nil receiver, so instrumented code never
+// guards for "is tracing on".
+type Trace struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	id    string
+	jobID string
+	key   string
+	done  bool
+	spans []Span
+}
+
+// TraceID returns the propagated trace ID ("" on a nil trace).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// Span records one completed phase.
+func (t *Trace) Span(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	// Spans may still arrive after Finish (a batch stream recording its
+	// terminal write); they appear in Snapshot but not the NDJSON line.
+	t.spans = append(t.spans, Span{Name: name, Start: start, End: end, DurNS: end.Sub(start).Nanoseconds()})
+	t.mu.Unlock()
+}
+
+// Event records a zero-duration marker span (e.g. "coalesce": one more
+// submitter deduplicated onto this job).
+func (t *Trace) Event(name string) {
+	if t == nil {
+		return
+	}
+	at := now()
+	t.Span(name, at, at)
+}
+
+// ActiveSpan is an open span handle. The zero value (from a nil trace) is a
+// no-op, and the handle is a plain value — starting and ending a span
+// allocates nothing beyond the recorded Span itself.
+type ActiveSpan struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span ended by End on the returned handle.
+func (t *Trace) StartSpan(name string) ActiveSpan {
+	if t == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{t: t, name: name, start: now()}
+}
+
+// End closes the span. Calling End on a zero handle does nothing.
+func (s ActiveSpan) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Span(s.name, s.start, now())
+}
+
+// Finish marks the trace complete and, once only, emits it as one NDJSON
+// line on the owning tracer's sink. Spans recorded after Finish (a batch
+// stream writing its terminal line) still appear in Snapshot but not in the
+// already-emitted NDJSON line.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	already := t.done
+	t.done = true
+	t.mu.Unlock()
+	if !already && t.tracer != nil {
+		t.tracer.emit(t.Snapshot())
+	}
+}
+
+// Snapshot renders the trace's current state (spans sorted by start time).
+func (t *Trace) Snapshot() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	v := TraceView{TraceID: t.id, JobID: t.jobID, Key: t.key, Done: t.done}
+	v.Spans = append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(v.Spans, func(i, j int) bool { return v.Spans[i].Start.Before(v.Spans[j].Start) })
+	for _, sp := range v.Spans {
+		if !sp.Nested() {
+			v.TotalNS += sp.DurNS
+		}
+	}
+	return v
+}
+
+// Tracer owns the live traces of a daemon: a bounded map from job ID to
+// trace (oldest evicted first) plus an optional NDJSON sink that receives
+// one line per finished trace. A nil *Tracer disables tracing at zero cost:
+// Start returns nil and every downstream call no-ops.
+type Tracer struct {
+	mu     sync.Mutex
+	byJob  map[string]*Trace
+	order  []string // job IDs in insertion order, for eviction
+	cap    int
+	sink   io.Writer
+	sinkMu sync.Mutex
+}
+
+// DefaultTraceCapacity bounds retained traces when the caller passes 0.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer retaining up to capacity traces
+// (DefaultTraceCapacity if capacity <= 0). sink, when non-nil, receives one
+// NDJSON line per finished trace.
+func NewTracer(capacity int, sink io.Writer) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{byJob: make(map[string]*Trace, capacity), cap: capacity, sink: sink}
+}
+
+// Start registers a new trace for jobID. An empty traceID mints a fresh one.
+// On a nil tracer it returns nil, which every *Trace method accepts.
+func (tr *Tracer) Start(traceID, jobID, key string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	t := &Trace{tracer: tr, id: traceID, jobID: jobID, key: key}
+	tr.mu.Lock()
+	if _, dup := tr.byJob[jobID]; !dup {
+		tr.order = append(tr.order, jobID)
+	}
+	tr.byJob[jobID] = t
+	for len(tr.order) > tr.cap {
+		evict := tr.order[0]
+		tr.order = tr.order[1:]
+		delete(tr.byJob, evict)
+	}
+	tr.mu.Unlock()
+	return t
+}
+
+// Get returns the trace registered for jobID, or nil.
+func (tr *Tracer) Get(jobID string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.byJob[jobID]
+}
+
+// Len reports how many traces are retained.
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.byJob)
+}
+
+func (tr *Tracer) emit(v TraceView) {
+	if tr.sink == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	tr.sinkMu.Lock()
+	tr.sink.Write(append(data, '\n'))
+	tr.sinkMu.Unlock()
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: the whole layer must be free to leave disabled — a nil
+// tracer hands out nil traces whose every method no-ops.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Start("abc", "job1", "key1")
+	if tc != nil {
+		t.Fatalf("nil tracer returned non-nil trace")
+	}
+	tc.Span("submit", time.Now(), time.Now())
+	tc.Event("coalesce")
+	sp := tc.StartSpan("run")
+	sp.End()
+	tc.Finish()
+	if got := tc.TraceID(); got != "" {
+		t.Fatalf("nil trace TraceID = %q, want empty", got)
+	}
+	if v := tc.Snapshot(); len(v.Spans) != 0 || v.TotalNS != 0 {
+		t.Fatalf("nil trace snapshot not empty: %+v", v)
+	}
+	if tr.Get("job1") != nil || tr.Len() != 0 {
+		t.Fatalf("nil tracer Get/Len misbehaved")
+	}
+	if ctx := NewContext(context.Background(), nil); FromContext(ctx) != nil {
+		t.Fatalf("nil trace round-tripped through context as non-nil")
+	}
+}
+
+func TestTraceSpansAndTotal(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tc := tr.Start("", "job1", "key1")
+	if tc.TraceID() == "" {
+		t.Fatalf("empty trace ID not minted")
+	}
+	base := time.Now()
+	tc.Span("submit", base, base.Add(1*time.Millisecond))
+	tc.Span("queue-wait", base.Add(1*time.Millisecond), base.Add(3*time.Millisecond))
+	tc.Span("run", base.Add(3*time.Millisecond), base.Add(10*time.Millisecond))
+	tc.Span("run.sim", base.Add(3*time.Millisecond), base.Add(9*time.Millisecond)) // nested: excluded from total
+	v := tc.Snapshot()
+	if len(v.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(v.Spans))
+	}
+	// Sorted by start; total counts only top-level phases: 1+2+7 = 10ms.
+	if want := (10 * time.Millisecond).Nanoseconds(); v.TotalNS != want {
+		t.Fatalf("TotalNS = %d, want %d (nested span must not double-count)", v.TotalNS, want)
+	}
+	for i := 1; i < len(v.Spans); i++ {
+		if v.Spans[i].Start.Before(v.Spans[i-1].Start) {
+			t.Fatalf("spans not sorted by start: %v", v.Spans)
+		}
+	}
+	if tr.Get("job1") != tc {
+		t.Fatalf("Get(job1) did not return the registered trace")
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(3, nil)
+	for i := 0; i < 5; i++ {
+		tr.Start("", fmt.Sprintf("job%d", i), "k")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capacity)", tr.Len())
+	}
+	if tr.Get("job0") != nil || tr.Get("job1") != nil {
+		t.Fatalf("oldest traces not evicted")
+	}
+	if tr.Get("job4") == nil {
+		t.Fatalf("newest trace evicted")
+	}
+}
+
+func TestTraceNDJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(8, &buf)
+	tc := tr.Start("tid123", "job1", "key1")
+	now := time.Now()
+	tc.Span("submit", now, now.Add(time.Millisecond))
+	tc.Finish()
+	tc.Finish() // idempotent: one line only
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d NDJSON lines, want 1:\n%s", len(lines), buf.String())
+	}
+	var v TraceView
+	if err := json.Unmarshal([]byte(lines[0]), &v); err != nil {
+		t.Fatalf("NDJSON line does not parse: %v", err)
+	}
+	if v.TraceID != "tid123" || v.JobID != "job1" || !v.Done || len(v.Spans) != 1 {
+		t.Fatalf("NDJSON view wrong: %+v", v)
+	}
+	// A span landing after Finish is visible in the snapshot.
+	tc.Span("stream-out", now, now.Add(2*time.Millisecond))
+	if got := len(tc.Snapshot().Spans); got != 2 {
+		t.Fatalf("post-Finish span lost: %d spans", got)
+	}
+}
+
+func TestTraceConcurrency(t *testing.T) {
+	tr := NewTracer(64, &bytes.Buffer{})
+	tc := tr.Start("", "job1", "k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tc.StartSpan(fmt.Sprintf("g%d", g))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	tc.Finish()
+	if got := len(tc.Snapshot().Spans); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tc := tr.Start("", "j", "k")
+	ctx := NewContext(context.Background(), tc)
+	if FromContext(ctx) != tc {
+		t.Fatalf("trace lost in context round trip")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatalf("background context yielded a trace")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == "" || a == b {
+		t.Fatalf("trace IDs not unique: %q %q", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("trace ID %q not 16 hex chars", a)
+	}
+}

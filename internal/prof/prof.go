@@ -5,9 +5,12 @@ package prof
 
 import (
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	runpprof "runtime/pprof"
 )
 
 // Start begins CPU profiling to cpuFile (if non-empty) and returns a stop
@@ -20,7 +23,7 @@ func Start(cpuFile, memFile string) (stop func(), err error) {
 		if err != nil {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
-		if err := pprof.StartCPUProfile(cpu); err != nil {
+		if err := runpprof.StartCPUProfile(cpu); err != nil {
 			cpu.Close()
 			return nil, fmt.Errorf("prof: %w", err)
 		}
@@ -32,7 +35,7 @@ func Start(cpuFile, memFile string) (stop func(), err error) {
 		}
 		done = true
 		if cpu != nil {
-			pprof.StopCPUProfile()
+			runpprof.StopCPUProfile()
 			cpu.Close()
 		}
 		if memFile != "" {
@@ -42,10 +45,34 @@ func Start(cpuFile, memFile string) (stop func(), err error) {
 				return
 			}
 			runtime.GC() // materialize the final live set
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := runpprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "prof:", err)
 			}
 			f.Close()
 		}
 	}, nil
+}
+
+// DebugServer starts an HTTP listener on addr serving the net/http/pprof
+// endpoints under /debug/pprof/ — live profiling for long-running processes
+// (spbd, a sweeping spbsweep), complementing Start's whole-process files.
+// It returns the bound address (addr may use port 0) so scripts can scrape
+// it. The listener is intentionally left running for the process lifetime;
+// it is on its own mux, never the service one, so profiling stays off the
+// public API surface.
+func DebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("prof: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
 }

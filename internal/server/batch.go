@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"spb/internal/faults"
+	"spb/internal/obs"
 	"spb/internal/sim"
 )
 
@@ -188,6 +189,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	bw := &batchWriter{w: w, fl: fl, faults: s.cfg.Faults}
+	traceID := r.Header.Get(obs.TraceHeader)
+	batchStart := time.Now()
+
+	// streamOut writes a job's terminal lines, stamps the "stream-out" span
+	// on its trace, and records how long the spec took from batch acceptance
+	// to its terminal NDJSON line — the server-side view of the latency a
+	// sweeping client observes per point.
+	streamOut := func(j *job, indices []int) {
+		outStart := time.Now()
+		for _, item := range terminalItems(j, indices) {
+			bw.write(item)
+		}
+		outEnd := time.Now()
+		j.trace.Span("stream-out", outStart, outEnd)
+		s.metrics.BatchStream.Observe(outEnd.Sub(batchStart))
+	}
 
 	// The in-flight bound keeps one batch from monopolizing the worker
 	// queue: at most QueueDepth of its points are enqueued-or-running at a
@@ -213,7 +230,7 @@ dispatch:
 		var j *job
 		for {
 			var err error
-			j, err = s.submit(g.spec)
+			j, err = s.submit(g.spec, traceID)
 			if err == nil {
 				break
 			}
@@ -239,9 +256,7 @@ dispatch:
 		}
 		j.retain() // the batch's interest in this point
 		if st := func() Status { j.mu.Lock(); defer j.mu.Unlock(); return j.status }(); st.terminal() {
-			for _, item := range terminalItems(j, g.indices) {
-				bw.write(item)
-			}
+			streamOut(j, g.indices)
 			<-sem
 			continue
 		}
@@ -254,9 +269,7 @@ dispatch:
 			defer func() { <-sem }()
 			select {
 			case <-j.done:
-				for _, item := range terminalItems(j, g.indices) {
-					bw.write(item)
-				}
+				streamOut(j, g.indices)
 			case <-ctx.Done():
 				s.releaseWaiter(j)
 			}

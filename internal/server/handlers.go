@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spb/internal/faults"
+	"spb/internal/obs"
 )
 
 // JobView is the JSON shape of a job returned by POST /v1/runs and
@@ -24,6 +25,7 @@ type JobView struct {
 	Cycles    uint64          `json:"cycles"`
 	IPC       float64         `json:"ipc"`
 	Stats     json.RawMessage `json:"stats,omitempty"`
+	TraceID   string          `json:"trace_id,omitempty"`
 }
 
 func (j *job) view() JobView {
@@ -40,6 +42,7 @@ func (j *job) view() JobView {
 		Committed: j.committed.Load(),
 		Cycles:    j.cycles.Load(),
 		Stats:     stats,
+		TraceID:   j.trace.TraceID(),
 	}
 	if v.Cycles > 0 {
 		v.IPC = float64(v.Committed) / float64(v.Cycles)
@@ -53,6 +56,8 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch) // long-lived stream: kept out of the latency histogram
 	mux.Handle("GET /v1/runs", s.timed("GET /v1/runs", s.handleList))
 	mux.Handle("GET /v1/runs/{id}", s.timed("GET /v1/runs/{id}", s.handleGet))
+	mux.Handle("GET /v1/runs/{id}/trace", s.timed("GET /v1/runs/{id}/trace", s.handleTrace))
+	mux.Handle("GET /v1/jobs/{id}/trace", s.timed("GET /v1/runs/{id}/trace", s.handleTrace)) // alias
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents) // long-lived: kept out of the latency histogram
 	mux.Handle("POST /v1/runs/{id}/cancel", s.timed("POST /v1/runs/{id}/cancel", s.handleCancel))
 	mux.Handle("DELETE /v1/runs/{id}", s.timed("DELETE /v1/runs/{id}", s.handleCancel))
@@ -98,7 +103,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad run spec: %v", err)
 		return
 	}
-	j, err := s.submit(spec)
+	j, err := s.submit(spec, r.Header.Get(obs.TraceHeader))
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -180,6 +185,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
+// handleTrace returns the job's span timeline (obs.TraceView). 404 covers
+// both an unknown job and a daemon running with tracing disabled; the error
+// message distinguishes them.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	if j.trace == nil {
+		writeError(w, http.StatusNotFound, "no trace for run %q (tracing disabled)", j.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.trace.Snapshot())
+}
+
 // sseEvent is one progress (or terminal) event on an /events stream.
 type sseEvent struct {
 	ID        string  `json:"id"`
@@ -214,6 +235,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.metrics.SSESubscribers.Add(1)
 	defer s.metrics.SSESubscribers.Add(-1)
 
+	// Reconnect hint: clients that drop should retry quickly — the job keeps
+	// running server-side, so a reconnect resumes progress seamlessly.
+	fmt.Fprintf(w, "retry: %d\n\n", s.cfg.SSEInterval.Milliseconds())
+	fl.Flush()
+
 	send := func(event string) {
 		j.mu.Lock()
 		st, errMsg := j.status, j.errMsg
@@ -237,6 +263,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	send("progress")
 	ticker := time.NewTicker(s.cfg.SSEInterval)
 	defer ticker.Stop()
+	// Comment-line heartbeats keep idle connections alive through proxies
+	// and let clients distinguish "quiet" from "dead". Both tickers stop on
+	// every return path (client disconnect included) via the defers.
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer heartbeat.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
@@ -246,6 +277,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-ticker.C:
 			send("progress")
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": hb\n\n")
+			fl.Flush()
 		}
 	}
 }

@@ -7,13 +7,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"spb/internal/cpu"
+	"spb/internal/obs"
+	"spb/internal/topdown"
 )
 
-// Metrics holds spbd's operational counters, exported at GET /metrics in
-// Prometheus text format. Hand-rolled (the repo takes no dependencies): the
-// counters are plain atomics bumped on the request path, and the text
-// rendering walks them under a snapshot. Gauges (queue depth, in-flight
-// runs) are read live from the server at scrape time.
+// Metrics holds spbd's operational counters and latency histograms,
+// exported at GET /metrics in Prometheus text format. Hand-rolled (the repo
+// takes no dependencies): counters are plain atomics bumped on the request
+// path, latency distributions are obs.Histogram log-bucketed instruments
+// (lock-free, allocation-free Observe), and the text rendering walks them
+// under a snapshot. Gauges (queue depth, in-flight runs) are read live from
+// the server at scrape time.
 type Metrics struct {
 	CacheHitsMemory  atomic.Uint64
 	CacheHitsDisk    atomic.Uint64
@@ -30,54 +36,56 @@ type Metrics struct {
 	BatchRequests    atomic.Uint64
 	BatchSpecs       atomic.Uint64 // specs received across all batch requests
 
-	mu         sync.Mutex
-	histograms map[string]*histogram
-}
+	// Top-Down stall accounting aggregated over every completed run (paper
+	// §V): raw cycle counters so operators can derive fleet-level stall
+	// ratios, plus how many runs met the >2% SB-bound criterion.
+	TDCycles        atomic.Uint64
+	TDSBStall       atomic.Uint64
+	TDOtherStall    atomic.Uint64
+	TDFrontendStall atomic.Uint64
+	TDExecL1DStall  atomic.Uint64
+	TDSBBoundRuns   atomic.Uint64
 
-// latencyBuckets are the per-endpoint latency histogram upper bounds in
-// seconds. Simulations take milliseconds to minutes, cache hits take
-// microseconds; the range covers both.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
-}
+	// Phase latency histograms: where a job's wall-clock time goes.
+	QueueWait   obs.Histogram // submission → worker pickup
+	RunDuration obs.Histogram // simulation execution (sim.Runner.GetCtx)
+	StoreRead   obs.Histogram // disk-tier lookups
+	StoreWrite  obs.Histogram // disk-tier persists
+	BatchStream obs.Histogram // batch start → each terminal NDJSON line
 
-// histogram is a fixed-bucket cumulative histogram. counts[i] is the number
-// of observations ≤ latencyBuckets[i]; inf and sum complete the Prometheus
-// triple.
-type histogram struct {
-	counts []atomic.Uint64 // one per latencyBuckets entry
-	inf    atomic.Uint64
-	sumNS  atomic.Uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	for i, ub := range latencyBuckets {
-		if s <= ub {
-			h.counts[i].Add(1)
-		}
-	}
-	h.inf.Add(1)
-	h.sumNS.Add(uint64(d.Nanoseconds()))
+	mu        sync.Mutex
+	endpoints map[string]*obs.Histogram
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{histograms: make(map[string]*histogram)}
+	return &Metrics{endpoints: make(map[string]*obs.Histogram)}
 }
 
 // ObserveLatency records one request duration under the endpoint label
 // (the route pattern, e.g. "POST /v1/runs").
 func (m *Metrics) ObserveLatency(endpoint string, d time.Duration) {
 	m.mu.Lock()
-	h, ok := m.histograms[endpoint]
+	h, ok := m.endpoints[endpoint]
 	if !ok {
-		h = &histogram{counts: make([]atomic.Uint64, len(latencyBuckets))}
-		m.histograms[endpoint] = h
+		h = &obs.Histogram{}
+		m.endpoints[endpoint] = h
 	}
 	m.mu.Unlock()
-	h.observe(d)
+	h.Observe(d)
+}
+
+// ObserveTopDown folds one completed run's aggregated core statistics into
+// the fleet-level Top-Down counters.
+func (m *Metrics) ObserveTopDown(st *cpu.Stats) {
+	m.TDCycles.Add(st.Cycles)
+	m.TDSBStall.Add(st.SBStallCycles)
+	m.TDOtherStall.Add(st.OtherStallCycles())
+	m.TDFrontendStall.Add(st.FrontendStallCycles)
+	m.TDExecL1DStall.Add(st.ExecStallL1DPending)
+	if sb, _, _, _ := topdown.StatPPM(st); sb > topdown.SBBoundThresholdPPM {
+		m.TDSBBoundRuns.Add(1)
+	}
 }
 
 // WriteText renders every metric in Prometheus exposition format. The
@@ -114,29 +122,40 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degrad
 	counter("spbd_batch_requests_total", "Batch sweep requests accepted.", m.BatchRequests.Load())
 	counter("spbd_batch_specs_total", "Specs received across all batch requests.", m.BatchSpecs.Load())
 
-	m.mu.Lock()
-	endpoints := make([]string, 0, len(m.histograms))
-	for ep := range m.histograms {
-		endpoints = append(endpoints, ep)
+	fmt.Fprintf(w, "# HELP spbd_topdown_cycles_total Simulated cycles aggregated over completed runs, by Top-Down stall class.\n")
+	fmt.Fprintf(w, "# TYPE spbd_topdown_cycles_total counter\n")
+	fmt.Fprintf(w, "spbd_topdown_cycles_total{class=\"all\"} %d\n", m.TDCycles.Load())
+	fmt.Fprintf(w, "spbd_topdown_cycles_total{class=\"sb_stall\"} %d\n", m.TDSBStall.Load())
+	fmt.Fprintf(w, "spbd_topdown_cycles_total{class=\"other_stall\"} %d\n", m.TDOtherStall.Load())
+	fmt.Fprintf(w, "spbd_topdown_cycles_total{class=\"frontend_stall\"} %d\n", m.TDFrontendStall.Load())
+	fmt.Fprintf(w, "spbd_topdown_cycles_total{class=\"exec_l1d_pending\"} %d\n", m.TDExecL1DStall.Load())
+	counter("spbd_topdown_sb_bound_runs_total", "Completed runs exceeding the paper's 2% SB-stall criterion.", m.TDSBBoundRuns.Load())
+
+	hist := func(name, help string, h *obs.Histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		h.WriteProm(w, name, "")
 	}
-	sort.Strings(endpoints)
-	hists := make([]*histogram, len(endpoints))
-	for i, ep := range endpoints {
-		hists[i] = m.histograms[ep]
+	hist("spbd_queue_wait_seconds", "Time jobs spent waiting for a worker.", &m.QueueWait)
+	hist("spbd_run_duration_seconds", "Simulation execution time per job.", &m.RunDuration)
+	hist("spbd_store_read_seconds", "Disk cache tier lookup latency.", &m.StoreRead)
+	hist("spbd_store_write_seconds", "Disk cache tier persist latency.", &m.StoreWrite)
+	hist("spbd_batch_stream_seconds", "Batch submission to terminal NDJSON line, per spec.", &m.BatchStream)
+
+	m.mu.Lock()
+	eps := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	hists := make([]*obs.Histogram, len(eps))
+	for i, ep := range eps {
+		hists[i] = m.endpoints[ep]
 	}
 	m.mu.Unlock()
 
 	fmt.Fprintf(w, "# HELP spbd_http_request_duration_seconds HTTP request latency by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE spbd_http_request_duration_seconds histogram\n")
-	for i, ep := range endpoints {
-		h := hists[i]
-		for j, ub := range latencyBuckets {
-			fmt.Fprintf(w, "spbd_http_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n",
-				ep, ub, h.counts[j].Load())
-		}
-		fmt.Fprintf(w, "spbd_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.inf.Load())
-		fmt.Fprintf(w, "spbd_http_request_duration_seconds_sum{endpoint=%q} %g\n",
-			ep, float64(h.sumNS.Load())/1e9)
-		fmt.Fprintf(w, "spbd_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.inf.Load())
+	for i, ep := range eps {
+		hists[i].WriteProm(w, "spbd_http_request_duration_seconds", fmt.Sprintf("endpoint=%q", ep))
 	}
 }

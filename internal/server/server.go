@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"spb/internal/faults"
+	"spb/internal/obs"
 	"spb/internal/sim"
 )
 
@@ -31,6 +32,13 @@ type Config struct {
 	// SSEInterval is the progress-event period on /events streams
 	// (default: 250ms).
 	SSEInterval time.Duration
+	// SSEHeartbeat is the period of comment-line heartbeats on /events
+	// streams, keeping idle connections alive through proxies (default: 15s).
+	SSEHeartbeat time.Duration
+	// Tracer, when set, records a per-phase span timeline for every job,
+	// retrievable at GET /v1/runs/{id}/trace. Nil disables tracing at zero
+	// cost (every per-job trace handle is nil and all span calls no-op).
+	Tracer *obs.Tracer
 	// Faults, when set, injects failures at the server's sites ("submit",
 	// "run", "store.read", "store.write", "batch.stream"). Nil disables
 	// injection at zero cost.
@@ -54,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEInterval <= 0 {
 		c.SSEInterval = 250 * time.Millisecond
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
 	}
 	if c.DiskErrorThreshold <= 0 {
 		c.DiskErrorThreshold = 5
@@ -92,6 +103,7 @@ type job struct {
 	key       string
 	spec      sim.RunSpec
 	submitted time.Time
+	trace     *obs.Trace // nil when tracing is disabled; all methods no-op
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -227,8 +239,11 @@ var (
 
 // submit resolves a normalized spec against the cache tiers or places it on
 // the queue. It returns the job (fresh, coalesced, or already-complete from
-// cache) — never both a job and an error.
-func (s *Server) submit(spec sim.RunSpec) (*job, error) {
+// cache) — never both a job and an error. traceID, usually propagated from
+// the client's X-Spb-Trace-Id header, groups the job's trace with the
+// caller's; empty mints a fresh ID (when tracing is enabled).
+func (s *Server) submit(spec sim.RunSpec, traceID string) (*job, error) {
+	submitStart := time.Now()
 	if err := s.cfg.Faults.Err("submit"); err != nil {
 		return nil, err
 	}
@@ -238,13 +253,15 @@ func (s *Server) submit(spec sim.RunSpec) (*job, error) {
 	// Tier 1: memory (the Runner's memoization map).
 	if res, ok := s.runner.Lookup(spec); ok {
 		s.metrics.CacheHitsMemory.Add(1)
-		return s.completedJob(key, spec, res, "memory")
+		return s.completedJob(key, spec, res, "memory", traceID, submitStart)
 	}
 	// Tier 2: content-addressed disk store; hits re-seed the memory tier.
 	// In degraded mode the tier is skipped except for one probe per
 	// DiskRetryInterval.
 	if s.diskUsable() {
+		readStart := time.Now()
 		res, ok, err := s.store.Get(key)
+		s.metrics.StoreRead.Observe(time.Since(readStart))
 		switch {
 		case err != nil:
 			s.diskError("read", key, err)
@@ -252,7 +269,7 @@ func (s *Server) submit(spec sim.RunSpec) (*job, error) {
 			s.diskHealthy()
 			s.runner.Put(spec, res)
 			s.metrics.CacheHitsDisk.Add(1)
-			return s.completedJob(key, spec, res, "disk")
+			return s.completedJob(key, spec, res, "disk", traceID, submitStart)
 		default:
 			s.diskHealthy()
 		}
@@ -262,6 +279,9 @@ func (s *Server) submit(spec sim.RunSpec) (*job, error) {
 	if j, ok := s.active[key]; ok {
 		s.mu.Unlock()
 		s.metrics.RunsCoalesced.Add(1)
+		// The coalesced submitter rides the active job's trace; the marker
+		// records that a second request folded in (and when).
+		j.trace.Event("coalesce")
 		return j, nil
 	}
 	if s.draining {
@@ -269,6 +289,10 @@ func (s *Server) submit(spec sim.RunSpec) (*job, error) {
 		return nil, errDraining
 	}
 	j := s.newJobLocked(key, spec)
+	// Attach the trace before the job becomes visible to workers via the
+	// queue channel; assigning after the send would race with runJob.
+	j.trace = s.cfg.Tracer.Start(traceID, j.id, key)
+	j.trace.Span("submit", submitStart, time.Now())
 	select {
 	case s.queue <- j:
 		s.queued.Add(1)
@@ -280,6 +304,7 @@ func (s *Server) submit(spec sim.RunSpec) (*job, error) {
 	default:
 		s.mu.Unlock()
 		s.metrics.QueueRejected.Add(1)
+		j.trace.Finish() // rejected: close out the orphan trace
 		return nil, errQueueFull
 	}
 }
@@ -301,7 +326,7 @@ func (s *Server) newJobLocked(key string, spec sim.RunSpec) *job {
 
 // completedJob materializes a cache hit as an already-terminal job so the
 // response shape (and GET /v1/runs/{id}) is uniform across hits and misses.
-func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier string) (*job, error) {
+func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier string, traceID string, submitStart time.Time) (*job, error) {
 	stats, err := res.StatsJSON()
 	if err != nil {
 		return nil, err
@@ -313,7 +338,11 @@ func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier
 	j.cached = tier
 	j.committed.Store(res.CPU.Committed)
 	j.cycles.Store(res.CPU.Cycles)
+	j.trace = s.cfg.Tracer.Start(traceID, j.id, key)
+	j.trace.Span("submit", submitStart, time.Now())
+	j.trace.Event("cache-hit") // tier is in the job view's "cached" field
 	j.finish(StatusDone, res, stats, "")
+	j.trace.Finish()
 	j.retain() // uniform with queued jobs: the submitter pins it
 	return j, nil
 }
@@ -337,6 +366,15 @@ func (s *Server) runJob(j *job) {
 		s.mu.Unlock()
 	}()
 
+	// The job's trace outlives this function only for batch streams (their
+	// terminal write lands as a post-Finish span); every other path is
+	// complete here, so the NDJSON line is emitted on return.
+	defer j.trace.Finish()
+
+	dequeued := time.Now()
+	j.trace.Span("queue-wait", j.submitted, dequeued)
+	s.metrics.QueueWait.Observe(dequeued.Sub(j.submitted))
+
 	if err := j.ctx.Err(); err != nil {
 		// Cancelled while still queued.
 		if j.finish(StatusCancelled, sim.Result{}, nil, cancelMsg(j.ctx)) {
@@ -355,11 +393,17 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 
-	res, err := s.runner.GetCtx(ctx, j.spec, func(p sim.Progress) {
+	// The trace rides the context so the simulator records its run.* phase
+	// sub-spans (build/sim/collect) onto the same timeline.
+	runStart := time.Now()
+	res, err := s.runner.GetCtx(obs.NewContext(ctx, j.trace), j.spec, func(p sim.Progress) {
 		j.committed.Store(p.Committed)
 		j.cycles.Store(p.Cycles)
 		s.metrics.ProgressSnapshot.Add(1)
 	})
+	runEnd := time.Now()
+	j.trace.Span("run", runStart, runEnd)
+	s.metrics.RunDuration.Observe(runEnd.Sub(runStart))
 	switch {
 	case err == nil:
 		stats, jerr := res.StatsJSON()
@@ -373,9 +417,15 @@ func (s *Server) runJob(j *job) {
 		j.cycles.Store(res.CPU.Cycles)
 		if j.finish(StatusDone, res, stats, "") {
 			s.metrics.RunsCompleted.Add(1)
+			s.metrics.ObserveTopDown(&res.CPU)
 		}
 		if s.diskUsable() {
-			if perr := s.store.Put(j.key, res); perr != nil {
+			writeStart := time.Now()
+			perr := s.store.Put(j.key, res)
+			writeEnd := time.Now()
+			j.trace.Span("store-write", writeStart, writeEnd)
+			s.metrics.StoreWrite.Observe(writeEnd.Sub(writeStart))
+			if perr != nil {
 				s.diskError("write", j.key, perr)
 			} else {
 				s.diskHealthy()
@@ -411,6 +461,7 @@ func (s *Server) cancelJob(j *job, cause error) {
 	if queued {
 		if j.finish(StatusCancelled, sim.Result{}, nil, cause.Error()) {
 			s.metrics.RunsCancelled.Add(1)
+			j.trace.Event("cancel")
 		}
 		s.mu.Lock()
 		if s.active[j.key] == j {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"spb/internal/stats"
+	"spb/internal/topdown"
 )
 
 // ExportStats writes every counter of the result into a stats.Set under
@@ -57,6 +58,22 @@ func (r Result) ExportStats(s *stats.Set) {
 	s.Counter("mem.gpfPolluted").Add(m.GPFPolluted)
 	s.Counter("mem.invalidations").Add(m.Invalidations)
 	s.Counter("mem.writebacks").Add(m.Writebacks)
+
+	// Top-Down stall accounting (paper §V) in integer parts-per-million, so
+	// the per-run breakdown travels inside the canonical stats set while the
+	// set stays integer-valued and deterministic. td.sbBound mirrors the
+	// paper's >2% SB-stall criterion as 0/1.
+	sb, other, fe, l1d := topdown.StatPPM(&c)
+	s.Counter("td.cycles").Add(c.Cycles)
+	s.Counter("td.sbStallPPM").Add(sb)
+	s.Counter("td.otherStallPPM").Add(other)
+	s.Counter("td.frontendStallPPM").Add(fe)
+	s.Counter("td.execStallL1DPendingPPM").Add(l1d)
+	if sb > topdown.SBBoundThresholdPPM {
+		s.Counter("td.sbBound").Add(1)
+	} else {
+		s.Counter("td.sbBound").Add(0)
+	}
 
 	// Energy in microjoules so integer counters remain meaningful.
 	s.Counter("energy.cacheDynamicUJ").Add(uint64(r.Energy.CacheDynamic * 1e6))

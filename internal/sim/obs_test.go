@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"spb/internal/core"
+	"spb/internal/obs"
+	"spb/internal/topdown"
+)
+
+// TestRunCtxRecordsPhaseSubSpans: a trace carried in the context picks up
+// the simulator's nested run.* sub-spans, and the result is byte-identical
+// to an untraced run — tracing observes, never perturbs.
+func TestRunCtxRecordsPhaseSubSpans(t *testing.T) {
+	spec := RunSpec{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Insts: 10_000}
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer(0, nil)
+	tr := tracer.Start("t-sim", "job-sim", "key")
+	traced, err := RunCtx(obs.NewContext(context.Background(), tr), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Fatalf("traced result differs from plain run:\n  %+v\n  %+v", plain, traced)
+	}
+
+	tv := tr.Snapshot()
+	for _, name := range []string{"run.build", "run.sim", "run.collect"} {
+		found := false
+		for _, sp := range tv.Spans {
+			if sp.Name == name {
+				found = true
+				if !sp.Nested() {
+					t.Errorf("span %q must report Nested()", name)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("trace missing sub-span %q; spans: %+v", name, tv.Spans)
+		}
+	}
+	// Sub-spans are excluded from the top-level total: with only nested
+	// spans recorded, the total stays zero.
+	if tv.TotalNS != 0 {
+		t.Fatalf("TotalNS = %d; nested run.* spans must not count as phases", tv.TotalNS)
+	}
+}
+
+// TestStatsTopDownMatchesAnalyze pins the three Top-Down surfaces to each
+// other: the float Report on the Result, the integer td.* counters in the
+// canonical stats JSON, and the offline Breakdown identity.
+func TestStatsTopDownMatchesAnalyze(t *testing.T) {
+	spec := RunSpec{Workload: "mcf", Policy: core.PolicyAtCommit, SQSize: 14, Insts: 20_000}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed := topdown.Analyze(&res.CPU); res.TD != recomputed {
+		t.Fatalf("Result.TD %+v differs from Analyze %+v", res.TD, recomputed)
+	}
+
+	raw, err := res.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set map[string]uint64
+	if err := json.Unmarshal(raw, &set); err != nil {
+		t.Fatal(err)
+	}
+	sb, other, fe, l1d := topdown.StatPPM(&res.CPU)
+	for name, want := range map[string]uint64{
+		"td.cycles":                 res.CPU.Cycles,
+		"td.sbStallPPM":             sb,
+		"td.otherStallPPM":          other,
+		"td.frontendStallPPM":       fe,
+		"td.execStallL1DPendingPPM": l1d,
+	} {
+		got, ok := set[name]
+		if !ok {
+			t.Fatalf("stats JSON missing %s: %s", name, raw)
+		}
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	sbBound, ok := set["td.sbBound"]
+	if !ok {
+		t.Fatalf("stats JSON missing td.sbBound: %s", raw)
+	}
+	if want := map[bool]uint64{true: 1, false: 0}[res.TD.SBBound]; sbBound != want {
+		t.Errorf("td.sbBound = %d, Report.SBBound = %v", sbBound, res.TD.SBBound)
+	}
+	// The integer PPM agrees with the float ratio to 1 ULP of the division.
+	if ratio := res.TD.SBStallRatio; math.Abs(float64(sb)-ratio*1e6) > 1 {
+		t.Errorf("sb PPM %d vs ratio %v", sb, ratio)
+	}
+	// Offline breakdown sanity on the same counters: a run against itself
+	// keeps exactly its own stall level.
+	if b := topdown.Breakdown(&res.CPU, &res.CPU); b.Net() != 1.0 {
+		t.Errorf("self Breakdown Net = %v, want 1", b.Net())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"spb/internal/cpu"
 	"spb/internal/energy"
 	"spb/internal/memsys"
+	"spb/internal/obs"
 	"spb/internal/topdown"
 	"spb/internal/trace"
 	"spb/internal/workloads"
@@ -224,6 +225,14 @@ func Run(spec RunSpec) (Result, error) {
 // onProgress is non-nil it is invoked periodically (every progressEvery
 // rounds) from the simulating goroutine; it must be cheap and must not block.
 func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Result, error) {
+	// When the caller's context carries an obs.Trace (the spbd request path
+	// does), the run's internal phases are recorded as sub-spans of the
+	// job-level "run" span. With no trace in ctx (every in-process caller)
+	// this is one context lookup and zero work thereafter: the nil *Trace
+	// no-ops, nothing allocates, and the simulation loop is untouched.
+	tr := obs.FromContext(ctx)
+	buildSpan := tr.StartSpan("run.build")
+
 	spec = spec.normalize()
 	coreCfg, err := spec.coreConfig()
 	if err != nil {
@@ -266,6 +275,9 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 		cores[i] = cpu.NewWithOptions(machine.Core, spec.Policy, machine.SPB, machine.TLB, opts,
 			sys.Port(i), trace.Limit(spec.Insts, readers[i]), spec.Seed+uint64(i)*7919)
 	}
+
+	buildSpan.End()
+	loopSpan := tr.StartSpan("run.sim")
 
 	// Lock-step execution: every core advances one cycle per round. With
 	// fast-forward enabled, after each round the whole machine jumps to the
@@ -329,6 +341,8 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 	if onProgress != nil {
 		onProgress(snapshotProgress(cores, targetInsts))
 	}
+	loopSpan.End()
+	collectSpan := tr.StartSpan("run.collect")
 
 	res := Result{Spec: spec}
 	for _, c := range cores {
@@ -401,6 +415,7 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 	// Everything the caller gets is copied into res; hand the hierarchy's
 	// large arrays back to the pools for the next run.
 	sys.Release()
+	collectSpan.End()
 	return res, nil
 }
 

@@ -29,6 +29,31 @@ type Report struct {
 // on the store buffer marks an application SB-bound.
 const SBBoundThreshold = 0.02
 
+// SBBoundThresholdPPM is SBBoundThreshold in integer parts-per-million, the
+// form the canonical stats export compares against.
+const SBBoundThresholdPPM = 20_000
+
+// PPM converts part/total to integer parts-per-million. Pure integer math:
+// the same counters produce the same PPM on every platform, which keeps the
+// canonical stats JSON (where these land as td.* counters) byte-identical
+// between in-process runs and service responses.
+func PPM(part, total uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	return part * 1_000_000 / total
+}
+
+// StatPPM returns the Top-Down stall ratios of st in integer
+// parts-per-million — the export-oriented sibling of Analyze, surfaced in
+// every run's canonical stats set under td.*.
+func StatPPM(st *cpu.Stats) (sb, other, frontend, l1dPending uint64) {
+	return PPM(st.SBStallCycles, st.Cycles),
+		PPM(st.OtherStallCycles(), st.Cycles),
+		PPM(st.FrontendStallCycles, st.Cycles),
+		PPM(st.ExecStallL1DPending, st.Cycles)
+}
+
 // Analyze derives a Report from a core's statistics.
 func Analyze(st *cpu.Stats) Report {
 	r := Report{Cycles: st.Cycles}

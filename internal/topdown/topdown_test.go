@@ -78,3 +78,44 @@ func TestBreakdownZeroBaseline(t *testing.T) {
 		t.Fatal("zero baseline must yield zero breakdown, not a division by zero")
 	}
 }
+
+func TestPPM(t *testing.T) {
+	if got := PPM(0, 0); got != 0 {
+		t.Fatalf("PPM(0,0) = %d, want 0 (no division by zero)", got)
+	}
+	if got := PPM(100, 1000); got != 100_000 {
+		t.Fatalf("PPM(100,1000) = %d, want 100000", got)
+	}
+	if got := PPM(1, 3); got != 333_333 {
+		t.Fatalf("PPM(1,3) = %d, want 333333 (integer floor)", got)
+	}
+}
+
+// TestStatPPMMatchesAnalyze pins the integer export against the float
+// report: the PPM values must be the floor of ratio·1e6.
+func TestStatPPMMatchesAnalyze(t *testing.T) {
+	st := &cpu.Stats{
+		Cycles:              999,
+		SBStallCycles:       100,
+		ROBStallCycles:      40,
+		IQStallCycles:       10,
+		LQStallCycles:       53,
+		FrontendStallCycles: 30,
+		ExecStallL1DPending: 200,
+	}
+	r := Analyze(st)
+	sb, other, fe, l1d := StatPPM(st)
+	check := func(name string, ppm uint64, ratio float64) {
+		t.Helper()
+		if want := uint64(ratio * 1e6); ppm != want && ppm != want-1 && ppm != want+1 {
+			t.Fatalf("%s = %d PPM, Analyze ratio %v (~%d)", name, ppm, ratio, want)
+		}
+	}
+	check("sb", sb, r.SBStallRatio)
+	check("other", other, r.OtherStallRatio)
+	check("frontend", fe, r.FrontendStallRatio)
+	check("l1dPending", l1d, r.ExecStallL1DPendingRatio)
+	if (sb > SBBoundThresholdPPM) != r.SBBound {
+		t.Fatalf("PPM threshold disagrees with Analyze.SBBound")
+	}
+}

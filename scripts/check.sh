@@ -12,8 +12,8 @@ echo "== go build =="
 go build ./...
 echo "== go test =="
 go test ./...
-echo "== go test -race (sim, figures, server, client) =="
-go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client
+echo "== go test -race (sim, figures, server, client, obs) =="
+go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/obs
 echo "== serve-check (spbd end-to-end smoke) =="
 sh scripts/serve_check.sh
 echo "== chaos-check (fault injection + self-healing) =="

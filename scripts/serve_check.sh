@@ -11,7 +11,10 @@
 #      an in-request duplicate, and answers already-cached specs from the
 #      memory tier;
 #   5. /healthz and /metrics answer;
-#   6. SIGTERM drains and exits cleanly.
+#   6. the job's trace is retrievable with the lifecycle spans on it, the
+#      client-sent trace ID propagated, and /metrics exposes the phase
+#      latency histograms;
+#   7. SIGTERM drains and exits cleanly.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -48,13 +51,26 @@ curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' >/dev/null
 echo "== cold run matches spbsim -json =="
 SPEC='{"workload":"bwaves","policy":"spb","sb":14,"insts":20000}'
 curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
-    -d "$SPEC" >"$TMP/run1.json"
+    -H 'X-Spb-Trace-Id: smoke-trace-1' -d "$SPEC" >"$TMP/run1.json"
 jq -e '.status == "done" and ((.cached // "") == "")' "$TMP/run1.json" >/dev/null
 "$TMP/spbsim" -workload bwaves -policy spb -sb 14 -insts 20000 -json >"$TMP/local.json"
 jq -ce '.stats' "$TMP/run1.json" >"$TMP/remote_stats.json"
 jq -ce '.' "$TMP/local.json" >"$TMP/local_stats.json"
 cmp "$TMP/remote_stats.json" "$TMP/local_stats.json" || {
     echo "service stats differ from spbsim -json"; exit 1; }
+
+echo "== trace endpoint serves the job's span timeline =="
+RUN_ID=$(jq -r '.id' "$TMP/run1.json")
+jq -e '.trace_id == "smoke-trace-1"' "$TMP/run1.json" >/dev/null \
+    || { echo "client trace ID did not propagate to the job view"; exit 1; }
+curl -fsS "$BASE/v1/runs/$RUN_ID/trace" >"$TMP/trace1.json"
+jq -e '.trace_id == "smoke-trace-1" and .done and .total_ns > 0' "$TMP/trace1.json" >/dev/null
+for span in submit queue-wait run run.sim store-write; do
+    jq -e --arg s "$span" '[.spans[].name] | index($s) != null' "$TMP/trace1.json" >/dev/null \
+        || { echo "trace missing span $span"; cat "$TMP/trace1.json"; exit 1; }
+done
+# The /v1/jobs alias serves the same document.
+curl -fsS "$BASE/v1/jobs/$RUN_ID/trace" | jq -e --arg id "$RUN_ID" '.job_id == $id' >/dev/null
 
 echo "== repeat run served from cache =="
 curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
@@ -116,6 +132,15 @@ jq -c 'select(.index == 0 and .status == "done") | .stats' "$TMP/batch.ndjson" |
 curl -fsS "$BASE/metrics" >"$TMP/metrics3.txt"
 grep -q 'spbd_batch_requests_total 1' "$TMP/metrics3.txt"
 grep -q 'spbd_batch_specs_total 3' "$TMP/metrics3.txt"
+
+echo "== phase latency histograms exposed =="
+for h in spbd_queue_wait_seconds spbd_run_duration_seconds \
+         spbd_store_write_seconds spbd_batch_stream_seconds; do
+    grep -q "${h}_count" "$TMP/metrics3.txt" || { echo "metrics missing $h"; exit 1; }
+    grep -q "${h}_bucket" "$TMP/metrics3.txt" || { echo "metrics missing $h buckets"; exit 1; }
+done
+grep -q 'spbd_topdown_cycles_total{class="all"}' "$TMP/metrics3.txt" \
+    || { echo "metrics missing Top-Down cycle counters"; exit 1; }
 
 echo "== SIGTERM drains cleanly =="
 kill -TERM "$SPBD_PID"
