@@ -1,4 +1,4 @@
-.PHONY: check bench bench-sweep test build serve-check chaos
+.PHONY: check bench bench-sweep bench-warm test build serve-check chaos
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -14,6 +14,11 @@ bench:
 # backends, batch vs per-spec submission overhead) into BENCH_sweep.json.
 bench-sweep:
 	sh scripts/bench_sweep.sh
+
+# Record the warm-start speedup (snapshot/fork vs in-place warmup on a
+# warmed sweep) into BENCH_warm.json.
+bench-warm:
+	sh scripts/bench_warm.sh
 
 # End-to-end smoke of the spbd service: build, start on a random port,
 # verify cold-run stats match spbsim -json, cache hit on repeat, cancel,

@@ -27,6 +27,7 @@ func main() {
 		coreName   = flag.String("core", "", "Table II core config (SLM|NHL|HSW|SKL|SNC); empty = Table I Skylake")
 		cores      = flag.Int("cores", 1, "core count (PARSEC workloads)")
 		insts      = flag.Uint64("insts", 500_000, "committed instructions per core")
+		warmup     = flag.Uint64("warmup", 0, "functional-warming instructions per core before the measured interval")
 		windowN    = flag.Int("spb-n", 48, "SPB window N")
 		dynamic    = flag.Bool("spb-dynamic", false, "enable the dynamic store-size SPB ablation")
 		backward   = flag.Bool("spb-backward", false, "enable the backward-burst extension (paper §IV.A)")
@@ -57,6 +58,7 @@ func main() {
 		CoreName:        *coreName,
 		Cores:           *cores,
 		Insts:           *insts,
+		WarmupInsts:     *warmup,
 		WindowN:         *windowN,
 		DynamicSPB:      *dynamic,
 		BackwardBursts:  *backward,

@@ -67,6 +67,8 @@ func main() {
 		nList    = flag.String("spb-n", "48", "comma-separated SPB window sizes")
 		cores    = flag.Int("cores", 0, "core count (default: 1 for spec, 8 for parsec)")
 		insts    = flag.Uint64("insts", 200_000, "committed instructions per core")
+		warmup   = flag.Uint64("warmup", 0, "functional-warming instructions per core before the measured interval")
+		warmFork = flag.Bool("warm-start", true, "share each group's warmup via snapshot/fork (local runs; identical results either way)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		server   = flag.String("server", "", "comma-separated spbd base URLs; the sweep executes remotely via the sharded client pool")
 
@@ -143,7 +145,8 @@ func main() {
 				for _, n := range ns {
 					specs = append(specs, sim.RunSpec{
 						Workload: name, Policy: p, SQSize: sb,
-						Cores: nCores, Insts: *insts, WindowN: n, Seed: *seed,
+						Cores: nCores, Insts: *insts, WarmupInsts: *warmup,
+						WindowN: n, Seed: *seed,
 					})
 				}
 			}
@@ -169,11 +172,17 @@ func main() {
 		}
 	} else {
 		runner := sim.NewRunner()
+		runner.SetWarmStart(*warmFork)
 		var err error
 		results, err = runner.GetAllCtx(ctx, specs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spbsweep:", err)
 			os.Exit(1)
+		}
+		if ss := runner.SimStats(); ss.WarmGroups > 0 || *warmup > 0 {
+			fmt.Fprintf(os.Stderr,
+				"spbsweep: warmstart: groups=%d forks=%d insts_saved=%d insts=%d\n",
+				ss.WarmGroups, ss.WarmForks, ss.WarmInstsSaved, ss.InstsSimulated)
 		}
 	}
 

@@ -32,6 +32,8 @@ func main() {
 		exp        = flag.String("exp", "", "experiment id (tableI, fig1, fig5, ... sensN); empty = all")
 		quick      = flag.Bool("quick", false, "reduced scale (SB-bound apps only, fewer instructions)")
 		insts      = flag.Uint64("insts", 0, "override the per-run instruction budget")
+		warmup     = flag.Uint64("warmup", 0, "functional-warming instructions per core before each measured interval (stock scales use 0)")
+		warmStart  = flag.Bool("warm-start", true, "share each warmup-equivalence group's warmup via snapshot/fork (identical tables either way)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		server     = flag.String("server", "", "comma-separated spbd base URLs; sweeps execute remotely via the sharded client pool")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -58,6 +60,9 @@ func main() {
 	if *insts > 0 {
 		scale.Insts = *insts
 	}
+	if *warmup > 0 {
+		scale.Warmup = *warmup
+	}
 
 	// Ctrl-C cancels the harness context: every queued and in-flight
 	// simulation — local worker pool or remote daemons — stops.
@@ -74,6 +79,7 @@ func main() {
 		exec = pool
 	}
 	h := figures.NewHarnessOn(ctx, scale, exec)
+	h.Runner().SetWarmStart(*warmStart)
 	all := h.All()
 
 	ids := figures.Order

@@ -48,10 +48,11 @@ func New(cfg Config) *Predictor {
 	if cfg.HistoryBits <= 0 || cfg.HistoryBits > 32 {
 		panic("bpred: history bits must be in 1..32")
 	}
+	tb := newTables(cfg.PHTEntries, cfg.BTBEntries)
 	p := &Predictor{
-		pht:      make([]uint8, cfg.PHTEntries),
+		pht:      tb.pht,
 		histBits: uint(cfg.HistoryBits),
-		btbTags:  make([]uint64, cfg.BTBEntries),
+		btbTags:  tb.btbTags,
 		btbMask:  uint64(cfg.BTBEntries - 1),
 	}
 	// Initialize counters to weakly taken: loops predict well immediately.

@@ -1,0 +1,101 @@
+package bpred
+
+import "sync"
+
+// Warm-start support (DESIGN.md §12): counter-free functional warming, deep
+// snapshot/restore, and pooled tables so repeated Runner invocations stop
+// allocating the PHT and BTB arrays.
+
+// Warm trains the predictor with a branch outcome for functional warming:
+// identical table, history and BTB effects to a Predict+Update pair, but no
+// statistics counters.
+func (p *Predictor) Warm(pc uint64, taken bool) {
+	idx := p.index(pc)
+	if taken && p.pht[idx] < 3 {
+		p.pht[idx]++
+	}
+	if !taken && p.pht[idx] > 0 {
+		p.pht[idx]--
+	}
+	p.history = p.history<<1 | b2u(taken)
+	p.btbTags[(pc>>2)&p.btbMask] = pc
+}
+
+// Snapshot is a deep copy of a predictor's mutable state.
+type Snapshot struct {
+	pht     []uint8
+	history uint64
+	btbTags []uint64
+
+	lookups, mispredicts, btbMisses uint64
+}
+
+// Snapshot deep-copies the predictor's mutable state.
+func (p *Predictor) Snapshot() *Snapshot {
+	return &Snapshot{
+		pht:         append([]uint8(nil), p.pht...),
+		history:     p.history,
+		btbTags:     append([]uint64(nil), p.btbTags...),
+		lookups:     p.Lookups,
+		mispredicts: p.Mispredicts,
+		btbMisses:   p.BTBMisses,
+	}
+}
+
+// Restore overwrites the predictor's mutable state with the snapshot's. The
+// predictor must have the same geometry as the snapshot's source.
+func (p *Predictor) Restore(s *Snapshot) {
+	if len(p.pht) != len(s.pht) || len(p.btbTags) != len(s.btbTags) {
+		panic("bpred: Restore with mismatched geometry")
+	}
+	copy(p.pht, s.pht)
+	p.history = s.history
+	copy(p.btbTags, s.btbTags)
+	p.Lookups = s.lookups
+	p.Mispredicts = s.mispredicts
+	p.BTBMisses = s.btbMisses
+}
+
+// tables is the pooled backing storage of one predictor geometry.
+type tables struct {
+	pht     []uint8
+	btbTags []uint64
+}
+
+var tablePools sync.Map // [2]int{pht, btb} -> *sync.Pool of *tables
+
+func tablePoolFor(pht, btb int) *sync.Pool {
+	key := [2]int{pht, btb}
+	if p, ok := tablePools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := tablePools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// newTables returns zeroed PHT/BTB arrays, reusing released ones of the same
+// geometry when available.
+func newTables(pht, btb int) *tables {
+	if v := tablePoolFor(pht, btb).Get(); v != nil {
+		t := v.(*tables)
+		for i := range t.pht {
+			t.pht[i] = 0
+		}
+		for i := range t.btbTags {
+			t.btbTags[i] = 0
+		}
+		return t
+	}
+	return &tables{pht: make([]uint8, pht), btbTags: make([]uint64, btb)}
+}
+
+// Release returns the PHT/BTB arrays to the geometry's shared pool. The
+// predictor must not be used afterwards; skipping Release is always safe.
+func (p *Predictor) Release() {
+	if p.pht == nil {
+		return
+	}
+	tablePoolFor(len(p.pht), len(p.btbTags)).Put(&tables{pht: p.pht, btbTags: p.btbTags})
+	p.pht = nil
+	p.btbTags = nil
+}

@@ -1,0 +1,14 @@
+package core
+
+// DetectorSnapshot is a copy of the SPB detector's full state (warm-start
+// support, DESIGN.md §12). The detector holds no reference types, so a value
+// copy is a deep copy.
+type DetectorSnapshot struct {
+	d Detector
+}
+
+// Snapshot copies the detector state.
+func (d *Detector) Snapshot() DetectorSnapshot { return DetectorSnapshot{d: *d} }
+
+// Restore overwrites the detector state with the snapshot's.
+func (d *Detector) Restore(s DetectorSnapshot) { *d = s.d }

@@ -3,8 +3,10 @@ package cpu
 import (
 	"testing"
 
+	"spb/internal/config"
 	"spb/internal/core"
 	"spb/internal/mem"
+	"spb/internal/memsys"
 	"spb/internal/trace"
 	"spb/internal/workloads"
 )
@@ -60,18 +62,59 @@ func BenchmarkCoreTick(b *testing.B) {
 }
 
 // BenchmarkCoreTickRun measures whole short runs (Run includes the
-// event-horizon fast-forward path that a bare Tick loop never takes).
+// event-horizon fast-forward path that a bare Tick loop never takes). Each
+// iteration releases its machine back to the arena pools, so the steady
+// state measures what a sweep pays per point — recycled ROB/cache/table
+// arenas, not fresh ones.
 func BenchmarkCoreTickRun(b *testing.B) {
 	w, err := workloads.SPECByName("roms")
 	if err != nil {
 		b.Fatal(err)
 	}
+	m := config.Skylake().WithSQ(28)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := build(core.PolicySPB, 28, trace.Limit(20_000, w.Build(uint64(i))))
+		sys := memsys.New(m, 1)
+		c := New(m.Core, core.PolicySPB, m.SPB, sys.Port(0), trace.Limit(20_000, w.Build(uint64(i))), 7)
 		if err := c.Run(20_000); err != nil {
 			b.Fatal(err)
 		}
+		c.Release()
+		sys.Release()
+	}
+}
+
+// TestRunArenaReuseBoundsAllocs tightens the whole-run allocation budget:
+// with every pooled structure (ROB, issue/load queues, SB, TLB, predictor
+// tables, cache arenas, directory shards, recent-sets) recycled via Release,
+// a complete build+run+release cycle must stay far below the ~100 allocs /
+// ~16 MB a cold machine costs.
+func TestRunArenaReuseBoundsAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful without -race")
+	}
+	w, err := workloads.SPECByName("roms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := config.Skylake().WithSQ(28)
+	cycle := func(seed uint64) {
+		sys := memsys.New(m, 1)
+		c := New(m.Core, core.PolicySPB, m.SPB, sys.Port(0), trace.Limit(20_000, w.Build(seed)), 7)
+		if err := c.Run(20_000); err != nil {
+			t.Fatal(err)
+		}
+		c.Release()
+		sys.Release()
+	}
+	cycle(1) // prime the pools
+	var seed uint64 = 2
+	avg := testing.AllocsPerRun(10, func() {
+		cycle(seed)
+		seed++
+	})
+	if avg > 70 {
+		t.Fatalf("build+run+release allocates %.1f per cycle, want ≤ 70 (arena reuse broken?)", avg)
 	}
 }
 

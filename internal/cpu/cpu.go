@@ -225,7 +225,7 @@ func NewWithOptions(cfg config.CoreConfig, policy core.Policy, spbCfg config.SPB
 		dtlb:   tlb.New(tlb.Config{Entries: tlbCfg.Entries, Ways: tlbCfg.Ways, WalkLat: tlbCfg.WalkLat}),
 		reader: reader,
 		rng:    trace.NewRNG(seed),
-		rob:    make([]robEntry, cfg.ROBSize),
+		rob:    newROB(cfg.ROBSize),
 	}
 	if policy == core.PolicySPB {
 		c.det = core.NewDetectorWithOptions(spbCfg.WindowN, core.Options{
@@ -802,7 +802,7 @@ func (h *occHeap) add(release uint64) {
 		return // already expired for every future query
 	}
 	if h.buckets == nil {
-		h.buckets = make([]uint16, occWindow)
+		h.buckets = newOccBuckets()
 	}
 	if release-h.cursor >= occWindow {
 		h.farPush(release)

@@ -1,0 +1,241 @@
+package cpu
+
+import (
+	"sync"
+
+	"spb/internal/bpred"
+	"spb/internal/core"
+	"spb/internal/mem"
+	"spb/internal/storebuf"
+	"spb/internal/tlb"
+	"spb/internal/trace"
+)
+
+// Warm-start support (DESIGN.md §12): deep snapshot/restore of a core's
+// pipeline state, Release of its pooled arrays, and the pools themselves
+// (ROB ring and occupancy-tracker buckets) so repeated Runner invocations
+// stop allocating them.
+//
+// A snapshot covers everything the core owns — pipeline registers, ROB,
+// occupancy trackers, RNG, store buffer, detector, TLB, branch predictor and
+// statistics. It does NOT cover the trace reader (cloned separately via
+// trace.Program.Clone) or the memory port (snapshotted by memsys.System).
+
+// occSnapshot deep-copies an occHeap.
+type occSnapshot struct {
+	buckets []uint16
+	cursor  uint64
+	count   int
+	far     []uint64
+}
+
+func (h *occHeap) snapshot() occSnapshot {
+	s := occSnapshot{cursor: h.cursor, count: h.count}
+	if h.buckets != nil {
+		s.buckets = append([]uint16(nil), h.buckets...)
+	}
+	if len(h.far) > 0 {
+		s.far = append([]uint64(nil), h.far...)
+	}
+	return s
+}
+
+func (h *occHeap) restore(s occSnapshot) {
+	if s.buckets == nil {
+		if h.buckets != nil {
+			for i := range h.buckets {
+				h.buckets[i] = 0
+			}
+		}
+	} else {
+		if h.buckets == nil {
+			h.buckets = newOccBuckets()
+		}
+		copy(h.buckets, s.buckets)
+	}
+	h.cursor = s.cursor
+	h.count = s.count
+	h.far = append(h.far[:0], s.far...)
+}
+
+// Snapshot is a deep copy of a core's mutable state.
+type Snapshot struct {
+	cycle uint64
+
+	fetchReadyAt uint64
+	pending      trace.Inst
+	havePending  bool
+	traceDone    bool
+
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+
+	doneHist [256]uint64
+	seq      uint64
+
+	iq, lq occSnapshot
+
+	headAcquired bool
+	headSeq      uint64
+	headReadyAt  uint64
+	headRetries  int
+
+	idle bool
+
+	lastLoadAddr  mem.Addr
+	lastStoreAddr mem.Addr
+
+	rng trace.RNG
+	st  Stats
+
+	sb   *storebuf.Snapshot
+	det  core.DetectorSnapshot
+	has  bool // det valid
+	dtlb *tlb.Snapshot
+	bp   *bpred.Snapshot
+}
+
+// Snapshot deep-copies the core's mutable state (excluding the trace reader
+// and the memory port; see the file comment).
+func (c *Core) Snapshot() *Snapshot {
+	s := &Snapshot{
+		cycle:         c.cycle,
+		fetchReadyAt:  c.fetchReadyAt,
+		pending:       c.pending,
+		havePending:   c.havePending,
+		traceDone:     c.traceDone,
+		rob:           append([]robEntry(nil), c.rob...),
+		robHead:       c.robHead,
+		robTail:       c.robTail,
+		robCount:      c.robCount,
+		doneHist:      c.doneHist,
+		seq:           c.seq,
+		iq:            c.iq.snapshot(),
+		lq:            c.lq.snapshot(),
+		headAcquired:  c.headAcquired,
+		headSeq:       c.headSeq,
+		headReadyAt:   c.headReadyAt,
+		headRetries:   c.headRetries,
+		idle:          c.idle,
+		lastLoadAddr:  c.lastLoadAddr,
+		lastStoreAddr: c.lastStoreAddr,
+		rng:           *c.rng,
+		st:            c.St,
+		sb:            c.sb.Snapshot(),
+		dtlb:          c.dtlb.Snapshot(),
+	}
+	if c.det != nil {
+		s.det = c.det.Snapshot()
+		s.has = true
+	}
+	if c.bp != nil {
+		s.bp = c.bp.Snapshot()
+	}
+	return s
+}
+
+// Restore overwrites the core's mutable state with the snapshot's. The core
+// must have the same configuration (ROB size, SQ size, TLB/predictor
+// geometry, policy) as the snapshot's source.
+func (c *Core) Restore(s *Snapshot) {
+	if len(c.rob) != len(s.rob) {
+		panic("cpu: Restore with mismatched ROB size")
+	}
+	if (c.det != nil) != s.has || (c.bp != nil) != (s.bp != nil) {
+		panic("cpu: Restore with mismatched detector/predictor presence")
+	}
+	c.cycle = s.cycle
+	c.fetchReadyAt = s.fetchReadyAt
+	c.pending = s.pending
+	c.havePending = s.havePending
+	c.traceDone = s.traceDone
+	copy(c.rob, s.rob)
+	c.robHead = s.robHead
+	c.robTail = s.robTail
+	c.robCount = s.robCount
+	c.doneHist = s.doneHist
+	c.seq = s.seq
+	c.iq.restore(s.iq)
+	c.lq.restore(s.lq)
+	c.headAcquired = s.headAcquired
+	c.headSeq = s.headSeq
+	c.headReadyAt = s.headReadyAt
+	c.headRetries = s.headRetries
+	c.idle = s.idle
+	c.lastLoadAddr = s.lastLoadAddr
+	c.lastStoreAddr = s.lastStoreAddr
+	*c.rng = s.rng
+	c.St = s.st
+	c.sb.Restore(s.sb)
+	c.dtlb.Restore(s.dtlb)
+	if c.det != nil {
+		c.det.Restore(s.det)
+	}
+	if c.bp != nil {
+		c.bp.Restore(s.bp)
+	}
+}
+
+var robPools sync.Map // ROB size -> *sync.Pool of []robEntry
+
+func robPoolFor(n int) *sync.Pool {
+	if p, ok := robPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := robPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// newROB returns a ROB ring of the given size, reusing a released one when
+// available. Ring slots are written at dispatch before commit ever reads
+// them, so no zeroing is needed.
+func newROB(n int) []robEntry {
+	if v := robPoolFor(n).Get(); v != nil {
+		return v.([]robEntry)
+	}
+	return make([]robEntry, n)
+}
+
+var occBucketPool = sync.Pool{}
+
+// newOccBuckets returns a zeroed occWindow-sized bucket ring, reusing a
+// released one when available.
+func newOccBuckets() []uint16 {
+	if v := occBucketPool.Get(); v != nil {
+		b := v.([]uint16)
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]uint16, occWindow)
+}
+
+// release returns the bucket ring to the shared pool.
+func (h *occHeap) release() {
+	if h.buckets == nil {
+		return
+	}
+	occBucketPool.Put(h.buckets)
+	h.buckets = nil
+}
+
+// Release returns the core's pooled arrays — ROB ring, occupancy buckets,
+// store-buffer ring, TLB entries and predictor tables — to their shared
+// pools. The core must not be used afterwards; skipping Release is always
+// safe.
+func (c *Core) Release() {
+	if c.rob != nil {
+		robPoolFor(len(c.rob)).Put(c.rob)
+		c.rob = nil
+	}
+	c.iq.release()
+	c.lq.release()
+	c.sb.Release()
+	c.dtlb.Release()
+	if c.bp != nil {
+		c.bp.Release()
+	}
+}

@@ -1,0 +1,14 @@
+package dram
+
+// Snapshot is a copy of a DRAM model's full state (warm-start support,
+// DESIGN.md §12). The model holds no reference types, so a value copy is a
+// deep copy.
+type Snapshot struct {
+	d DRAM
+}
+
+// Snapshot copies the DRAM state.
+func (d *DRAM) Snapshot() Snapshot { return Snapshot{d: *d} }
+
+// Restore overwrites the DRAM state with the snapshot's.
+func (d *DRAM) Restore(s Snapshot) { *d = s.d }

@@ -22,6 +22,12 @@ import (
 type Scale struct {
 	// Insts is the committed-instruction budget per core per run.
 	Insts uint64
+	// Warmup is the per-core functional-warming prefix applied before the
+	// detailed interval (sim.RunSpec.WarmupInsts). The stock Quick/Full
+	// scales keep it 0 so published figure output stays byte-identical with
+	// earlier releases; sweeps that opt in share one warmup per
+	// warmup-equivalence group through the runner's warm-start fork engine.
+	Warmup uint64
 	// SBBoundOnly restricts sweeps to the paper's SB-bound set where the
 	// full suite is not required (fast mode for benchmarks).
 	SBBoundOnly bool
@@ -103,6 +109,14 @@ func NewHarnessOn(ctx context.Context, scale Scale, exec Executor) *Harness {
 	return h
 }
 
+// Runner exposes the harness's in-process runner so callers can adjust its
+// execution strategy (warm-start forking) or read its accounting. When an
+// external Executor is in use, the runner only serves as a fallback and its
+// settings do not reach the remote daemons.
+func (h *Harness) Runner() *sim.Runner {
+	return h.runner
+}
+
 // getAll routes one sweep through the harness executor.
 func (h *Harness) getAll(specs []sim.RunSpec) ([]sim.Result, error) {
 	return h.exec.GetAllCtx(h.ctx, specs)
@@ -117,11 +131,12 @@ func (h *Harness) suite() []workloads.Workload {
 
 func (h *Harness) spec(w string, p core.Policy, sq int) sim.RunSpec {
 	return sim.RunSpec{
-		Workload:   w,
-		Policy:     p,
-		SQSize:     sq,
-		Prefetcher: config.PrefetchStream,
-		Insts:      h.scale.Insts,
+		Workload:    w,
+		Policy:      p,
+		SQSize:      sq,
+		Prefetcher:  config.PrefetchStream,
+		Insts:       h.scale.Insts,
+		WarmupInsts: h.scale.Warmup,
 	}
 }
 

@@ -1,0 +1,231 @@
+package memsys
+
+import (
+	"sort"
+
+	"spb/internal/cache"
+	"spb/internal/dram"
+	"spb/internal/mem"
+	"spb/internal/prefetch"
+)
+
+// Deep snapshot/restore of the shared memory system (warm-start support,
+// DESIGN.md §12). Everything mutable is copied: every cache array, the
+// directory table, the recent-eviction sets, the DRAM channel state and all
+// statistics counters. The generic prefetcher is NOT part of the snapshot:
+// functional warming never trains it, its type is a per-spec configuration
+// knob, and a fork always starts it fresh — exactly matching a cold run.
+
+// dirPair is one live directory entry in canonical form.
+type dirPair struct {
+	block mem.Block
+	entry dirEntry
+}
+
+// dirSnapshot is a canonical deep copy of a directory table: per shard, the
+// live entries sorted by block. Slot positions, shard capacities and
+// generation stamps are deliberately absent — they are artifacts of the
+// table's allocation history (pool reuse, growth points) that never affect
+// behaviour, so two logically identical directories snapshot identically.
+type dirSnapshot struct {
+	shard [dirShards][]dirPair
+}
+
+func (t *dirTable) snapshot() *dirSnapshot {
+	s := &dirSnapshot{}
+	for i := range t.shard {
+		sh := &t.shard[i]
+		pairs := make([]dirPair, 0, sh.used)
+		for j := range sh.slots {
+			if sh.slots[j].gen == sh.gen {
+				pairs = append(pairs, dirPair{block: sh.slots[j].block, entry: sh.slots[j].entry})
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].block < pairs[b].block })
+		s.shard[i] = pairs
+	}
+	return s
+}
+
+// restore empties each shard (generation bump, as newDirTable does) and
+// re-inserts the snapshot's entries through the table's own probe logic, so
+// the rebuilt layout is valid for whatever capacity the shard currently has.
+func (t *dirTable) restore(snap *dirSnapshot) {
+	for i := range t.shard {
+		sh := &t.shard[i]
+		sh.used = 0
+		sh.gen++
+		if sh.gen == 0 { // wrapped: stale slots could alias, start clean
+			sh.reset(len(sh.slots))
+		}
+		for _, pr := range snap.shard[i] {
+			if sh.used >= len(sh.slots)-len(sh.slots)/4 {
+				sh.grow()
+			}
+			j := sh.home(dirHash(pr.block))
+			for sh.liveAt(j) {
+				j = (j + 1) & sh.mask
+			}
+			sh.slots[j] = dirSlot{block: pr.block, entry: pr.entry, gen: sh.gen}
+			sh.used++
+		}
+	}
+}
+
+// recentSnapshot is a canonical deep copy of a recentSet: ring positions
+// outside the live window and table slots with zero count are stored as
+// zeros, not as whatever the recycled arrays held.
+type recentSnapshot struct {
+	ring   []mem.Block
+	next   int
+	filled bool
+	keys   []mem.Block
+	counts []uint32
+}
+
+func (r *recentSet) snapshot() *recentSnapshot {
+	s := &recentSnapshot{
+		ring:   make([]mem.Block, len(r.ring)),
+		next:   r.next,
+		filled: r.filled,
+		keys:   make([]mem.Block, len(r.keys)),
+		counts: append([]uint32(nil), r.counts...),
+	}
+	live := r.next
+	if r.filled {
+		live = len(r.ring)
+	}
+	copy(s.ring[:live], r.ring[:live])
+	for i, n := range r.counts {
+		if n != 0 {
+			s.keys[i] = r.keys[i]
+		}
+	}
+	return s
+}
+
+func (r *recentSet) restore(s *recentSnapshot) {
+	if len(r.ring) != len(s.ring) || len(r.keys) != len(s.keys) {
+		panic("memsys: recentSet restore with mismatched capacity")
+	}
+	copy(r.ring, s.ring)
+	r.next = s.next
+	r.filled = s.filled
+	copy(r.keys, s.keys)
+	copy(r.counts, s.counts)
+}
+
+// portSnapshot deep-copies one core's private hierarchy and counters.
+type portSnapshot struct {
+	l1, l2                 *cache.Snapshot
+	evictedPF, victimsOfPF *recentSnapshot
+
+	loads, stores, loadMisses, storeMisses, wrongPathLoads uint64
+
+	spfIssued, spfDiscarded, spfMissToL2, spfSuccessful,
+	spfLate, spfEarly, spfBurst uint64
+
+	gpfIssued, gpfUsed, gpfLate, gpfPolluted uint64
+
+	epochAccesses uint64
+	lastFB        prefetch.Feedback
+}
+
+func (p *Port) snapshot() *portSnapshot {
+	return &portSnapshot{
+		l1:             p.l1.Snapshot(),
+		l2:             p.l2.Snapshot(),
+		evictedPF:      p.evictedPF.snapshot(),
+		victimsOfPF:    p.victimsOfPF.snapshot(),
+		loads:          p.Loads,
+		stores:         p.Stores,
+		loadMisses:     p.LoadMisses,
+		storeMisses:    p.StoreMisses,
+		wrongPathLoads: p.WrongPathLoads,
+		spfIssued:      p.SPFIssued,
+		spfDiscarded:   p.SPFDiscarded,
+		spfMissToL2:    p.SPFMissToL2,
+		spfSuccessful:  p.SPFSuccessful,
+		spfLate:        p.SPFLate,
+		spfEarly:       p.SPFEarly,
+		spfBurst:       p.SPFBurst,
+		gpfIssued:      p.GPFIssued,
+		gpfUsed:        p.GPFUsed,
+		gpfLate:        p.GPFLate,
+		gpfPolluted:    p.GPFPolluted,
+		epochAccesses:  p.epochAccesses,
+		lastFB:         p.lastFB,
+	}
+}
+
+func (p *Port) restore(s *portSnapshot) {
+	p.l1.Restore(s.l1)
+	p.l2.Restore(s.l2)
+	p.evictedPF.restore(s.evictedPF)
+	p.victimsOfPF.restore(s.victimsOfPF)
+	p.Loads = s.loads
+	p.Stores = s.stores
+	p.LoadMisses = s.loadMisses
+	p.StoreMisses = s.storeMisses
+	p.WrongPathLoads = s.wrongPathLoads
+	p.SPFIssued = s.spfIssued
+	p.SPFDiscarded = s.spfDiscarded
+	p.SPFMissToL2 = s.spfMissToL2
+	p.SPFSuccessful = s.spfSuccessful
+	p.SPFLate = s.spfLate
+	p.SPFEarly = s.spfEarly
+	p.SPFBurst = s.spfBurst
+	p.GPFIssued = s.gpfIssued
+	p.GPFUsed = s.gpfUsed
+	p.GPFLate = s.gpfLate
+	p.GPFPolluted = s.gpfPolluted
+	p.epochAccesses = s.epochAccesses
+	p.lastFB = s.lastFB
+}
+
+// SystemSnapshot is a deep copy of the full memory system state. It shares
+// no memory with the system it was taken from.
+type SystemSnapshot struct {
+	l3    *cache.Snapshot
+	dram  dram.Snapshot
+	dir   *dirSnapshot
+	ports []*portSnapshot
+
+	l3Accesses, invalidations, writebacksL3, backInvals uint64
+}
+
+// Snapshot deep-copies the system's mutable state.
+func (s *System) Snapshot() *SystemSnapshot {
+	snap := &SystemSnapshot{
+		l3:            s.l3.Snapshot(),
+		dram:          s.dram.Snapshot(),
+		dir:           s.dir.snapshot(),
+		l3Accesses:    s.L3Accesses,
+		invalidations: s.Invalidations,
+		writebacksL3:  s.WritebacksL3,
+		backInvals:    s.BackInvals,
+	}
+	for _, p := range s.ports {
+		snap.ports = append(snap.ports, p.snapshot())
+	}
+	return snap
+}
+
+// Restore overwrites the system's mutable state with the snapshot's. The
+// system must have the same geometry (core count, cache configuration) as
+// the snapshot's source. Prefetcher state is untouched.
+func (s *System) Restore(snap *SystemSnapshot) {
+	if len(s.ports) != len(snap.ports) {
+		panic("memsys: Restore with mismatched core count")
+	}
+	s.l3.Restore(snap.l3)
+	s.dram.Restore(snap.dram)
+	s.dir.restore(snap.dir)
+	for i, p := range s.ports {
+		p.restore(snap.ports[i])
+	}
+	s.L3Accesses = snap.l3Accesses
+	s.Invalidations = snap.invalidations
+	s.WritebacksL3 = snap.writebacksL3
+	s.BackInvals = snap.backInvals
+}

@@ -347,5 +347,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteText(w, s.QueueDepth, s.Inflight, s.Degraded)
+	s.metrics.WriteText(w, s.QueueDepth, s.Inflight, s.Degraded, s.runner.SimStats)
 }

@@ -40,9 +40,9 @@ func TestKeyStableAcrossRestarts(t *testing.T) {
 		key  string
 	}{
 		{sim.RunSpec{Workload: "bwaves"},
-			"1404e99f589bd39c385c41377151511ae7d0d10e44f47be28065f6020d7b410f"},
+			"021a5f71ca37736c4ace941693480f707df37555af65a1e3a1408f39938df4e0"},
 		{sim.RunSpec{Workload: "dedup", Cores: 8, SQSize: 56},
-			"f0e5e2b7661d1a637feda9717a0ff7301c98ed158007edc7fa546073ab8dc3a0"},
+			"204f458925ecb294442b63411f7ab4906630fe49cfaf12f6f9298021639f9bcc"},
 	}
 	for _, g := range golden {
 		if got := Key(g.spec); got != g.key {
@@ -66,6 +66,7 @@ func TestKeyDistinguishesSpecs(t *testing.T) {
 		{Workload: "bwaves", Policy: core.PolicyAtCommit, SQSize: 14},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 56},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Insts: 100},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, WarmupInsts: 5_000},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Seed: 2},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, WindowN: 32},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Cores: 2},

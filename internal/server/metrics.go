@@ -10,6 +10,7 @@ import (
 
 	"spb/internal/cpu"
 	"spb/internal/obs"
+	"spb/internal/sim"
 	"spb/internal/topdown"
 )
 
@@ -89,8 +90,10 @@ func (m *Metrics) ObserveTopDown(st *cpu.Stats) {
 }
 
 // WriteText renders every metric in Prometheus exposition format. The
-// queueDepth, inflight and degraded callbacks supply the live gauges.
-func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degraded func() bool) {
+// queueDepth, inflight and degraded callbacks supply the live gauges; sim
+// supplies the runner's execution counters (simulated instructions and
+// warm-start fork accounting), read at scrape time.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degraded func() bool, simStats func() sim.RunnerStats) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -121,6 +124,12 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degrad
 	counter("spbd_progress_snapshots_total", "Progress callbacks delivered by running simulations.", m.ProgressSnapshot.Load())
 	counter("spbd_batch_requests_total", "Batch sweep requests accepted.", m.BatchRequests.Load())
 	counter("spbd_batch_specs_total", "Specs received across all batch requests.", m.BatchSpecs.Load())
+
+	ss := simStats()
+	counter("spbd_sim_insts_total", "Instructions simulated (functional warming + detailed intervals).", ss.InstsSimulated)
+	counter("spbd_warmstart_groups_total", "Warmup-equivalence groups simulated (one warmup each).", ss.WarmGroups)
+	counter("spbd_warmstart_forks_total", "Detailed runs forked from a shared warm snapshot.", ss.WarmForks)
+	counter("spbd_warmstart_insts_saved_total", "Warmup instructions elided by warm-start snapshot sharing.", ss.WarmInstsSaved)
 
 	fmt.Fprintf(w, "# HELP spbd_topdown_cycles_total Simulated cycles aggregated over completed runs, by Top-Down stall class.\n")
 	fmt.Fprintf(w, "# TYPE spbd_topdown_cycles_total counter\n")

@@ -49,6 +49,11 @@ type Config struct {
 	// DiskRetryInterval is how often a degraded disk tier is re-probed with
 	// one real operation (default: 5s). A success leaves degraded mode.
 	DiskRetryInterval time.Duration
+	// DisableWarmStart turns off the runner's warm-start fork engine, so
+	// every warmed spec simulates its own warmup prefix in place. Results
+	// are byte-identical either way; this is the operational escape hatch
+	// (also reachable via SPB_WARMSTART=0).
+	DisableWarmStart bool
 	// Logf receives operational log lines (default: log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -200,6 +205,9 @@ func New(cfg Config) (*Server, error) {
 		jobs:    make(map[string]*job),
 		active:  make(map[string]*job),
 		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.DisableWarmStart {
+		s.runner.SetWarmStart(false)
 	}
 	if cfg.CacheDir != "" {
 		store, err := OpenDiskStore(cfg.CacheDir)

@@ -27,6 +27,7 @@ type RunRequest struct {
 	Core       string `json:"core,omitempty"`
 	Cores      int    `json:"cores,omitempty"`
 	Insts      uint64 `json:"insts,omitempty"`
+	Warmup     uint64 `json:"warmup_insts,omitempty"`
 	WindowN    int    `json:"window_n,omitempty"`
 
 	DynamicSPB         bool   `json:"dynamic_spb,omitempty"`
@@ -48,6 +49,7 @@ func (r RunRequest) Spec() (sim.RunSpec, error) {
 		CoreName:             r.Core,
 		Cores:                r.Cores,
 		Insts:                r.Insts,
+		WarmupInsts:          r.Warmup,
 		WindowN:              r.WindowN,
 		DynamicSPB:           r.DynamicSPB,
 		CoalesceSB:           r.CoalesceSB,
@@ -88,6 +90,7 @@ func Request(spec sim.RunSpec) RunRequest {
 		Core:               spec.CoreName,
 		Cores:              spec.Cores,
 		Insts:              spec.Insts,
+		Warmup:             spec.WarmupInsts,
 		WindowN:            spec.WindowN,
 		DynamicSPB:         spec.DynamicSPB,
 		CoalesceSB:         spec.CoalesceSB,

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// warmGrid is a miniature warmed sweep: two workloads sharing their warmup
+// across policy and SQ-size knobs. Per workload the four points form one
+// warmup-equivalence group, so a warm-start server simulates 2 warmups for
+// 8 detailed runs.
+func warmGrid() []RunRequest {
+	var specs []RunRequest
+	for _, wl := range []string{"bwaves", "mcf"} {
+		for _, pol := range []string{"spb", "at-commit"} {
+			for _, sb := range []int{14, 56} {
+				specs = append(specs, RunRequest{
+					Workload: wl, Policy: pol, SB: sb,
+					Insts: 8_000, Warmup: 30_000,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// TestBatchWarmStartEquivalence is the end-to-end half of the warm-start
+// equivalence suite (DESIGN.md §12): the same warmed sweep submitted through
+// spbd's batch path must return byte-identical canonical stats whether the
+// server forks detailed runs from shared warm snapshots (default) or
+// simulates every warmup in place (DisableWarmStart).
+func TestBatchWarmStartEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warmed sweep, skipped in -short")
+	}
+	specs := warmGrid()
+
+	on, tsOn := testServer(t, Config{Workers: 2})
+	off, tsOff := testServer(t, Config{Workers: 2, DisableWarmStart: true})
+
+	doneOn := terminalByIndex(t, postBatch(t, tsOn.URL, BatchRequest{Specs: specs}))
+	doneOff := terminalByIndex(t, postBatch(t, tsOff.URL, BatchRequest{Specs: specs}))
+	if len(doneOn) != len(specs) || len(doneOff) != len(specs) {
+		t.Fatalf("terminal items: on=%d off=%d, want %d", len(doneOn), len(doneOff), len(specs))
+	}
+	for i := range specs {
+		if doneOn[i].Status != StatusDone {
+			t.Fatalf("warm-start spec %d: %s (%s)", i, doneOn[i].Status, doneOn[i].Error)
+		}
+		if doneOff[i].Status != StatusDone {
+			t.Fatalf("in-place spec %d: %s (%s)", i, doneOff[i].Status, doneOff[i].Error)
+		}
+		if !bytes.Equal(doneOn[i].Stats, doneOff[i].Stats) {
+			t.Errorf("spec %d (%+v): warm-start stats differ from in-place stats:\n  on:  %s\n  off: %s",
+				i, specs[i], doneOn[i].Stats, doneOff[i].Stats)
+		}
+	}
+
+	// Exactly-once warmup accounting: one warm per workload group, one fork
+	// per point; the disabled server never touches the fork engine.
+	ssOn, ssOff := on.Runner().SimStats(), off.Runner().SimStats()
+	if ssOn.WarmGroups != 2 || ssOn.WarmForks != uint64(len(specs)) {
+		t.Errorf("warm-start server: groups=%d forks=%d, want 2 and %d",
+			ssOn.WarmGroups, ssOn.WarmForks, len(specs))
+	}
+	if ssOff.WarmGroups != 0 || ssOff.WarmForks != 0 || ssOff.WarmInstsSaved != 0 {
+		t.Errorf("disabled server ran the fork engine: %+v", ssOff)
+	}
+	// Each group's warmup was elided for all forks but the first.
+	wantSaved := uint64(2 * 3 * 30_000)
+	if ssOn.WarmInstsSaved != wantSaved {
+		t.Errorf("WarmInstsSaved = %d, want %d", ssOn.WarmInstsSaved, wantSaved)
+	}
+
+	// The fork accounting is scrapeable.
+	text := metricsText(t, tsOn)
+	for _, want := range []string{
+		"spbd_warmstart_groups_total 2",
+		"spbd_warmstart_forks_total 8",
+		"spbd_sim_insts_total ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

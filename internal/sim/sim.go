@@ -11,17 +11,21 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"spb/internal/bpred"
 	"spb/internal/config"
 	"spb/internal/core"
 	"spb/internal/cpu"
 	"spb/internal/energy"
 	"spb/internal/memsys"
 	"spb/internal/obs"
+	"spb/internal/tlb"
 	"spb/internal/topdown"
 	"spb/internal/trace"
 	"spb/internal/workloads"
@@ -43,6 +47,15 @@ type RunSpec struct {
 	Cores int
 	// Insts is the per-core committed-instruction budget.
 	Insts uint64
+	// WarmupInsts is the per-core functional-warming prefix: that many
+	// instructions per core are replayed against the caches, directory,
+	// TLB and branch predictor — no timing, no statistics — before
+	// detailed simulation starts. The warmed state depends only on the
+	// workload, seed, core config and this length, never on the SB/policy/
+	// prefetcher knobs a sweep varies, so the Runner simulates one warmup
+	// per such group and forks every member from a snapshot (warm-start,
+	// DESIGN.md §12). 0 disables warming.
+	WarmupInsts uint64
 	// WindowN overrides the SPB window (0 = config default 48).
 	WindowN int
 	// DynamicSPB enables the dynamic store-size ablation.
@@ -160,10 +173,24 @@ func (s RunSpec) Normalized() RunSpec { return s.normalize() }
 // budget across cores; multi-core runs pay lock-step coordination on top; an
 // ideal SB never stalls, so its runs have no dead spans for the event-horizon
 // fast forward to skip; and disabling the fast forward altogether simulates
-// every cycle of every core.
-func (s RunSpec) CostEstimate() uint64 {
+// every cycle of every core. CostEstimate assumes the warmup prefix (if any)
+// is simulated by this run; schedulers that fork from shared warm-start
+// snapshots use CostEstimateAt(true) instead.
+func (s RunSpec) CostEstimate() uint64 { return s.CostEstimateAt(false) }
+
+// CostEstimateAt is CostEstimate with explicit warm-start knowledge: when
+// warmStart is true the warmup prefix is elided by a shared snapshot fork,
+// so only the detailed interval counts — LPT then ranks forked points by
+// what they will actually simulate. Functional warming is far cheaper per
+// instruction than detailed simulation, so a non-elided warmup is charged
+// at a quarter weight.
+func (s RunSpec) CostEstimateAt(warmStart bool) uint64 {
 	n := s.normalize()
-	cost := n.Insts * uint64(n.Cores)
+	insts := n.Insts
+	if !warmStart {
+		insts += n.WarmupInsts / 4
+	}
+	cost := insts * uint64(n.Cores)
 	if n.Cores > 1 {
 		cost += cost / 2
 	}
@@ -185,6 +212,11 @@ type Progress struct {
 	Committed   uint64
 	Cycles      uint64
 	TargetInsts uint64
+	// InstsPerSec is the wall-clock simulation throughput (committed
+	// instructions per second of real time) since the run started. It is
+	// reporting-only state: it never enters the canonical stats JSON,
+	// which must stay byte-deterministic.
+	InstsPerSec float64
 }
 
 // IPC returns committed instructions per cycle so far.
@@ -234,35 +266,74 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 	buildSpan := tr.StartSpan("run.build")
 
 	spec = spec.normalize()
-	coreCfg, err := spec.coreConfig()
+	machine, err := spec.machineConfig()
 	if err != nil {
 		return Result{}, err
 	}
-	machine := config.Skylake()
-	machine.Core = coreCfg
-	machine = machine.WithSQ(spec.SQSize).WithPrefetcher(spec.Prefetcher)
-	machine.SPB.WindowN = spec.WindowN
-	machine.SPB.DynamicSize = spec.DynamicSPB
-	if err := machine.Validate(); err != nil {
+	readers, err := buildReaders(spec)
+	if err != nil {
 		return Result{}, err
 	}
+	sys := memsys.New(machine, spec.Cores)
+	cores := buildCores(spec, machine, sys, readers)
+	if spec.WarmupInsts > 0 {
+		// In-place functional warming — the warm-start-off reference path.
+		// Cores are built first: their Limit wrappers bind to the underlying
+		// reader lazily, so consuming the warmup prefix here leaves the
+		// detailed interval reading exactly the post-warmup stream a forked
+		// run sees.
+		dtlbs := make([]*tlb.TLB, len(cores))
+		bps := make([]*bpred.Predictor, len(cores))
+		for i, c := range cores {
+			dtlbs[i] = c.DTLB()
+			bps[i] = c.BranchPredictor()
+		}
+		if err := warm(ctx, sys, dtlbs, bps, readers, spec.WarmupInsts); err != nil {
+			sys.Release()
+			return Result{}, err
+		}
+	}
+	buildSpan.End()
+	return runDetailed(ctx, tr, spec, sys, cores, onProgress)
+}
 
-	var readers []trace.Reader
+// machineConfig resolves and validates the spec's full machine configuration.
+func (s RunSpec) machineConfig() (config.MachineConfig, error) {
+	coreCfg, err := s.coreConfig()
+	if err != nil {
+		return config.MachineConfig{}, err
+	}
+	machine := config.Skylake()
+	machine.Core = coreCfg
+	machine = machine.WithSQ(s.SQSize).WithPrefetcher(s.Prefetcher)
+	machine.SPB.WindowN = s.WindowN
+	machine.SPB.DynamicSize = s.DynamicSPB
+	if err := machine.Validate(); err != nil {
+		return config.MachineConfig{}, err
+	}
+	return machine, nil
+}
+
+// buildReaders constructs the per-core instruction streams of a normalized
+// spec.
+func buildReaders(spec RunSpec) ([]trace.Reader, error) {
 	if spec.Cores == 1 {
 		w, err := workloads.SPECByName(spec.Workload)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		readers = []trace.Reader{w.Build(spec.Seed)}
-	} else {
-		p, err := workloads.PARSECByName(spec.Workload)
-		if err != nil {
-			return Result{}, err
-		}
-		readers = p.Build(spec.Seed, spec.Cores)
+		return []trace.Reader{w.Build(spec.Seed)}, nil
 	}
+	p, err := workloads.PARSECByName(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build(spec.Seed, spec.Cores), nil
+}
 
-	sys := memsys.New(machine, spec.Cores)
+// buildCores constructs the per-core pipelines, each budgeted to spec.Insts
+// committed instructions of its reader's stream from its current position on.
+func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, readers []trace.Reader) []*cpu.Core {
 	cores := make([]*cpu.Core, spec.Cores)
 	opts := cpu.Options{
 		CoalesceSB:         spec.CoalesceSB,
@@ -275,9 +346,22 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 		cores[i] = cpu.NewWithOptions(machine.Core, spec.Policy, machine.SPB, machine.TLB, opts,
 			sys.Port(i), trace.Limit(spec.Insts, readers[i]), spec.Seed+uint64(i)*7919)
 	}
+	return cores
+}
 
-	buildSpan.End()
+// runDetailed executes the detailed (statistics-gathering) interval on an
+// already-built machine and collects the Result. It owns the machine from
+// here on: on success the cores' and hierarchy's pooled arrays are released.
+func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.System, cores []*cpu.Core, onProgress func(Progress)) (Result, error) {
 	loopSpan := tr.StartSpan("run.sim")
+	start := time.Now()
+	report := func() {
+		p := snapshotProgress(cores, spec.Insts*uint64(spec.Cores))
+		if el := time.Since(start).Seconds(); el > 0 {
+			p.InstsPerSec = float64(p.Committed) / el
+		}
+		onProgress(p)
+	}
 
 	// Lock-step execution: every core advances one cycle per round. With
 	// fast-forward enabled, after each round the whole machine jumps to the
@@ -288,7 +372,6 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 	// event horizon stays valid.
 	useFF := !spec.DisableFastForward
 	guard := spec.Insts*1000*uint64(spec.Cores) + 1_000_000
-	targetInsts := spec.Insts * uint64(spec.Cores)
 	done := ctx.Done()
 	observed := done != nil || onProgress != nil
 	for round := uint64(0); ; round++ {
@@ -301,7 +384,7 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 				}
 			}
 			if onProgress != nil && round > 0 {
-				onProgress(snapshotProgress(cores, targetInsts))
+				report()
 			}
 		}
 		running := false
@@ -339,7 +422,7 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 		}
 	}
 	if onProgress != nil {
-		onProgress(snapshotProgress(cores, targetInsts))
+		report()
 	}
 	loopSpan.End()
 	collectSpan := tr.StartSpan("run.collect")
@@ -412,8 +495,11 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 		SBEntries:      spec.SQSize,
 	})
 	res.TD = topdown.Analyze(&res.CPU)
-	// Everything the caller gets is copied into res; hand the hierarchy's
-	// large arrays back to the pools for the next run.
+	// Everything the caller gets is copied into res; hand the cores' and the
+	// hierarchy's large arrays back to the pools for the next run.
+	for _, c := range cores {
+		c.Release()
+	}
 	sys.Release()
 	collectSpan.End()
 	return res, nil
@@ -428,6 +514,19 @@ type Runner struct {
 	// runs counts actual simulations executed (not cache or singleflight
 	// hits); the duplicate-suppression test reads it.
 	runs atomic.Uint64
+
+	// Warm-start fork engine (DESIGN.md §12): specs that agree on their
+	// warmup-equivalent projection share one functionally-warmed snapshot,
+	// from which each member's detailed run is forked.
+	warmStart    bool
+	warmMu       sync.Mutex
+	warmCache    map[warmKey]*warmState
+	warmInflight map[warmKey]*warmCall
+
+	warmGroups     atomic.Uint64 // warmups actually simulated
+	warmForks      atomic.Uint64 // detailed runs forked from a snapshot
+	warmInstsSaved atomic.Uint64 // warmup instructions elided by sharing
+	instsSimulated atomic.Uint64 // instructions simulated (warm + detailed)
 }
 
 // runCall is one in-flight simulation other callers of the same spec wait on
@@ -438,11 +537,61 @@ type runCall struct {
 	err  error
 }
 
-// NewRunner returns an empty runner.
+// NewRunner returns an empty runner. Warm-start forking defaults to on;
+// SPB_WARMSTART=0 in the environment disables it (escape hatch), as does
+// SetWarmStart(false).
 func NewRunner() *Runner {
 	return &Runner{
-		cache:    make(map[RunSpec]Result),
-		inflight: make(map[RunSpec]*runCall),
+		cache:        make(map[RunSpec]Result),
+		inflight:     make(map[RunSpec]*runCall),
+		warmStart:    os.Getenv("SPB_WARMSTART") != "0",
+		warmCache:    make(map[warmKey]*warmState),
+		warmInflight: make(map[warmKey]*warmCall),
+	}
+}
+
+// SetWarmStart enables or disables warm-start forking. Off, every spec
+// simulates its own warmup prefix in place; results are byte-identical
+// either way (the equivalence suite enforces this).
+func (r *Runner) SetWarmStart(on bool) {
+	r.warmMu.Lock()
+	r.warmStart = on
+	r.warmMu.Unlock()
+}
+
+// WarmStart reports whether warm-start forking is enabled.
+func (r *Runner) WarmStart() bool {
+	r.warmMu.Lock()
+	defer r.warmMu.Unlock()
+	return r.warmStart
+}
+
+// RunnerStats is a point-in-time view of a runner's execution counters.
+type RunnerStats struct {
+	// Runs counts detailed simulations executed (= Runs()).
+	Runs uint64
+	// WarmGroups counts warmup groups actually simulated: with warm-start
+	// on, each warmup-equivalence group is simulated exactly once.
+	WarmGroups uint64
+	// WarmForks counts detailed runs forked from a warm snapshot.
+	WarmForks uint64
+	// WarmInstsSaved counts warmup instructions that were never simulated
+	// because a group's snapshot was shared ((forks-1) × warmup × cores
+	// per group).
+	WarmInstsSaved uint64
+	// InstsSimulated counts instructions actually simulated — functional
+	// warming plus detailed intervals.
+	InstsSimulated uint64
+}
+
+// SimStats returns the runner's execution counters.
+func (r *Runner) SimStats() RunnerStats {
+	return RunnerStats{
+		Runs:           r.runs.Load(),
+		WarmGroups:     r.warmGroups.Load(),
+		WarmForks:      r.warmForks.Load(),
+		WarmInstsSaved: r.warmInstsSaved.Load(),
+		InstsSimulated: r.instsSimulated.Load(),
 	}
 }
 
@@ -503,7 +652,7 @@ func (r *Runner) GetCtx(ctx context.Context, spec RunSpec, onProgress func(Progr
 	r.mu.Unlock()
 
 	r.runs.Add(1)
-	call.res, call.err = RunCtx(ctx, spec, onProgress)
+	call.res, call.err = r.execute(ctx, spec, onProgress)
 
 	r.mu.Lock()
 	if call.err == nil {
@@ -525,16 +674,17 @@ func (r *Runner) GetAll(specs []RunSpec) ([]Result, error) {
 	return r.GetAllCtx(context.Background(), specs)
 }
 
-// lptOrder returns spec indices sorted by descending CostEstimate (ties keep
-// submission order). Dispatching the longest points first keeps a sweep's
-// makespan from being set by an 8-core PARSEC or ideal-SB straggler that a
-// naive ordering hands to a worker last.
-func lptOrder(specs []RunSpec) []int {
+// lptOrder returns spec indices sorted by descending CostEstimateAt (ties
+// keep submission order). Dispatching the longest points first keeps a
+// sweep's makespan from being set by an 8-core PARSEC or ideal-SB straggler
+// that a naive ordering hands to a worker last. warmStart tells the estimate
+// whether shared snapshots will elide each spec's warmup prefix.
+func lptOrder(specs []RunSpec, warmStart bool) []int {
 	order := make([]int, len(specs))
 	costs := make([]uint64, len(specs))
 	for i, s := range specs {
 		order[i] = i
-		costs[i] = s.CostEstimate()
+		costs[i] = s.CostEstimateAt(warmStart)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return costs[order[a]] > costs[order[b]]
@@ -554,7 +704,7 @@ func lptOrder(specs []RunSpec) []int {
 // up front.
 func (r *Runner) GetAllCtx(ctx context.Context, specs []RunSpec) ([]Result, error) {
 	results := make([]Result, len(specs))
-	order := lptOrder(specs)
+	order := lptOrder(specs, r.WarmStart())
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(specs) {
 		workers = len(specs)

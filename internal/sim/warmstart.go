@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"context"
+	"sync/atomic"
+
+	"spb/internal/bpred"
+	"spb/internal/memsys"
+	"spb/internal/obs"
+	"spb/internal/tlb"
+	"spb/internal/trace"
+)
+
+// Warm-start fork engine (DESIGN.md §12).
+//
+// The warmed architectural state — cache tags and LRU clocks, coherence
+// directory, TLB entries, branch-predictor tables, trace cursors — depends
+// only on the instruction stream and the machine geometry, never on the
+// store-buffer size, drain policy or prefetcher knobs a sweep varies (those
+// units are inert during functional warming). So every spec in a sweep that
+// agrees on the warmup-equivalent projection (warmKey) can share one warmup:
+// the Runner simulates it once against a core-less machine, snapshots it,
+// and forks each member's detailed run from the snapshot. With warm-start
+// off, RunCtx performs the identical functional warm in place per spec, so
+// the two modes produce byte-identical statistics; only wall-clock differs.
+
+// warm replays n instructions per core (round-robin, one instruction per
+// core per round, matching in-order multi-core interleaving) against the
+// memory system, TLBs and branch predictors. No statistics are touched. A
+// bps entry may be nil (predictor not modelled). Readers that run dry are
+// skipped; synthetic workload programs never do.
+func warm(ctx context.Context, sys *memsys.System, dtlbs []*tlb.TLB, bps []*bpred.Predictor, readers []trace.Reader, n uint64) error {
+	done := ctx.Done()
+	var in trace.Inst
+	for k := uint64(0); k < n; k++ {
+		if done != nil && k%progressEvery == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		for i, rd := range readers {
+			if !rd.Next(&in) {
+				continue
+			}
+			switch in.Kind {
+			case trace.KindLoad:
+				dtlbs[i].Warm(in.Addr)
+				sys.Port(i).WarmLoad(in.Addr)
+			case trace.KindStore:
+				dtlbs[i].Warm(in.Addr)
+				sys.Port(i).WarmStore(in.Addr)
+			case trace.KindBranch:
+				if bps[i] != nil {
+					bps[i].Warm(in.PC, in.Taken)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// warmKey is the warmup-equivalent projection of a RunSpec: everything that
+// shapes the functionally-warmed state, and nothing else. Policy, SQ size,
+// prefetcher and SPB knobs are deliberately absent — the units they
+// configure are untouched by warming.
+type warmKey struct {
+	workload string
+	coreName string
+	cores    int
+	seed     uint64
+	warmup   uint64
+	bpred    bool
+}
+
+func warmKeyOf(spec RunSpec) warmKey {
+	return warmKey{
+		workload: spec.Workload,
+		coreName: spec.CoreName,
+		cores:    spec.Cores,
+		seed:     spec.Seed,
+		warmup:   spec.WarmupInsts,
+		bpred:    spec.ModelBranchPredictor,
+	}
+}
+
+// warmState is one group's shared warmed snapshot. It is immutable once
+// published: forks only read it (ClonePrograms copies the cursors, Restore
+// copies the arrays), so any number of forks may run concurrently.
+type warmState struct {
+	sys   *memsys.SystemSnapshot
+	dtlbs []*tlb.Snapshot
+	bps   []*bpred.Snapshot // nil entries when the predictor is not modelled
+	progs []*trace.Program  // warmed master cursors; cloned per fork
+	forks atomic.Uint64
+}
+
+// warmCall is one in-flight warmup other members of the same group wait on.
+type warmCall struct {
+	done chan struct{}
+	ws   *warmState
+	err  error
+}
+
+// execute runs one normalized spec, forking from the group's shared warm
+// snapshot when warm-start is enabled. Falls back to the plain in-place path
+// (RunCtx) when warm-start is off, the spec has no warmup, or the workload's
+// readers cannot be snapshotted.
+func (r *Runner) execute(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Result, error) {
+	if spec.WarmupInsts > 0 && r.WarmStart() {
+		ws, err := r.warmFor(ctx, spec)
+		if err != nil {
+			return Result{}, err
+		}
+		if ws != nil {
+			res, err := r.runForked(ctx, spec, ws, onProgress)
+			if err == nil {
+				r.instsSimulated.Add(res.CPU.Committed)
+			}
+			return res, err
+		}
+		// ws == nil: readers are not forkable; warm in place below.
+	}
+	res, err := RunCtx(ctx, spec, onProgress)
+	if err == nil {
+		r.instsSimulated.Add(res.CPU.Committed + spec.WarmupInsts*uint64(spec.Cores))
+	}
+	return res, err
+}
+
+// warmFor returns the shared warm state for spec's group, simulating the
+// warmup if this is the group's first member (per-group singleflight: later
+// members wait, under their own ctx, rather than re-warming). A (nil, nil)
+// return means the group cannot be warm-started and the caller must fall
+// back to the in-place path.
+func (r *Runner) warmFor(ctx context.Context, spec RunSpec) (*warmState, error) {
+	key := warmKeyOf(spec)
+	r.warmMu.Lock()
+	if ws, ok := r.warmCache[key]; ok {
+		r.warmMu.Unlock()
+		return ws, nil
+	}
+	if call, ok := r.warmInflight[key]; ok {
+		r.warmMu.Unlock()
+		select {
+		case <-call.done:
+			return call.ws, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &warmCall{done: make(chan struct{})}
+	r.warmInflight[key] = call
+	r.warmMu.Unlock()
+
+	call.ws, call.err = r.buildWarmState(ctx, spec)
+
+	r.warmMu.Lock()
+	if call.err == nil {
+		// Cache nil too: a group known to be un-forkable should not retry
+		// the type assertions on every member.
+		r.warmCache[key] = call.ws
+	}
+	delete(r.warmInflight, key)
+	r.warmMu.Unlock()
+	close(call.done)
+	return call.ws, call.err
+}
+
+// buildWarmState simulates one group's warmup against a core-less machine —
+// functional warming never touches a core pipeline, so none is built — and
+// snapshots everything a fork needs. Returns (nil, nil) if the workload's
+// readers are not trace.Programs (nothing in-tree builds such a workload,
+// but the fallback keeps hypothetical ones correct).
+func (r *Runner) buildWarmState(ctx context.Context, spec RunSpec) (*warmState, error) {
+	machine, err := spec.machineConfig()
+	if err != nil {
+		return nil, err
+	}
+	readers, err := buildReaders(spec)
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]*trace.Program, len(readers))
+	for i, rd := range readers {
+		p, ok := rd.(*trace.Program)
+		if !ok {
+			return nil, nil
+		}
+		progs[i] = p
+	}
+
+	sys := memsys.New(machine, spec.Cores)
+	dtlbs := make([]*tlb.TLB, spec.Cores)
+	bps := make([]*bpred.Predictor, spec.Cores)
+	for i := range dtlbs {
+		dtlbs[i] = tlb.New(tlb.Config{
+			Entries: machine.TLB.Entries,
+			Ways:    machine.TLB.Ways,
+			WalkLat: machine.TLB.WalkLat,
+		})
+		if spec.ModelBranchPredictor {
+			bps[i] = bpred.New(bpred.TableI())
+		}
+	}
+	if err := warm(ctx, sys, dtlbs, bps, readers, spec.WarmupInsts); err != nil {
+		sys.Release()
+		return nil, err
+	}
+
+	ws := &warmState{
+		sys:   sys.Snapshot(),
+		dtlbs: make([]*tlb.Snapshot, spec.Cores),
+		bps:   make([]*bpred.Snapshot, spec.Cores),
+		progs: progs,
+	}
+	for i := range dtlbs {
+		ws.dtlbs[i] = dtlbs[i].Snapshot()
+		dtlbs[i].Release()
+		if bps[i] != nil {
+			ws.bps[i] = bps[i].Snapshot()
+			bps[i].Release()
+		}
+	}
+	sys.Release()
+
+	r.warmGroups.Add(1)
+	r.instsSimulated.Add(spec.WarmupInsts * uint64(spec.Cores))
+	return ws, nil
+}
+
+// runForked builds a fresh machine for spec and restores the group's warmed
+// snapshot into it — memory system, TLBs, branch predictors, and cloned
+// trace cursors — then runs the detailed interval. The cores themselves are
+// fresh in both modes (warming never touches a pipeline), so a fork is
+// indistinguishable from an in-place warm-then-run.
+func (r *Runner) runForked(ctx context.Context, spec RunSpec, ws *warmState, onProgress func(Progress)) (Result, error) {
+	tr := obs.FromContext(ctx)
+	buildSpan := tr.StartSpan("run.build")
+	machine, err := spec.machineConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	progs := trace.ClonePrograms(ws.progs)
+	readers := make([]trace.Reader, len(progs))
+	for i, p := range progs {
+		readers[i] = p
+	}
+	sys := memsys.New(machine, spec.Cores)
+	sys.Restore(ws.sys)
+	cores := buildCores(spec, machine, sys, readers)
+	for i, c := range cores {
+		c.DTLB().Restore(ws.dtlbs[i])
+		if bp := c.BranchPredictor(); bp != nil {
+			bp.Restore(ws.bps[i])
+		}
+	}
+	buildSpan.End()
+
+	r.warmForks.Add(1)
+	if ws.forks.Add(1) > 1 {
+		// Every fork after the group's first rides a warmup that off-mode
+		// would have re-simulated.
+		r.warmInstsSaved.Add(spec.WarmupInsts * uint64(spec.Cores))
+	}
+	return runDetailed(ctx, tr, spec, sys, cores, onProgress)
+}

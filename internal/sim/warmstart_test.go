@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/workloads"
+)
+
+// fig5QuickGrid reproduces the shape of the figures package's Fig. 5 sweep at
+// Quick scale — every SB-bound SPEC workload × SB size × policy, plus the
+// ideal normalization run per size — with a warmup prefix attached, at a
+// reduced instruction budget so the double (warm-start on and off) execution
+// stays test-sized.
+func fig5QuickGrid(warmup, insts uint64) []RunSpec {
+	var specs []RunSpec
+	mk := func(w string, p core.Policy, sq int) RunSpec {
+		return RunSpec{
+			Workload: w, Policy: p, SQSize: sq,
+			Prefetcher: config.PrefetchStream,
+			Insts:      insts, WarmupInsts: warmup,
+		}
+	}
+	for _, w := range workloads.SBBoundSPEC() {
+		for _, sq := range config.StandardSQSizes {
+			for _, p := range []core.Policy{core.PolicyAtExecute, core.PolicyAtCommit, core.PolicySPB} {
+				specs = append(specs, mk(w.Name, p, sq))
+			}
+			specs = append(specs, mk(w.Name, core.PolicyIdeal, sq))
+		}
+	}
+	return specs
+}
+
+// TestWarmStartEquivalenceFig5Grid is the tentpole invariant: across the full
+// Fig. 5 (quick) grid, the canonical stats JSON of every point is
+// byte-identical whether its warmup was forked from a shared snapshot or
+// simulated in place. It also proves the accounting claim — each
+// warmup-equivalence group (here: one per workload) is simulated exactly
+// once, with every grid point forked from it.
+func TestWarmStartEquivalenceFig5Grid(t *testing.T) {
+	const (
+		warmup = 60_000
+		insts  = 25_000
+	)
+	specs := fig5QuickGrid(warmup, insts)
+
+	on := NewRunner()
+	on.SetWarmStart(true)
+	off := NewRunner()
+	off.SetWarmStart(false)
+
+	resOn, err := on.GetAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOff, err := off.GetAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		jOn, err := resOn[i].StatsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jOff, err := resOff[i].StatsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jOn, jOff) {
+			t.Errorf("%s/%v/SB%d: stats JSON diverges between warm-start on and off\non:  %s\noff: %s",
+				specs[i].Workload, specs[i].Policy, specs[i].SQSize, jOn, jOff)
+		}
+	}
+
+	groups := uint64(len(workloads.SBBoundSPEC()))
+	points := uint64(len(specs))
+	perGroup := points / groups
+	st := on.SimStats()
+	if st.WarmGroups != groups {
+		t.Errorf("WarmGroups = %d, want %d (one warmup per workload, simulated exactly once)", st.WarmGroups, groups)
+	}
+	if st.WarmForks != points {
+		t.Errorf("WarmForks = %d, want %d (every grid point forked)", st.WarmForks, points)
+	}
+	if got := on.Runs(); got != points {
+		t.Errorf("Runs() = %d, want %d", got, points)
+	}
+	wantSaved := groups * (perGroup - 1) * warmup
+	if st.WarmInstsSaved != wantSaved {
+		t.Errorf("WarmInstsSaved = %d, want %d", st.WarmInstsSaved, wantSaved)
+	}
+	wantOn := groups*warmup + points*insts
+	if st.InstsSimulated != wantOn {
+		t.Errorf("on: InstsSimulated = %d, want %d", st.InstsSimulated, wantOn)
+	}
+	offSt := off.SimStats()
+	if offSt.WarmGroups != 0 || offSt.WarmForks != 0 || offSt.WarmInstsSaved != 0 {
+		t.Errorf("off-mode runner reported warm-start activity: %+v", offSt)
+	}
+	if want := points * (warmup + insts); offSt.InstsSimulated != want {
+		t.Errorf("off: InstsSimulated = %d, want %d", offSt.InstsSimulated, want)
+	}
+}
+
+// assertWarmEquivalent runs spec through a warm-start-on runner and a
+// warm-start-off runner and requires bit-identical results.
+func assertWarmEquivalent(t *testing.T, spec RunSpec) {
+	t.Helper()
+	on := NewRunner()
+	on.SetWarmStart(true)
+	off := NewRunner()
+	off.SetWarmStart(false)
+	a, err := on.Get(spec)
+	if err != nil {
+		t.Fatalf("%+v (warm-start): %v", spec, err)
+	}
+	b, err := off.Get(spec)
+	if err != nil {
+		t.Fatalf("%+v (in-place): %v", spec, err)
+	}
+	if !reflect.DeepEqual(a.CPU, b.CPU) {
+		t.Errorf("%s/%v: CPU stats diverge\nfork:     %+v\nin-place: %+v",
+			spec.Workload, spec.Policy, a.CPU, b.CPU)
+	}
+	if !reflect.DeepEqual(a.Mem, b.Mem) {
+		t.Errorf("%s/%v: memory stats diverge\nfork:     %+v\nin-place: %+v",
+			spec.Workload, spec.Policy, a.Mem, b.Mem)
+	}
+	if !reflect.DeepEqual(a.Energy, b.Energy) {
+		t.Errorf("%s/%v: energy diverges", spec.Workload, spec.Policy)
+	}
+	if !reflect.DeepEqual(a.TD, b.TD) {
+		t.Errorf("%s/%v: top-down diverges", spec.Workload, spec.Policy)
+	}
+	if on.SimStats().WarmForks != 1 {
+		t.Errorf("%s/%v: expected exactly one fork, got %+v", spec.Workload, spec.Policy, on.SimStats())
+	}
+}
+
+// TestWarmStartEquivalenceVariants covers the knobs that exercise distinct
+// snapshotted state: multi-core coherence (directory, invalidations), the
+// modelled branch predictor, the coalescing-SB ablation, alternative cores,
+// the adaptive prefetcher (feedback counters), and the reference loop.
+func TestWarmStartEquivalenceVariants(t *testing.T) {
+	assertWarmEquivalent(t, RunSpec{
+		Workload: "dedup", Cores: 4, Policy: core.PolicySPB, SQSize: 14,
+		Insts: 4000, WarmupInsts: 10_000, Prefetcher: config.PrefetchStream,
+	})
+	assertWarmEquivalent(t, RunSpec{
+		Workload: "canneal", Cores: 8, Policy: core.PolicyAtCommit, SQSize: 14,
+		Insts: 3000, WarmupInsts: 8000,
+	})
+	assertWarmEquivalent(t, RunSpec{
+		Workload: "deepsjeng", Policy: core.PolicyAtCommit, SQSize: 14,
+		Insts: 10_000, WarmupInsts: 30_000, ModelBranchPredictor: true,
+	})
+	assertWarmEquivalent(t, RunSpec{
+		Workload: "cam4", Policy: core.PolicySPB, SQSize: 14,
+		Insts: 8000, WarmupInsts: 20_000, CoalesceSB: true, DisableFastForward: true,
+	})
+	assertWarmEquivalent(t, RunSpec{
+		Workload: "x264", CoreName: "SLM", Policy: core.PolicySPB, SQSize: 16,
+		Insts: 8000, WarmupInsts: 20_000, Prefetcher: config.PrefetchAdaptive,
+	})
+	assertWarmEquivalent(t, RunSpec{
+		Workload: "mcf", Policy: core.PolicyIdeal, SQSize: 56,
+		Insts: 8000, WarmupInsts: 20_000, BackwardBursts: true, CrossPageBursts: true,
+	})
+}
+
+// TestWarmStartGroupSharingAcrossKnobs pins the warmup-equivalence key: specs
+// differing only in knobs that are inert during functional warming (policy,
+// SB size, prefetcher, SPB window, fast-forward mode) share one group, while
+// specs differing in warm-relevant fields (seed, workload, warmup length,
+// predictor modelling) do not.
+func TestWarmStartGroupSharingAcrossKnobs(t *testing.T) {
+	r := NewRunner()
+	r.SetWarmStart(true)
+	base := RunSpec{
+		Workload: "bwaves", Policy: core.PolicyAtCommit, SQSize: 56,
+		Insts: 2000, WarmupInsts: 5000,
+	}
+	variants := []RunSpec{base}
+	v := base
+	v.Policy = core.PolicySPB
+	v.SQSize = 14
+	variants = append(variants, v)
+	v = base
+	v.Prefetcher = config.PrefetchAdaptive
+	v.WindowN = 16
+	variants = append(variants, v)
+	v = base
+	v.DisableFastForward = true
+	v.Policy = core.PolicyIdeal
+	variants = append(variants, v)
+	if _, err := r.GetAll(variants); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.SimStats(); st.WarmGroups != 1 || st.WarmForks != 4 {
+		t.Fatalf("warm-inert knobs must share one group: %+v", st)
+	}
+
+	splitters := []RunSpec{base, base, base, base}
+	splitters[1].Seed = 2
+	splitters[2].WarmupInsts = 6000
+	splitters[3].ModelBranchPredictor = true
+	r2 := NewRunner()
+	r2.SetWarmStart(true)
+	if _, err := r2.GetAll(splitters); err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.SimStats(); st.WarmGroups != 4 {
+		t.Fatalf("warm-relevant fields must split groups: %+v", st)
+	}
+}
+
+// FuzzWarmSnapshotAliasing forks a machine from a warmed snapshot, runs the
+// fork to completion — mutating its caches, directory, store buffer, TLB,
+// predictor and DRAM state — and requires the parent snapshot to be
+// bit-identical to an independently built twin. Any aliasing between a fork
+// and its snapshot (a shared slice, a copied pointer) shows up as the run
+// mutating the parent.
+func FuzzWarmSnapshotAliasing(f *testing.F) {
+	f.Add(uint64(1), uint32(5000), uint32(3000), uint8(0))
+	f.Add(uint64(7), uint32(9000), uint32(2000), uint8(1))
+	f.Add(uint64(3), uint32(7000), uint32(2500), uint8(2))
+	f.Add(uint64(5), uint32(6000), uint32(2000), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, warm, insts uint32, variant uint8) {
+		spec := RunSpec{
+			Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14,
+			Prefetcher:  config.PrefetchStream,
+			Insts:       uint64(insts%8000) + 1000,
+			WarmupInsts: uint64(warm%20000) + 1000,
+			Seed:        seed%16 + 1,
+		}
+		if variant&1 != 0 {
+			spec.ModelBranchPredictor = true
+		}
+		if variant&2 != 0 {
+			spec.Workload = "dedup"
+			spec.Cores = 2
+		}
+		spec = spec.normalize()
+
+		r := NewRunner()
+		ctx := context.Background()
+		parent, err := r.buildWarmState(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin, err := r.buildWarmState(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.runForked(ctx, spec, parent, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parent.sys, twin.sys) {
+			t.Error("running a fork mutated the parent memory-system snapshot")
+		}
+		if !reflect.DeepEqual(parent.dtlbs, twin.dtlbs) {
+			t.Error("running a fork mutated the parent TLB snapshots")
+		}
+		if !reflect.DeepEqual(parent.bps, twin.bps) {
+			t.Error("running a fork mutated the parent predictor snapshots")
+		}
+		if !reflect.DeepEqual(parent.progs, twin.progs) {
+			t.Error("running a fork mutated the parent trace cursors")
+		}
+	})
+}
+
+// FuzzNormalizeIdempotent pins the normalization contract external caches
+// rely on: Normalized is idempotent, so a spec normalizes to the same point
+// no matter how many cache tiers have already normalized it.
+func FuzzNormalizeIdempotent(f *testing.F) {
+	f.Add("bwaves", uint8(3), uint8(1), uint16(56), uint16(48), uint64(200_000), uint64(0), uint64(1), uint8(0))
+	f.Add("", uint8(0), uint8(0), uint16(0), uint16(0), uint64(0), uint64(0), uint64(0), uint8(0))
+	f.Add("dedup", uint8(4), uint8(8), uint16(14), uint16(16), uint64(5), uint64(1_000_000), uint64(42), uint8(0x3f))
+	f.Fuzz(func(t *testing.T, workload string, policy, cores uint8, sq, windowN uint16, insts, warmup, seed uint64, flags uint8) {
+		s := RunSpec{
+			Workload:             workload,
+			Policy:               core.Policy(policy % 5),
+			SQSize:               int(sq),
+			CoreName:             "",
+			Cores:                int(cores),
+			Insts:                insts,
+			WarmupInsts:          warmup,
+			WindowN:              int(windowN),
+			Seed:                 seed,
+			DynamicSPB:           flags&1 != 0,
+			CoalesceSB:           flags&2 != 0,
+			BackwardBursts:       flags&4 != 0,
+			CrossPageBursts:      flags&8 != 0,
+			ModelBranchPredictor: flags&16 != 0,
+			DisableFastForward:   flags&32 != 0,
+		}
+		n1 := s.Normalized()
+		n2 := n1.Normalized()
+		if n1 != n2 {
+			t.Fatalf("Normalized not idempotent:\nonce:  %+v\ntwice: %+v", n1, n2)
+		}
+		if n1.Cores == 0 || n1.Insts == 0 || n1.WindowN == 0 || n1.Seed == 0 {
+			t.Fatalf("Normalized left a defaulted field zero: %+v", n1)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package storebuf
+
+import "sync"
+
+// Warm-start support (DESIGN.md §12): deep snapshot/restore of the store
+// buffer and a pool for the entry ring so repeated Runner invocations stop
+// allocating it.
+
+// Snapshot is a deep copy of a store buffer's mutable state.
+type Snapshot struct {
+	entries  []Entry
+	headSeq  uint64
+	tailSeq  uint64
+	seniors  int
+	maxOcc   int
+	merged   uint64
+	blockCnt [sbFilterSize]uint16
+}
+
+// Snapshot deep-copies the store buffer's mutable state.
+func (sb *StoreBuffer) Snapshot() *Snapshot {
+	return &Snapshot{
+		entries:  append([]Entry(nil), sb.entries...),
+		headSeq:  sb.headSeq,
+		tailSeq:  sb.tailSeq,
+		seniors:  sb.seniors,
+		maxOcc:   sb.MaxOccupancy,
+		merged:   sb.Coalesced,
+		blockCnt: sb.blockCnt,
+	}
+}
+
+// Restore overwrites the store buffer's mutable state with the snapshot's.
+// The buffer must have the capacity of the snapshot's source.
+func (sb *StoreBuffer) Restore(s *Snapshot) {
+	if len(sb.entries) != len(s.entries) {
+		panic("storebuf: Restore with mismatched capacity")
+	}
+	copy(sb.entries, s.entries)
+	sb.headSeq = s.headSeq
+	sb.tailSeq = s.tailSeq
+	sb.seniors = s.seniors
+	sb.MaxOccupancy = s.maxOcc
+	sb.Coalesced = s.merged
+	sb.blockCnt = s.blockCnt
+}
+
+var ringPools sync.Map // capacity -> *sync.Pool of []Entry
+
+func ringPoolFor(n int) *sync.Pool {
+	if p, ok := ringPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := ringPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// newRing returns an entry ring of the given capacity, reusing a released
+// one when available. Ring slots are written before they are ever read
+// (only seqs in [headSeq, tailSeq) are consulted), so no zeroing is needed.
+func newRing(n int) []Entry {
+	if v := ringPoolFor(n).Get(); v != nil {
+		return v.([]Entry)
+	}
+	return make([]Entry, n)
+}
+
+// Release returns the entry ring to the capacity's shared pool. The buffer
+// must not be used afterwards; skipping Release is always safe.
+func (sb *StoreBuffer) Release() {
+	if sb.entries == nil {
+		return
+	}
+	ringPoolFor(len(sb.entries)).Put(sb.entries)
+	sb.entries = nil
+}

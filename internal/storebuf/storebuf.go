@@ -93,7 +93,7 @@ func New(capacity int) *StoreBuffer {
 		panic("storebuf: capacity must be positive")
 	}
 	return &StoreBuffer{
-		entries:  make([]Entry, capacity),
+		entries:  newRing(capacity),
 		capacity: capacity,
 	}
 }

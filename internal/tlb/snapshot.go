@@ -1,0 +1,100 @@
+package tlb
+
+import (
+	"sync"
+
+	"spb/internal/mem"
+)
+
+// Warm-start support (DESIGN.md §12): counter-free functional warming, deep
+// snapshot/restore, and a pool for the entry array so repeated Runner
+// invocations stop allocating it.
+
+// Warm replays a translation for functional warming: identical LRU and fill
+// effects to Translate, but no latency result and no statistics counters.
+func (t *TLB) Warm(a mem.Addr) {
+	p := mem.PageOf(a)
+	set := t.set(p)
+	t.clock++
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.page == p {
+			e.lastUse = t.clock
+			return
+		}
+	}
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	set[vi] = entry{page: p, lastUse: t.clock, valid: true}
+}
+
+// Snapshot is a deep copy of a TLB's mutable state.
+type Snapshot struct {
+	entries []entry
+	clock   uint64
+	hits    uint64
+	misses  uint64
+}
+
+// Snapshot deep-copies the TLB's mutable state.
+func (t *TLB) Snapshot() *Snapshot {
+	return &Snapshot{
+		entries: append([]entry(nil), t.entries...),
+		clock:   t.clock,
+		hits:    t.Hits,
+		misses:  t.Misses,
+	}
+}
+
+// Restore overwrites the TLB's mutable state with the snapshot's. The TLB
+// must have the same geometry as the snapshot's source.
+func (t *TLB) Restore(s *Snapshot) {
+	if len(t.entries) != len(s.entries) {
+		panic("tlb: Restore with mismatched geometry")
+	}
+	copy(t.entries, s.entries)
+	t.clock = s.clock
+	t.Hits = s.hits
+	t.Misses = s.misses
+}
+
+var entryPools sync.Map // entry count -> *sync.Pool of []entry
+
+func entryPoolFor(n int) *sync.Pool {
+	if p, ok := entryPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := entryPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// newEntries returns a zeroed entry array of length n, reusing a released one
+// of the same geometry when available.
+func newEntries(n int) []entry {
+	if v := entryPoolFor(n).Get(); v != nil {
+		ents := v.([]entry)
+		for i := range ents {
+			ents[i] = entry{}
+		}
+		return ents
+	}
+	return make([]entry, n)
+}
+
+// Release returns the entry array to the geometry's shared pool. The TLB
+// must not be used afterwards; skipping Release is always safe.
+func (t *TLB) Release() {
+	if t.entries == nil {
+		return
+	}
+	entryPoolFor(len(t.entries)).Put(t.entries)
+	t.entries = nil
+}

@@ -57,7 +57,7 @@ func New(cfg Config) *TLB {
 	return &TLB{
 		sets:    sets,
 		ways:    cfg.Ways,
-		entries: make([]entry, cfg.Entries),
+		entries: newEntries(cfg.Entries),
 		walkLat: uint64(cfg.WalkLat),
 	}
 }

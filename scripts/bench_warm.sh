@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench_warm.sh — record the warm-start speedup in BENCH_warm.json.
+#
+# Runs one warmed sweep (warmup >= 50% of each point's total work) twice:
+# with the snapshot/fork engine on (default) and off (-warm-start=false,
+# every point simulates its own warmup in place). Results are byte-identical
+# either way (the equivalence suite proves it); this script measures the
+# wall-clock difference. Wall time on a shared box is noisy, so each mode
+# takes the minimum of N runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-3}"
+OUT="${OUT:-BENCH_warm.json}"
+# The sweep: every SB-bound workload x 3 SB sizes x 3 policies, with a
+# warmup prefix 40x the measured interval — the SMARTS-style regime where
+# warmup dominates. 9 points per workload share one warmup group.
+SWEEP_ARGS="-suite sbbound -sb 14,28,56 -policies at-commit,spb,ideal -insts 5000 -warmup 200000"
+
+echo "== building spbsweep =="
+go build -o /tmp/spbsweep_bench ./cmd/spbsweep
+
+measure() { # $1 = extra flags; echoes min wall ms; stderr kept in a file
+    MIN_MS=""
+    for i in $(seq 1 "$RUNS"); do
+        S="$(date +%s%N)"
+        /tmp/spbsweep_bench $SWEEP_ARGS $1 >/dev/null 2>/tmp/spbsweep_warm.err
+        E="$(date +%s%N)"
+        MS=$(( (E - S) / 1000000 ))
+        echo "  run $i: ${MS}ms" >&2
+        if [ -z "$MIN_MS" ] || [ "$MS" -lt "$MIN_MS" ]; then MIN_MS="$MS"; fi
+    done
+    echo "$MIN_MS"
+}
+
+echo "== warm-start ON (snapshot/fork), min of $RUNS runs =="
+ON_MS="$(measure "-warm-start=true")"
+ON_STATS="$(grep 'warmstart:' /tmp/spbsweep_warm.err || true)"
+echo "  min: ${ON_MS}ms   $ON_STATS"
+
+echo "== warm-start OFF (in-place warmup per point), min of $RUNS runs =="
+OFF_MS="$(measure "-warm-start=false")"
+OFF_STATS="$(grep 'warmstart:' /tmp/spbsweep_warm.err || true)"
+echo "  min: ${OFF_MS}ms   $OFF_STATS"
+
+# Pull groups/forks/insts_saved/insts out of the runner's stderr accounting:
+#   spbsweep: warmstart: groups=G forks=F insts_saved=S insts=I
+field() { echo "$2" | tr ' ' '\n' | awk -F= -v k="$1" '$1 == k { print $2 }'; }
+GROUPS="$(field groups "$ON_STATS")"
+FORKS="$(field forks "$ON_STATS")"
+SAVED="$(field insts_saved "$ON_STATS")"
+ON_INSTS="$(field insts "$ON_STATS")"
+OFF_INSTS="$(field insts "$OFF_STATS")"
+
+SPEEDUP="$(awk "BEGIN { printf \"%.2f\", $OFF_MS / $ON_MS }")"
+# Effective throughput counts the instructions the sweep *needed* (the
+# in-place total): eliding shared warmups raises effective MIPS without
+# simulating more.
+MIPS_ON="$(awk "BEGIN { printf \"%.2f\", ${OFF_INSTS:-0} / $ON_MS / 1000 }")"
+MIPS_OFF="$(awk "BEGIN { printf \"%.2f\", ${OFF_INSTS:-0} / $OFF_MS / 1000 }")"
+echo "== speedup: ${SPEEDUP}x (off ${OFF_MS}ms / on ${ON_MS}ms; effective ${MIPS_OFF} -> ${MIPS_ON} MIPS) =="
+
+cat > "$OUT" <<EOF
+{
+  "sweep": "$SWEEP_ARGS",
+  "runs_per_mode": $RUNS,
+  "warm_on_min_wall_ms": $ON_MS,
+  "warm_off_min_wall_ms": $OFF_MS,
+  "speedup": $SPEEDUP,
+  "warm_groups": ${GROUPS:-null},
+  "warm_forks": ${FORKS:-null},
+  "warm_insts_saved": ${SAVED:-null},
+  "insts_simulated_on": ${ON_INSTS:-null},
+  "insts_simulated_off": ${OFF_INSTS:-null},
+  "effective_mips_on": $MIPS_ON,
+  "effective_mips_off": $MIPS_OFF
+}
+EOF
+echo "wrote $OUT"

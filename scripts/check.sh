@@ -12,8 +12,8 @@ echo "== go build =="
 go build ./...
 echo "== go test =="
 go test ./...
-echo "== go test -race (sim, figures, server, client, obs) =="
-go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/obs
+echo "== go test -race (sim, figures, server, client, obs, memsys, cpu, trace) =="
+go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/obs ./internal/memsys ./internal/cpu ./internal/trace
 echo "== serve-check (spbd end-to-end smoke) =="
 sh scripts/serve_check.sh
 echo "== chaos-check (fault injection + self-healing) =="
