@@ -1,4 +1,4 @@
-.PHONY: check bench bench-sweep bench-warm test build serve-check chaos
+.PHONY: check bench bench-sweep bench-warm bench-cluster test build serve-check chaos cluster-check
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -20,6 +20,11 @@ bench-sweep:
 bench-warm:
 	sh scripts/bench_warm.sh
 
+# Record the cluster baseline (work-stealing makespan on a skewed load,
+# weighted-fair tenant completion shares) into BENCH_cluster.json.
+bench-cluster:
+	sh scripts/bench_cluster.sh
+
 # End-to-end smoke of the spbd service: build, start on a random port,
 # verify cold-run stats match spbsim -json, cache hit on repeat, cancel,
 # /healthz + /metrics, SIGTERM drain.
@@ -31,6 +36,13 @@ serve-check:
 # corruption quarantine-and-heal, and SIGTERM drain of faulted daemons.
 chaos:
 	sh scripts/chaos_check.sh
+
+# Cluster gate: a real 3-node fleet — gossip convergence, peer cache
+# read-through, work stealing under skewed load, kill/rejoin with epoch
+# supersession, byte-identical cluster sweeps (incl. under a cluster fault
+# storm), and multi-tenant auth/quota/fairness.
+cluster-check:
+	sh scripts/cluster_check.sh
 
 test:
 	go test ./...

@@ -15,6 +15,13 @@
 //	GET  /healthz?ready=1    readiness (queue headroom, disk-tier state, drain)
 //	GET  /metrics            Prometheus text metrics (counters + phase latency histograms)
 //
+// With -cluster-join (or a bare -cluster-advertise) the daemon becomes a
+// cluster node: it gossips membership with its peers, serves its disk tier
+// to them (GET /v1/peer/results/{key}), lets idle peers steal its queued
+// jobs, and advertises itself at GET /v1/cluster/members so clients can
+// discover the fleet from any one seed. -tenants turns on multi-tenant
+// admission: API keys, weighted-fair scheduling, priority lanes, quotas.
+//
 // On SIGTERM/SIGINT the daemon drains: submissions get 503, queued and
 // running jobs finish and persist (bounded by -drain-timeout), then it
 // exits.
@@ -23,6 +30,12 @@
 //
 //	spbd -addr :7077 -cache-dir /var/cache/spbd &
 //	curl -s localhost:7077/v1/runs?wait=1 -d '{"workload":"bwaves","policy":"spb","sb":56}'
+//
+// Three-node cluster:
+//
+//	spbd -addr :7077 -cluster-advertise auto &
+//	spbd -addr :7078 -cluster-advertise auto -cluster-join localhost:7077 &
+//	spbd -addr :7079 -cluster-advertise auto -cluster-join localhost:7077 &
 package main
 
 import (
@@ -37,9 +50,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"spb/internal/cluster"
 	"spb/internal/faults"
 	"spb/internal/obs"
 	"spb/internal/prof"
@@ -61,6 +76,15 @@ func main() {
 		traceLog     = flag.String("trace-log", "", "append finished traces as NDJSON to this file (empty disables)")
 		warmStart    = flag.Bool("warm-start", true, "share each warmup-equivalence group's warmup via snapshot/fork (identical results either way; SPB_WARMSTART=0 also disables)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; port 0 picks a free port)")
+
+		clusterAdvertise = flag.String("cluster-advertise", "", "join the cluster advertising this base URL; \"auto\" advertises the bound listen address (empty = standalone)")
+		clusterJoin      = flag.String("cluster-join", "", "comma-separated seed peer URLs to gossip with")
+		clusterID        = flag.String("cluster-id", "", "stable node id (default: the advertised URL)")
+		gossipInterval   = flag.Duration("gossip-interval", 500*time.Millisecond, "membership gossip period")
+		clusterSteal     = flag.Bool("cluster-steal", true, "steal queued jobs from overloaded peers when idle")
+		stealTimeout     = flag.Duration("steal-timeout", 30*time.Second, "reclaim a stolen job if the thief stays silent this long")
+		peerRead         = flag.Bool("peer-read", true, "consult peer disk caches before simulating a miss")
+		tenantsSpec      = flag.String("tenants", os.Getenv("SPB_TENANTS"), "tenant spec 'name:key[:weight=N][:prio=high|normal|low][:quota=N];...' (default: $SPB_TENANTS; empty = single implicit tenant, no auth)")
 	)
 	flag.Parse()
 
@@ -94,6 +118,11 @@ func main() {
 		log.Printf("spbd: pprof on http://%s/debug/pprof/", dbg)
 	}
 
+	tenants, err := server.ParseTenants(*tenantsSpec)
+	if err != nil {
+		log.Fatalf("spbd: -tenants: %v", err)
+	}
+
 	srv, err := server.New(server.Config{
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
@@ -102,11 +131,15 @@ func main() {
 		SSEInterval: *sseInterval,
 		Faults:      injector,
 		Tracer:      tracer,
+		Tenants:     tenants,
 
 		DisableWarmStart: !*warmStart,
 	})
 	if err != nil {
 		log.Fatalf("spbd: %v", err)
+	}
+	if len(tenants) > 0 {
+		log.Printf("spbd: multi-tenant mode: %d tenants configured", len(tenants))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -117,6 +150,40 @@ func main() {
 	// scrape it.
 	fmt.Printf("spbd: listening on %s (workers %d, queue %d, cache %q)\n",
 		ln.Addr(), *workers, *queueDepth, *cacheDir)
+
+	// Cluster mode: the advertise URL must resolve after the listener is
+	// bound so "-cluster-advertise auto" works with port 0.
+	var node *cluster.Node
+	if *clusterAdvertise != "" || *clusterJoin != "" {
+		adv := *clusterAdvertise
+		if adv == "" || adv == "auto" {
+			adv = advertiseFor(ln.Addr())
+		}
+		var seeds []string
+		for _, s := range strings.Split(*clusterJoin, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		node, err = cluster.New(cluster.Config{
+			ID:              *clusterID,
+			Advertise:       adv,
+			Seeds:           seeds,
+			GossipInterval:  *gossipInterval,
+			DisableSteal:    !*clusterSteal,
+			StealTimeout:    *stealTimeout,
+			DisablePeerRead: !*peerRead,
+			Faults:          injector,
+			Logf:            log.Printf,
+		}, srv)
+		if err != nil {
+			log.Fatalf("spbd: cluster: %v", err)
+		}
+		srv.AttachCluster(node)
+		node.Start()
+		log.Printf("spbd: cluster node %s advertising %s (seeds %v, steal %v, peer-read %v)",
+			node.ID(), adv, seeds, *clusterSteal, *peerRead)
+	}
 
 	hs := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
@@ -131,6 +198,11 @@ func main() {
 		log.Fatalf("spbd: serve: %v", err)
 	}
 
+	// Leave the cluster first: stop gossiping/stealing so peers stop routing
+	// work here while the drain empties the queue.
+	if node != nil {
+		node.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
@@ -143,4 +215,19 @@ func main() {
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("spbd: http shutdown: %v", err)
 	}
+}
+
+// advertiseFor derives a peer-reachable base URL from the bound listen
+// address: a wildcard host (":7077", "0.0.0.0", "[::]") becomes localhost —
+// right for single-host fleets and CI; multi-host deployments should pass
+// an explicit -cluster-advertise.
+func advertiseFor(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "localhost"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

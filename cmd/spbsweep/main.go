@@ -71,6 +71,7 @@ func main() {
 		warmFork = flag.Bool("warm-start", true, "share each group's warmup via snapshot/fork (local runs; identical results either way)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		server   = flag.String("server", "", "comma-separated spbd base URLs; the sweep executes remotely via the sharded client pool")
+		discover = flag.Bool("cluster", false, "expand -server via the daemons' gossip membership: any one live node discovers the fleet")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -160,10 +161,20 @@ func main() {
 
 	var results []sim.Result
 	if *server != "" {
-		pool, err := client.NewPool(strings.Split(*server, ","), client.PoolOptions{})
+		seeds := strings.Split(*server, ",")
+		var pool *client.Pool
+		var err error
+		if *discover {
+			pool, err = client.NewClusterPool(ctx, seeds, client.PoolOptions{})
+		} else {
+			pool, err = client.NewPool(seeds, client.PoolOptions{})
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spbsweep:", err)
 			os.Exit(2)
+		}
+		if bs := pool.Backends(); *discover && len(bs) > len(seeds) {
+			fmt.Fprintf(os.Stderr, "spbsweep: cluster discovery: sweeping across %d backends\n", len(bs))
 		}
 		results, err = pool.GetAllCtx(ctx, specs)
 		if err != nil {

@@ -36,6 +36,7 @@ func main() {
 		warmStart  = flag.Bool("warm-start", true, "share each warmup-equivalence group's warmup via snapshot/fork (identical tables either way)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		server     = flag.String("server", "", "comma-separated spbd base URLs; sweeps execute remotely via the sharded client pool")
+		discover   = flag.Bool("cluster", false, "expand -server via the daemons' gossip membership: any one live node discovers the fleet")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -71,10 +72,20 @@ func main() {
 
 	var exec figures.Executor
 	if *server != "" {
-		pool, err := client.NewPool(strings.Split(*server, ","), client.PoolOptions{})
+		seeds := strings.Split(*server, ",")
+		var pool *client.Pool
+		var err error
+		if *discover {
+			pool, err = client.NewClusterPool(ctx, seeds, client.PoolOptions{})
+		} else {
+			pool, err = client.NewPool(seeds, client.PoolOptions{})
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spbtables:", err)
 			os.Exit(2)
+		}
+		if bs := pool.Backends(); *discover && len(bs) > len(seeds) {
+			fmt.Fprintf(os.Stderr, "spbtables: cluster discovery: sweeping across %d backends\n", len(bs))
 		}
 		exec = pool
 	}

@@ -78,6 +78,9 @@ func (c *Client) batchOnce(ctx context.Context, body []byte, fn func(server.Batc
 	if c.traceID != "" {
 		req.Header.Set(obs.TraceHeader, c.traceID)
 	}
+	if c.apiKey != "" {
+		req.Header.Set(server.TenantKeyHeader, c.apiKey)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return false, err

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"spb/internal/cluster"
 	"spb/internal/faults"
 	"spb/internal/obs"
 	"spb/internal/server"
@@ -112,6 +113,10 @@ type Options struct {
 	// one trace (e.g. a sweep). Empty sends no header; the daemon then mints
 	// a fresh ID per job when tracing is enabled.
 	TraceID string
+	// APIKey is the tenant API key, sent on every request via the
+	// X-Spb-Api-Key header. Required against daemons configured with
+	// tenants; ignored otherwise.
+	APIKey string
 }
 
 // Client talks to one spbd instance.
@@ -121,6 +126,7 @@ type Client struct {
 	retry   RetryPolicy
 	faults  *faults.Injector
 	traceID string
+	apiKey  string
 }
 
 // New returns a client for the daemon at base (e.g. "http://localhost:7077")
@@ -140,6 +146,7 @@ func NewWithOptions(base string, opts Options) *Client {
 		retry:   opts.Retry.withDefaults(),
 		faults:  opts.Faults,
 		traceID: opts.TraceID,
+		apiKey:  opts.APIKey,
 	}
 }
 
@@ -236,6 +243,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	}
 	if c.traceID != "" {
 		req.Header.Set(obs.TraceHeader, c.traceID)
+	}
+	if c.apiKey != "" {
+		req.Header.Set(server.TenantKeyHeader, c.apiKey)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -411,6 +421,14 @@ func (c *Client) Ready(ctx context.Context) (ReadyView, error) {
 		return ReadyView{}, err
 	}
 	return rv, nil
+}
+
+// Members fetches the daemon's cluster membership view. Standalone daemons
+// (no cluster attached) answer 404.
+func (c *Client) Members(ctx context.Context) (cluster.MembersView, error) {
+	var v cluster.MembersView
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/members", nil, &v)
+	return v, err
 }
 
 // Metrics fetches the raw Prometheus exposition text.

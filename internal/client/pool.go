@@ -20,7 +20,15 @@
 // backend in each point's rendezvous order, and a half-open trial — led by
 // a readiness probe of GET /healthz?ready=1 — decides whether it rejoins.
 // Backends that keep flapping are marked dead and removed from the
-// rendezvous for good; their points re-shard across the survivors.
+// rendezvous; their points re-shard across the survivors.
+//
+// Membership is no longer fixed at construction: the pool can learn
+// backends from the daemons' own gossip view (GET /v1/cluster/members) via
+// RefreshMembers/Watch, and a member advertising a newer liveness epoch —
+// the daemon restarted — gets its dead circuit replaced with a fresh one,
+// re-admitting the backend without rebuilding the pool. Membership only
+// ever grows in place (indices are stable); each sweep snapshots the size
+// at start, so joins take effect on the next run.
 package client
 
 import (
@@ -35,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"spb/internal/cluster"
 	"spb/internal/obs"
 	"spb/internal/server"
 	"spb/internal/sim"
@@ -117,10 +126,31 @@ func (o PoolOptions) withDefaults() PoolOptions {
 // can swap in-process execution for the distributed path without caring
 // which they got.
 type Pool struct {
+	opts PoolOptions
+
+	// Membership state, guarded by mu. The parallel slices only ever grow,
+	// and only under the write lock; an index handed out while holding the
+	// read lock stays valid forever (re-admission replaces the breaker at
+	// the same index, it never reorders).
+	mu       sync.RWMutex
 	bases    []string
 	clients  []*Client
 	breakers []*breaker // per-backend circuits, shared across sweeps
-	opts     PoolOptions
+	epochs   []uint64   // newest liveness epoch seen per backend (0 = unknown)
+	index    map[string]int
+}
+
+// normalizeBase canonicalizes a backend base URL the same way the daemons
+// advertise themselves: scheme prefixed, trailing slash trimmed.
+func normalizeBase(b string) string {
+	b = strings.TrimSpace(b)
+	if b == "" {
+		return ""
+	}
+	if !strings.Contains(b, "://") {
+		b = "http://" + b
+	}
+	return strings.TrimRight(b, "/")
 }
 
 // NewPool builds a pool over the given backend base URLs (e.g.
@@ -129,36 +159,152 @@ func NewPool(bases []string, opts PoolOptions) (*Pool, error) {
 	if len(bases) == 0 {
 		return nil, fmt.Errorf("client: pool needs at least one backend")
 	}
-	p := &Pool{opts: opts.withDefaults()}
+	p := &Pool{opts: opts.withDefaults(), index: make(map[string]int, len(bases))}
 	// One trace ID per pool: every job any backend runs for this sweep is
 	// grouped under it, so a single grep over the daemons' trace logs
 	// reconstructs the whole distributed sweep.
 	if p.opts.ClientOptions.TraceID == "" {
 		p.opts.ClientOptions.TraceID = obs.NewTraceID()
 	}
-	seen := make(map[string]bool, len(bases))
 	for _, b := range bases {
-		b = strings.TrimSpace(b)
-		if b == "" {
-			continue
+		if b = normalizeBase(b); b != "" {
+			p.addLocked(b, 0)
 		}
-		if !strings.Contains(b, "://") {
-			b = "http://" + b
-		}
-		b = strings.TrimRight(b, "/")
-		if seen[b] {
-			continue
-		}
-		seen[b] = true
-		p.bases = append(p.bases, b)
-		p.clients = append(p.clients, NewWithOptions(b, p.opts.ClientOptions))
-		p.breakers = append(p.breakers, newBreaker(
-			p.opts.BreakerThreshold, p.opts.BreakerCooldown, p.opts.BreakerMaxTrips))
 	}
 	if len(p.bases) == 0 {
 		return nil, fmt.Errorf("client: pool needs at least one backend")
 	}
 	return p, nil
+}
+
+// NewClusterPool builds a pool from seed URLs and immediately expands it
+// with the backends the seeds gossip about: point it at one live daemon of
+// a cluster and it discovers the rest. Discovery failure is not fatal — the
+// pool starts with whatever seeds it was given (call Watch to keep trying).
+func NewClusterPool(ctx context.Context, seeds []string, opts PoolOptions) (*Pool, error) {
+	p, err := NewPool(seeds, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.RefreshMembers(ctx); err != nil {
+		p.opts.Logf("pool: cluster discovery from seeds failed (continuing with %d seeds): %v",
+			len(p.Backends()), err)
+	}
+	return p, nil
+}
+
+// addLocked appends one backend (caller holds mu or is the constructor).
+func (p *Pool) addLocked(base string, epoch uint64) {
+	if _, ok := p.index[base]; ok {
+		return
+	}
+	p.index[base] = len(p.bases)
+	p.bases = append(p.bases, base)
+	p.clients = append(p.clients, NewWithOptions(base, p.opts.ClientOptions))
+	p.breakers = append(p.breakers, newBreaker(
+		p.opts.BreakerThreshold, p.opts.BreakerCooldown, p.opts.BreakerMaxTrips))
+	p.epochs = append(p.epochs, epoch)
+}
+
+func (p *Pool) size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.bases)
+}
+
+func (p *Pool) base(i int) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.bases[i]
+}
+
+func (p *Pool) client(i int) *Client {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.clients[i]
+}
+
+func (p *Pool) breaker(i int) *breaker {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.breakers[i]
+}
+
+// mergeMembers folds a gossip membership view into the pool: unknown alive
+// members join the rendezvous (effective next sweep), and a known member
+// advertising a newer liveness epoch than the one on record — the daemon
+// restarted since the pool buried it — gets its dead circuit replaced with
+// a fresh one, re-admitting the backend without a client restart. Returns
+// how many backends were added and how many re-admitted.
+func (p *Pool) mergeMembers(ms []cluster.Member) (added, readmitted int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range ms {
+		base := normalizeBase(m.URL)
+		if base == "" || m.State != cluster.StateAlive {
+			continue
+		}
+		i, ok := p.index[base]
+		if !ok {
+			p.addLocked(base, m.Epoch)
+			p.opts.Logf("pool: discovered backend %s (id %s) via cluster gossip", base, m.ID)
+			added++
+			continue
+		}
+		if m.Epoch <= p.epochs[i] {
+			continue
+		}
+		p.epochs[i] = m.Epoch
+		if p.breakers[i].Dead() {
+			p.breakers[i] = newBreaker(
+				p.opts.BreakerThreshold, p.opts.BreakerCooldown, p.opts.BreakerMaxTrips)
+			p.opts.Logf("pool: backend %s is back with a newer epoch, re-admitting", base)
+			readmitted++
+		}
+	}
+	return added, readmitted
+}
+
+// RefreshMembers asks the backends for their gossip membership view and
+// merges the first answer it gets. Standalone daemons (no cluster attached)
+// answer 404 and are skipped.
+func (p *Pool) RefreshMembers(ctx context.Context) error {
+	n := p.size()
+	var lastErr error
+	for i := 0; i < n; i++ {
+		v, err := p.client(i).Members(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p.mergeMembers(v.Members)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: no backend answered the membership probe")
+	}
+	return lastErr
+}
+
+// Watch polls the cluster membership every interval until ctx ends,
+// merging joins and epoch-based re-admissions as they appear. Blocking —
+// run it in a goroutine.
+func (p *Pool) Watch(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := p.RefreshMembers(ctx); err != nil {
+				p.opts.Logf("pool: membership refresh failed: %v", err)
+			}
+		}
+	}
 }
 
 // isHardErr reports whether err is a hard connection failure — nothing is
@@ -169,7 +315,11 @@ func isHardErr(err error) bool {
 }
 
 // Backends returns the normalized backend base URLs.
-func (p *Pool) Backends() []string { return append([]string(nil), p.bases...) }
+func (p *Pool) Backends() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]string(nil), p.bases...)
+}
 
 // hrwScore is the rendezvous weight of (key, backend): a stable hash both
 // sides of any re-run compute identically.
@@ -183,12 +333,16 @@ func hrwScore(key, backend string) uint64 {
 
 // rank returns backend indices in descending rendezvous order for key. The
 // first healthy entry owns the point; the next is its hedge/failover.
-func (p *Pool) rank(key string) []int {
-	idx := make([]int, len(p.bases))
-	scores := make([]uint64, len(p.bases))
-	for i, b := range p.bases {
+func (p *Pool) rank(key string) []int { return p.rankN(key, p.size()) }
+
+// rankN ranks the first n backends — the membership snapshot a sweep took
+// at start, so a mid-sweep join cannot produce out-of-range indices.
+func (p *Pool) rankN(key string, n int) []int {
+	idx := make([]int, n)
+	scores := make([]uint64, n)
+	for i := 0; i < n; i++ {
 		idx[i] = i
-		scores[i] = hrwScore(key, b)
+		scores[i] = hrwScore(key, p.base(i))
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
 	return idx
@@ -254,11 +408,14 @@ func (p *Pool) GetAllCtx(ctx context.Context, specs []sim.RunSpec) ([]sim.Result
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Snapshot the membership size: backends discovered mid-sweep join the
+	// rendezvous on the next GetAllCtx, not this one.
+	n := p.size()
 	r := &poolRun{
 		p: p, ctx: ctx, cancel: cancel, opts: p.opts,
-		queues: make([][]*poolTask, len(p.bases)),
-		failed: make([]bool, len(p.bases)),
-		kicks:  make([]chan struct{}, len(p.bases)),
+		queues: make([][]*poolTask, n),
+		failed: make([]bool, n),
+		kicks:  make([]chan struct{}, n),
 		doneCh: make(chan struct{}),
 	}
 	for i := range r.kicks {
@@ -272,7 +429,7 @@ func (p *Pool) GetAllCtx(ctx context.Context, specs []sim.RunSpec) ([]sim.Result
 		key := server.Key(spec)
 		t, ok := byKey[key]
 		if !ok {
-			t = &poolTask{key: key, spec: spec, rank: p.rank(key)}
+			t = &poolTask{key: key, spec: spec, rank: p.rankN(key, n)}
 			byKey[key] = t
 			r.tasks = append(r.tasks, t)
 		}
@@ -287,7 +444,7 @@ func (p *Pool) GetAllCtx(ctx context.Context, specs []sim.RunSpec) ([]sim.Result
 	for _, t := range r.tasks {
 		target := -1
 		for _, cand := range t.rank {
-			if !p.breakers[cand].Dead() {
+			if !p.breaker(cand).Dead() {
 				target = cand
 				break
 			}
@@ -300,7 +457,7 @@ func (p *Pool) GetAllCtx(ctx context.Context, specs []sim.RunSpec) ([]sim.Result
 	}
 	r.mu.Unlock()
 
-	for b := range p.bases {
+	for b := 0; b < n; b++ {
 		r.wg.Add(1)
 		go r.dispatcher(b)
 		r.kick(b)
@@ -365,7 +522,7 @@ func (r *poolRun) kick(b int) {
 // readiness probe, and a dead circuit evacuates the queue for good.
 func (r *poolRun) dispatcher(b int) {
 	defer r.wg.Done()
-	br := r.p.breakers[b]
+	br := r.p.breaker(b)
 	probed := false
 	for {
 		select {
@@ -391,7 +548,7 @@ func (r *poolRun) dispatcher(b int) {
 				if err := r.probe(b); err != nil {
 					br.Fail(isHardErr(err))
 					r.opts.Logf("pool: backend %s failed its readiness probe (circuit %s): %v",
-						r.p.bases[b], br.State(), err)
+						r.p.base(b), br.State(), err)
 					r.shedLoad(b, nil, err)
 					continue
 				}
@@ -424,12 +581,12 @@ func (r *poolRun) hasWork(b int) bool {
 func (r *poolRun) probe(b int) error {
 	ctx, cancel := context.WithTimeout(r.ctx, r.opts.ProbeTimeout)
 	defer cancel()
-	rv, err := r.p.clients[b].Ready(ctx)
+	rv, err := r.p.client(b).Ready(ctx)
 	if err != nil {
 		return err
 	}
 	if rv.Draining {
-		return fmt.Errorf("backend %s is draining", r.p.bases[b])
+		return fmt.Errorf("backend %s is draining", r.p.base(b))
 	}
 	return nil
 }
@@ -471,7 +628,7 @@ func (r *poolRun) runChunk(b int, chunk []*poolTask) {
 		specs[i] = t.spec
 	}
 	progressed := false
-	err := r.p.clients[b].Batch(r.ctx, specs, func(it server.BatchItem) error {
+	err := r.p.client(b).Batch(r.ctx, specs, func(it server.BatchItem) error {
 		if it.Index < 0 || it.Index >= len(chunk) {
 			return nil
 		}
@@ -483,7 +640,7 @@ func (r *poolRun) runChunk(b int, chunk []*poolTask) {
 	if r.ctx.Err() != nil {
 		return
 	}
-	br := r.p.breakers[b]
+	br := r.p.breaker(b)
 	if err == nil && !r.chunkHasUnfinished(b, chunk) {
 		br.Success()
 		return
@@ -598,7 +755,7 @@ func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) bool {
 				target := r.requeueTargetLocked(t)
 				if target >= 0 {
 					r.opts.Logf("pool: %s (key %.12s) cancelled externally on %s, re-dispatching to %s (retry %d)",
-						t.spec.Workload, t.key, r.p.bases[b], r.p.bases[target], t.retries)
+						t.spec.Workload, t.key, r.p.base(b), r.p.base(target), t.retries)
 					r.enqueueLocked(t, target)
 					r.mu.Unlock()
 					r.kick(target)
@@ -606,7 +763,7 @@ func (r *poolRun) observe(b int, t *poolTask, it server.BatchItem) bool {
 				}
 			}
 			r.failLocked(fmt.Errorf("client: %s cancelled externally on %s: %s",
-				t.spec.Workload, r.p.bases[b], it.Error))
+				t.spec.Workload, r.p.base(b), it.Error))
 		}
 	case server.StatusFailed:
 		r.failLocked(it.ErrorOf())
@@ -621,7 +778,7 @@ func (r *poolRun) cancelJob(a *assignment) {
 	go func() {
 		cctx, cc := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cc()
-		_, _ = r.p.clients[a.backend].Cancel(cctx, a.jobID)
+		_, _ = r.p.client(a.backend).Cancel(cctx, a.jobID)
 	}()
 }
 
@@ -641,7 +798,7 @@ func (r *poolRun) failLocked(err error) {
 // circuit is merely open (the point parks until the cooldown's half-open
 // trial). With no backend left at all the sweep fails.
 func (r *poolRun) shedLoad(b int, chunk []*poolTask, cause error) {
-	dead := r.p.breakers[b].Dead()
+	dead := r.p.breaker(b).Dead()
 	r.mu.Lock()
 	for _, t := range chunk {
 		for _, a := range t.assigns {
@@ -655,7 +812,7 @@ func (r *poolRun) shedLoad(b int, chunk []*poolTask, cause error) {
 		if !r.failed[b] {
 			r.failed[b] = true
 			r.opts.Logf("pool: backend %s is dead (circuit tripped %d times), re-sharding: %v",
-				r.p.bases[b], r.opts.BreakerMaxTrips, cause)
+				r.p.base(b), r.opts.BreakerMaxTrips, cause)
 		}
 		for _, t := range r.queues[b] {
 			t.pending = false // drained: no longer queued anywhere
@@ -664,7 +821,7 @@ func (r *poolRun) shedLoad(b int, chunk []*poolTask, cause error) {
 		r.queues[b] = nil
 	} else if len(chunk) > 0 {
 		r.opts.Logf("pool: shedding %d points from %s (circuit %s): %v",
-			len(chunk), r.p.bases[b], r.p.breakers[b].State(), cause)
+			len(chunk), r.p.base(b), r.p.breaker(b).State(), cause)
 	}
 	rekicks := map[int]bool{}
 	for _, t := range orphans {
@@ -676,7 +833,7 @@ func (r *poolRun) shedLoad(b int, chunk []*poolTask, cause error) {
 		}
 		target := r.requeueTargetLocked(t)
 		if target < 0 {
-			r.failLocked(fmt.Errorf("client: every pool backend failed (last: %s: %w)", r.p.bases[b], cause))
+			r.failLocked(fmt.Errorf("client: every pool backend failed (last: %s: %w)", r.p.base(b), cause))
 			r.mu.Unlock()
 			return
 		}
@@ -696,10 +853,10 @@ func (r *poolRun) shedLoad(b int, chunk []*poolTask, cause error) {
 func (r *poolRun) requeueTargetLocked(t *poolTask) int {
 	fallback := -1
 	for _, cand := range t.rank {
-		if r.failed[cand] || r.p.breakers[cand].Dead() {
+		if r.failed[cand] || r.p.breaker(cand).Dead() {
 			continue
 		}
-		if r.p.breakers[cand].Settled() {
+		if r.p.breaker(cand).Settled() {
 			return cand
 		}
 		if fallback < 0 {
@@ -786,9 +943,9 @@ func (r *poolRun) hedgeMonitor() {
 				continue
 			}
 			for _, cand := range t.rank {
-				if !claimed[cand] && !r.failed[cand] && !r.p.breakers[cand].Dead() {
+				if !claimed[cand] && !r.failed[cand] && !r.p.breaker(cand).Dead() {
 					r.opts.Logf("pool: hedging %s (key %.12s) from %s to %s after %v",
-						t.spec.Workload, t.key, r.p.bases[live.backend], r.p.bases[cand], now.Sub(live.dispatchedAt))
+						t.spec.Workload, t.key, r.p.base(live.backend), r.p.base(cand), now.Sub(live.dispatchedAt))
 					r.enqueueLocked(t, cand)
 					rekicks[cand] = true
 					break

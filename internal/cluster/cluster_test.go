@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"spb/internal/sim"
+)
+
+func member(id string, epoch, beat uint64) Member {
+	return Member{ID: id, URL: "http://" + id, Epoch: epoch, Beat: beat}
+}
+
+func TestTableMergeOrdering(t *testing.T) {
+	tb := NewTable()
+	now := time.Now()
+	if !tb.Merge(member("a", 5, 1), now) {
+		t.Fatal("first observation should advance the table")
+	}
+	if tb.Merge(member("a", 5, 1), now) {
+		t.Error("identical observation should not advance")
+	}
+	if !tb.Merge(member("a", 5, 2), now) {
+		t.Error("higher beat within the epoch should advance")
+	}
+	if tb.Merge(member("a", 4, 99), now) {
+		t.Error("older epoch must lose regardless of beat")
+	}
+	if !tb.Merge(member("a", 6, 0), now) {
+		t.Error("newer epoch must win regardless of beat")
+	}
+	if tb.Merge(Member{}, now) {
+		t.Error("empty member must be rejected")
+	}
+	if got := tb.Len(); got != 1 {
+		t.Errorf("table has %d entries, want 1", got)
+	}
+}
+
+func TestSnapshotSuspectAndPrune(t *testing.T) {
+	tb := NewTable()
+	base := time.Now()
+	tb.Merge(member("fresh", 1, 1), base)
+	tb.Merge(member("stale", 1, 1), base.Add(-2*time.Second))
+	tb.Merge(member("gone", 1, 1), base.Add(-11*time.Second))
+
+	ms := tb.Snapshot(base, time.Second, 10*time.Second)
+	if len(ms) != 2 {
+		t.Fatalf("snapshot has %d members, want 2 (the 11s-old one pruned): %+v", len(ms), ms)
+	}
+	states := map[string]string{}
+	for _, m := range ms {
+		states[m.ID] = m.State
+	}
+	if states["fresh"] != StateAlive {
+		t.Errorf("fresh member state = %q, want alive", states["fresh"])
+	}
+	if states["stale"] != StateSuspect {
+		t.Errorf("stale member state = %q, want suspect", states["stale"])
+	}
+	if tb.Len() != 2 {
+		t.Errorf("pruned entry still in table: len %d", tb.Len())
+	}
+}
+
+// stubBackend is a minimal Backend for protocol tests: a queue of pre-loaded
+// stolen jobs, a handoff table, and counters.
+type stubBackend struct {
+	mu        sync.Mutex
+	load      Load
+	queue     []StolenJob
+	handoffs  map[string]time.Time
+	completed map[string]int // terminal deliveries per job id
+	results   map[string]sim.Result
+	runs      int
+}
+
+func newStubBackend(load Load) *stubBackend {
+	return &stubBackend{
+		load:      load,
+		handoffs:  make(map[string]time.Time),
+		completed: make(map[string]int),
+		results:   make(map[string]sim.Result),
+	}
+}
+
+func (b *stubBackend) Load() Load {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ld := b.load
+	ld.Queue = len(b.queue)
+	return ld
+}
+
+func (b *stubBackend) StealJobs(max int) []StolenJob {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if max > len(b.queue) {
+		max = len(b.queue)
+	}
+	out := b.queue[:max]
+	b.queue = b.queue[max:]
+	for _, j := range out {
+		b.handoffs[j.ID] = time.Now()
+	}
+	return out
+}
+
+func (b *stubBackend) CompleteStolen(id string, res sim.Result, errMsg string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.handoffs[id]; !ok {
+		return false
+	}
+	delete(b.handoffs, id)
+	b.completed[id]++
+	return true
+}
+
+func (b *stubBackend) ReclaimStolen(olderThan time.Duration) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for id, at := range b.handoffs {
+		if time.Since(at) > olderThan {
+			delete(b.handoffs, id)
+			b.queue = append(b.queue, StolenJob{ID: id})
+			n++
+		}
+	}
+	return n
+}
+
+func (b *stubBackend) ReadLocal(key string) (sim.Result, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, ok := b.results[key]
+	return res, ok
+}
+
+func (b *stubBackend) RunStolen(ctx context.Context, spec sim.RunSpec) (sim.Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.runs++
+	return sim.Result{Spec: spec}, nil
+}
+
+func (b *stubBackend) completedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, c := range b.completed {
+		n += c
+	}
+	return n
+}
+
+// testNode wires a node + stub backend behind an httptest server with the
+// same routes server.AttachCluster mounts.
+func testNode(t *testing.T, be Backend, cfg Config) (*Node, *httptest.Server) {
+	t.Helper()
+	mux := http.NewServeMux()
+	ts := httptest.NewServer(mux)
+	cfg.Advertise = ts.URL
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = 15 * time.Millisecond
+	}
+	if cfg.StealInterval == 0 {
+		cfg.StealInterval = 15 * time.Millisecond
+	}
+	cfg.Logf = t.Logf
+	n, err := New(cfg, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.HandleFunc("POST /v1/cluster/gossip", n.HandleGossip)
+	mux.HandleFunc("GET /v1/cluster/members", n.HandleMembers)
+	mux.HandleFunc("POST /v1/cluster/steal", n.HandleSteal)
+	mux.HandleFunc("POST /v1/cluster/steal/complete", n.HandleStealComplete)
+	mux.HandleFunc("GET /v1/peer/results/{key}", n.HandlePeerRead)
+	t.Cleanup(func() {
+		n.Stop()
+		ts.Close()
+	})
+	return n, ts
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestGossipConvergence: three nodes seeded only through the first converge
+// on a full membership view, and after convergence a peer read-through finds
+// a result cached on another node.
+func TestGossipConvergence(t *testing.T) {
+	backends := make([]*stubBackend, 3)
+	nodes := make([]*Node, 3)
+	var seeds []string
+	for i := range nodes {
+		backends[i] = newStubBackend(Load{Workers: 2})
+		cfg := Config{ID: fmt.Sprintf("n%d", i), Epoch: uint64(i + 1), Seeds: seeds, DisableSteal: true}
+		n, ts := testNode(t, backends[i], cfg)
+		nodes[i] = n
+		if i == 0 {
+			seeds = []string{ts.URL} // later nodes join through node 0 only
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	for i, n := range nodes {
+		n := n
+		waitFor(t, 5*time.Second, fmt.Sprintf("node %d to see 3 alive members", i), func() bool {
+			alive := 0
+			for _, m := range n.Members() {
+				if m.State == StateAlive {
+					alive++
+				}
+			}
+			return alive == 3
+		})
+	}
+
+	// Cache peering across the converged fleet: node 1 holds a result that
+	// node 0 can fetch by key.
+	res := sim.Result{Spec: sim.RunSpec{Workload: "bwaves"}}
+	backends[1].mu.Lock()
+	backends[1].results["deadbeef"] = res
+	backends[1].mu.Unlock()
+	backends[2].mu.Lock()
+	backends[2].results["deadbeef"] = res
+	backends[2].mu.Unlock()
+	got, from, ok := nodes[0].FetchPeer("deadbeef")
+	if !ok {
+		t.Fatal("FetchPeer found nothing despite two peers holding the key")
+	}
+	if got.Spec.Workload != "bwaves" {
+		t.Errorf("fetched result spec = %+v", got.Spec)
+	}
+	if from == "" {
+		t.Error("FetchPeer did not report the answering peer")
+	}
+	if nodes[0].Stats().PeerFetched.Load() == 0 {
+		t.Error("PeerFetched counter did not advance")
+	}
+}
+
+// TestRestartSupersedes: a member reappearing with a higher epoch replaces
+// its old incarnation instead of being discarded as stale.
+func TestRestartSupersedes(t *testing.T) {
+	tb := NewTable()
+	now := time.Now()
+	tb.Merge(member("n1", 100, 500), now)
+	if !tb.Merge(member("n1", 200, 1), now) {
+		t.Fatal("restarted incarnation (higher epoch, lower beat) must supersede")
+	}
+	ms := tb.Snapshot(now, time.Minute, time.Hour)
+	if len(ms) != 1 || ms[0].Epoch != 200 {
+		t.Fatalf("snapshot = %+v, want the epoch-200 incarnation", ms)
+	}
+}
+
+// TestStealRoundTrip: a loaded victim's queued jobs are stolen by an idle
+// thief, executed there, and completed back exactly once each.
+func TestStealRoundTrip(t *testing.T) {
+	victim := newStubBackend(Load{Workers: 1, Inflight: 1})
+	for i := 0; i < 3; i++ {
+		victim.queue = append(victim.queue, StolenJob{
+			ID:   fmt.Sprintf("job-%d", i),
+			Key:  fmt.Sprintf("key-%d", i),
+			Spec: sim.RunSpec{Workload: "bwaves", Seed: uint64(i + 1)},
+		})
+	}
+	thief := newStubBackend(Load{Workers: 4})
+
+	vNode, vTS := testNode(t, victim, Config{ID: "victim", Epoch: 1, DisableSteal: true})
+	tNode, _ := testNode(t, thief, Config{ID: "thief", Epoch: 2, Seeds: []string{vTS.URL}})
+	vNode.Start()
+	tNode.Start()
+
+	waitFor(t, 5*time.Second, "all 3 stolen jobs to complete back on the victim", func() bool {
+		return victim.completedCount() == 3
+	})
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	for id, c := range victim.completed {
+		if c != 1 {
+			t.Errorf("job %s completed %d times, want exactly 1", id, c)
+		}
+	}
+	if len(victim.handoffs) != 0 {
+		t.Errorf("%d handoffs left dangling", len(victim.handoffs))
+	}
+	if thief.runs != 3 {
+		t.Errorf("thief executed %d jobs, want 3", thief.runs)
+	}
+	if tNode.Stats().StealJobsTaken.Load() != 3 {
+		t.Errorf("StealJobsTaken = %d, want 3", tNode.Stats().StealJobsTaken.Load())
+	}
+}

@@ -1,0 +1,739 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spb/internal/faults"
+	"spb/internal/sim"
+)
+
+// Load is a backend's instantaneous pressure, piggybacked on gossip.
+type Load struct {
+	Queue    int
+	Inflight int
+	Workers  int
+	Draining bool
+}
+
+// StolenJob is one unit of work handed from a victim to a thief. The spec is
+// carried whole (it is the identity of the simulation); the key is the
+// victim's content address for it, which the thief re-derives and both sides
+// use to converge their caches.
+type StolenJob struct {
+	ID   string      `json:"id"`
+	Key  string      `json:"key"`
+	Spec sim.RunSpec `json:"spec"`
+}
+
+// Backend is the node's hook into the daemon it serves (implemented by
+// *server.Server). The cluster package stays ignorant of queues, tenants and
+// HTTP handlers — it only needs to move jobs and read the local cache.
+type Backend interface {
+	// Load reports current pressure for gossip piggybacking.
+	Load() Load
+	// StealJobs pops up to max queued jobs into the backend's handoff
+	// table (ownership transfers to the caller). Draining or empty queues
+	// return nil.
+	StealJobs(max int) []StolenJob
+	// CompleteStolen delivers a stolen job's terminal result (errMsg != ""
+	// for failures). It reports false when the handoff is unknown —
+	// already reclaimed, or completed twice.
+	CompleteStolen(id string, res sim.Result, errMsg string) bool
+	// ReclaimStolen re-enqueues handoffs older than the deadline (the
+	// thief went silent) and reports how many it took back.
+	ReclaimStolen(olderThan time.Duration) int
+	// ReadLocal serves the peer read-through protocol from the local disk
+	// tier only — never simulates, never recurses into peers.
+	ReadLocal(key string) (sim.Result, bool)
+	// RunStolen executes a stolen spec locally (cache tiers consulted
+	// first) and returns the result.
+	RunStolen(ctx context.Context, spec sim.RunSpec) (sim.Result, error)
+}
+
+// Config assembles a Node.
+type Config struct {
+	// ID names this node in the member table (default: Advertise).
+	ID string
+	// Advertise is the base URL peers reach this node at (required), e.g.
+	// "http://10.0.0.7:7077".
+	Advertise string
+	// Seeds are base URLs of existing fleet members to join through. A
+	// node with no seeds starts a one-node fleet others join.
+	Seeds []string
+
+	// GossipInterval is the anti-entropy period (default 500ms).
+	GossipInterval time.Duration
+	// Fanout is how many peers each gossip round contacts (default 2).
+	Fanout int
+	// SuspectAfter marks a member suspect when nothing fresh has been
+	// heard about it for this long (default 5×GossipInterval).
+	SuspectAfter time.Duration
+	// RemoveAfter prunes a member from the table (default 60×GossipInterval).
+	RemoveAfter time.Duration
+
+	// DisableSteal turns the work-stealing loop off (gossip and peer reads
+	// keep running).
+	DisableSteal bool
+	// StealInterval is how often an idle node looks for a victim
+	// (default 250ms).
+	StealInterval time.Duration
+	// StealThreshold is the minimum victim queue depth worth stealing from
+	// (default 2: never steal a queue's last dregs, the victim's own
+	// workers are about to take them).
+	StealThreshold int
+	// StealMax caps jobs taken per steal request (default: the thief's
+	// free worker capacity).
+	StealMax int
+	// StealTimeout is the victim-side reclaim deadline: a handoff with no
+	// completion for this long is re-enqueued locally (default 30s).
+	StealTimeout time.Duration
+
+	// DisablePeerRead turns the cache read-through off.
+	DisablePeerRead bool
+	// PeerFanout is how many rendezvous-ranked peers a read-through
+	// consults before giving up (default 2).
+	PeerFanout int
+	// PeerReadTimeout bounds each peer read (default 500ms — a disk read
+	// plus one RTT; anything slower is cheaper to simulate).
+	PeerReadTimeout time.Duration
+
+	// HTTPClient overrides the transport for gossip/steal/peer calls.
+	HTTPClient *http.Client
+	// Faults, when set, injects failures at the cluster sites
+	// ("gossip.drop", "steal.cut", "peer.read"). Nil disables injection.
+	Faults *faults.Injector
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+	// Epoch overrides the incarnation number (tests; default: unix-nanos
+	// at New).
+	Epoch uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ID == "" {
+		c.ID = c.Advertise
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 500 * time.Millisecond
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 2
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 5 * c.GossipInterval
+	}
+	if c.RemoveAfter <= 0 {
+		c.RemoveAfter = 60 * c.GossipInterval
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = 250 * time.Millisecond
+	}
+	if c.StealThreshold <= 0 {
+		c.StealThreshold = 2
+	}
+	if c.StealTimeout <= 0 {
+		c.StealTimeout = 30 * time.Second
+	}
+	if c.PeerFanout <= 0 {
+		c.PeerFanout = 2
+	}
+	if c.PeerReadTimeout <= 0 {
+		c.PeerReadTimeout = 500 * time.Millisecond
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Epoch == 0 {
+		c.Epoch = uint64(time.Now().UnixNano())
+	}
+	return c
+}
+
+// NodeStats are the node's own protocol counters, exported under
+// spbd_cluster_* at /metrics.
+type NodeStats struct {
+	GossipRounds   atomic.Uint64 // exchanges initiated
+	GossipFailures atomic.Uint64 // exchanges that errored (peer down, injected drop)
+	StealRequests  atomic.Uint64 // steal attempts initiated (thief side)
+	StealJobsTaken atomic.Uint64 // jobs received from victims (thief side)
+	PeerLookups    atomic.Uint64 // read-through probes sent
+	PeerFetched    atomic.Uint64 // read-through probes answered with a result
+}
+
+// Node runs the cluster protocols for one daemon. Create with New, mount its
+// handlers (server.AttachCluster), then Start; Stop before draining the
+// daemon.
+type Node struct {
+	cfg   Config
+	be    Backend
+	table *Table
+	rng   *rand.Rand // gossip/steal peer selection; guarded by rngMu
+	rngMu sync.Mutex
+
+	beat  atomic.Uint64
+	stats NodeStats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New builds a node for the given backend. The node is inert until Start.
+func New(cfg Config, be Backend) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Advertise == "" {
+		return nil, fmt.Errorf("cluster: Advertise is required")
+	}
+	cfg.Advertise = normalizeURL(cfg.Advertise)
+	for i, s := range cfg.Seeds {
+		cfg.Seeds[i] = normalizeURL(s)
+	}
+	n := &Node{
+		cfg:   cfg,
+		be:    be,
+		table: NewTable(),
+		rng:   rand.New(rand.NewSource(int64(cfg.Epoch))),
+		stop:  make(chan struct{}),
+	}
+	// Seed the table with ourselves so the first gossip already carries us.
+	n.table.Merge(n.self(), time.Now())
+	return n, nil
+}
+
+// normalizeURL mirrors client.Pool's base normalization so the same daemon
+// is never known under two spellings.
+func normalizeURL(u string) string {
+	u = strings.TrimSpace(u)
+	if u == "" {
+		return u
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimRight(u, "/")
+}
+
+// ID reports the node's member ID.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Epoch reports the node's incarnation number.
+func (n *Node) Epoch() uint64 { return n.cfg.Epoch }
+
+// self renders this node's current member record (fresh beat + load).
+func (n *Node) self() Member {
+	ld := n.be.Load()
+	return Member{
+		ID:       n.cfg.ID,
+		URL:      n.cfg.Advertise,
+		Epoch:    n.cfg.Epoch,
+		Beat:     n.beat.Load(),
+		Queue:    ld.Queue,
+		Inflight: ld.Inflight,
+		Workers:  ld.Workers,
+		Draining: ld.Draining,
+	}
+}
+
+// Members snapshots the node's membership view (self included), states
+// derived from local observation age.
+func (n *Node) Members() []Member {
+	now := time.Now()
+	n.table.Merge(n.self(), now) // self is always fresh
+	return n.table.Snapshot(now, n.cfg.SuspectAfter, n.cfg.RemoveAfter)
+}
+
+// Stats exposes the protocol counters (metrics, tests).
+func (n *Node) Stats() *NodeStats { return &n.stats }
+
+// Start launches the gossip and steal loops.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.gossipLoop()
+	n.wg.Add(1)
+	go n.stealLoop()
+}
+
+// Stop halts the loops and waits for them. Safe to call more than once.
+func (n *Node) Stop() {
+	n.once.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// ---- gossip -------------------------------------------------------------
+
+// gossipRequest is one anti-entropy exchange: the initiator's self record
+// plus its full member table; the response mirrors the shape back.
+type gossipRequest struct {
+	From    Member   `json:"from"`
+	Members []Member `json:"members"`
+}
+
+// MembersView is the document served at GET /v1/cluster/members: the node's
+// own record plus its membership snapshot. client.Pool consumes it to track
+// live membership.
+type MembersView struct {
+	Self    Member   `json:"self"`
+	Members []Member `json:"members"`
+}
+
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.beat.Add(1)
+		n.gossipOnce()
+	}
+}
+
+// gossipOnce exchanges tables with up to Fanout peers. Candidate targets are
+// everything in the table plus the configured seeds — seeds stay reachable
+// through partitions that empty the table.
+func (n *Node) gossipOnce() {
+	targets := n.gossipTargets()
+	for _, url := range targets {
+		n.stats.GossipRounds.Add(1)
+		if err := n.cfg.Faults.Err("gossip.drop"); err != nil {
+			n.stats.GossipFailures.Add(1)
+			continue // this round's exchange with this peer is lost
+		}
+		if err := n.exchange(url); err != nil {
+			n.stats.GossipFailures.Add(1)
+			n.cfg.Logf("cluster: gossip with %s failed: %v", url, err)
+		}
+	}
+}
+
+func (n *Node) gossipTargets() []string {
+	seen := map[string]bool{n.cfg.Advertise: true}
+	var cands []string
+	for _, m := range n.Members() {
+		if !seen[m.URL] {
+			seen[m.URL] = true
+			cands = append(cands, m.URL)
+		}
+	}
+	for _, s := range n.cfg.Seeds {
+		if !seen[s] {
+			seen[s] = true
+			cands = append(cands, s)
+		}
+	}
+	n.rngMu.Lock()
+	n.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	n.rngMu.Unlock()
+	if len(cands) > n.cfg.Fanout {
+		cands = cands[:n.cfg.Fanout]
+	}
+	return cands
+}
+
+// protoTimeout scales an HTTP deadline with its protocol interval but
+// floors it at 2s: the scaled value bounds how stale an answer can be
+// worth merging, while the floor keeps aggressive (sub-100ms, test-speed)
+// intervals from starving exchanges on a heavily loaded host.
+func protoTimeout(d time.Duration) time.Duration {
+	if d < 2*time.Second {
+		return 2 * time.Second
+	}
+	return d
+}
+
+// exchange POSTs our table to one peer and merges its response.
+func (n *Node) exchange(url string) error {
+	req := gossipRequest{From: n.self(), Members: n.Members()}
+	var resp gossipRequest
+	if err := n.postJSON(url+"/v1/cluster/gossip", req, &resp, protoTimeout(n.cfg.GossipInterval*4)); err != nil {
+		return err
+	}
+	now := time.Now()
+	n.table.MergeAll(resp.Members, now)
+	if resp.From.ID != "" {
+		n.table.Merge(resp.From, now)
+		n.table.Touch(resp.From.ID, now) // answering is proof of life
+	}
+	return nil
+}
+
+// HandleGossip is POST /v1/cluster/gossip: merge the initiator's table and
+// answer with ours.
+func (n *Node) HandleGossip(w http.ResponseWriter, r *http.Request) {
+	var req gossipRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	n.table.MergeAll(req.Members, now)
+	if req.From.ID != "" {
+		n.table.Merge(req.From, now)
+		n.table.Touch(req.From.ID, now)
+	}
+	resp := gossipRequest{From: n.self(), Members: n.Members()}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// HandleMembers is GET /v1/cluster/members.
+func (n *Node) HandleMembers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(MembersView{Self: n.self(), Members: n.Members()})
+}
+
+// ---- work stealing ------------------------------------------------------
+
+type stealRequest struct {
+	Thief string `json:"thief"` // thief's advertise URL (logs)
+	Max   int    `json:"max"`
+}
+
+type stealResponse struct {
+	Jobs []StolenJob `json:"jobs"`
+}
+
+type stealCompleteRequest struct {
+	ID     string      `json:"id"`
+	Error  string      `json:"error,omitempty"`
+	Result *sim.Result `json:"result,omitempty"`
+}
+
+func (n *Node) stealLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.StealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		// Victim-side janitor: take back handoffs whose thief went silent.
+		if taken := n.be.ReclaimStolen(n.cfg.StealTimeout); taken > 0 {
+			n.cfg.Logf("cluster: reclaimed %d stolen jobs (thief silent past %v)", taken, n.cfg.StealTimeout)
+		}
+		if n.cfg.DisableSteal {
+			continue
+		}
+		n.stealOnce()
+	}
+}
+
+// stealOnce steals from the most loaded alive peer when this node has free
+// worker capacity. Stolen jobs run on goroutines of their own — they are
+// bounded by the free capacity computed here, deliberately bypassing the
+// local admission queue (stolen work must not be re-stealable or rejectable,
+// it already has an owner waiting).
+func (n *Node) stealOnce() {
+	ld := n.be.Load()
+	free := ld.Workers - ld.Inflight - ld.Queue
+	if ld.Draining || free <= 0 {
+		return
+	}
+	if n.cfg.StealMax > 0 && free > n.cfg.StealMax {
+		free = n.cfg.StealMax
+	}
+	victim, ok := n.pickVictim()
+	if !ok {
+		return
+	}
+	n.stats.StealRequests.Add(1)
+	var resp stealResponse
+	err := n.postJSON(victim.URL+"/v1/cluster/steal",
+		stealRequest{Thief: n.cfg.Advertise, Max: free}, &resp, protoTimeout(n.cfg.StealInterval*8))
+	if err != nil {
+		n.cfg.Logf("cluster: steal from %s failed: %v", victim.URL, err)
+		return
+	}
+	if len(resp.Jobs) == 0 {
+		return
+	}
+	n.stats.StealJobsTaken.Add(uint64(len(resp.Jobs)))
+	n.cfg.Logf("cluster: stole %d jobs from %s (its queue %d)", len(resp.Jobs), victim.URL, victim.Queue)
+	for _, job := range resp.Jobs {
+		n.wg.Add(1)
+		go func(job StolenJob, victimURL string) {
+			defer n.wg.Done()
+			n.runStolen(job, victimURL)
+		}(job, victim.URL)
+	}
+}
+
+// pickVictim selects the alive, non-draining peer with the deepest queue at
+// or above the steal threshold.
+func (n *Node) pickVictim() (Member, bool) {
+	var best Member
+	found := false
+	for _, m := range n.Members() {
+		if m.ID == n.cfg.ID || m.State != StateAlive || m.Draining {
+			continue
+		}
+		if m.Queue < n.cfg.StealThreshold {
+			continue
+		}
+		if !found || m.Queue > best.Queue {
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}
+
+// runStolen executes one stolen job and reports the terminal result back to
+// its victim. Delivery retries a few times; a victim that stays unreachable
+// reclaims the job itself after StealTimeout — the simulation was not
+// wasted, the result is in our caches and the next peer read finds it.
+func (n *Node) runStolen(job StolenJob, victimURL string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { // stolen runs die with the node
+		select {
+		case <-n.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	res, err := n.be.RunStolen(ctx, job.Spec)
+	comp := stealCompleteRequest{ID: job.ID}
+	if err != nil {
+		comp.Error = err.Error()
+	} else {
+		comp.Result = &res
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-n.stop:
+				return
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			}
+		}
+		if perr := n.postJSON(victimURL+"/v1/cluster/steal/complete", comp, nil, protoTimeout(n.cfg.StealTimeout/2)); perr == nil {
+			return
+		}
+	}
+	n.cfg.Logf("cluster: could not deliver stolen job %s back to %s; victim will reclaim", job.ID, victimURL)
+}
+
+// HandleSteal is POST /v1/cluster/steal: pop queued jobs into the handoff
+// table and hand them to the thief. The "steal.cut" fault fires *after*
+// ownership transferred, severing the response — the deterministic way to
+// exercise the reclaim path.
+func (n *Node) HandleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = 1
+	}
+	jobs := n.be.StealJobs(req.Max)
+	if len(jobs) > 0 && n.cfg.Faults.Cut("steal.cut") {
+		// The jobs are already popped; aborting here models a thief that
+		// never heard the answer. http.Server recovers this panic by
+		// closing the connection without a response.
+		panic(http.ErrAbortHandler)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(stealResponse{Jobs: jobs})
+}
+
+// HandleStealComplete is POST /v1/cluster/steal/complete: the thief
+// delivering a stolen job's terminal result.
+func (n *Node) HandleStealComplete(w http.ResponseWriter, r *http.Request) {
+	var req stealCompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var res sim.Result
+	if req.Result != nil {
+		res = *req.Result
+	} else if req.Error == "" {
+		http.Error(w, "steal completion carries neither result nor error", http.StatusBadRequest)
+		return
+	}
+	if !n.be.CompleteStolen(req.ID, res, req.Error) {
+		// Unknown handoff: reclaimed already, or a duplicate delivery. 410
+		// tells the thief not to retry; nothing is wrong — the result also
+		// lives in the thief's caches.
+		http.Error(w, "unknown or reclaimed handoff", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- cache peering ------------------------------------------------------
+
+// HandlePeerRead is GET /v1/peer/results/{key}: serve the local disk tier,
+// never simulate. The "peer.read" fault fails the endpoint server-side.
+func (n *Node) HandlePeerRead(w http.ResponseWriter, r *http.Request) {
+	if err := n.cfg.Faults.Err("peer.read"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	key := r.PathValue("key")
+	res, ok := n.be.ReadLocal(key)
+	if !ok {
+		http.Error(w, "not cached here", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// FetchPeer asks the top PeerFanout alive peers in key's rendezvous order
+// for a cached result. Rendezvous ranking matters: client.Pool shards sweeps
+// by the same hash, so the peer most likely to hold a key is asked first.
+// Returns the result and the answering peer's URL.
+func (n *Node) FetchPeer(key string) (sim.Result, string, bool) {
+	if n.cfg.DisablePeerRead {
+		return sim.Result{}, "", false
+	}
+	peers := n.rankPeers(key)
+	if len(peers) > n.cfg.PeerFanout {
+		peers = peers[:n.cfg.PeerFanout]
+	}
+	for _, url := range peers {
+		n.stats.PeerLookups.Add(1)
+		res, ok := n.fetchOne(url, key)
+		if ok {
+			n.stats.PeerFetched.Add(1)
+			return res, url, true
+		}
+	}
+	return sim.Result{}, "", false
+}
+
+// rankPeers orders alive peers (self excluded) by descending rendezvous
+// score for key — the same fnv64a(backend, 0, key) ranking client.Pool uses
+// for sharding.
+func (n *Node) rankPeers(key string) []string {
+	type scored struct {
+		url   string
+		score uint64
+	}
+	var cands []scored
+	for _, m := range n.Members() {
+		if m.ID == n.cfg.ID || m.State != StateAlive {
+			continue
+		}
+		cands = append(cands, scored{url: m.URL, score: rendezvousScore(key, m.URL)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	urls := make([]string, len(cands))
+	for i, c := range cands {
+		urls[i] = c.url
+	}
+	return urls
+}
+
+// rendezvousScore is the stable (key, backend) weight shared with
+// client.Pool's sharding: highest score owns the key.
+func rendezvousScore(key, backend string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, backend)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	return h.Sum64()
+}
+
+func (n *Node) fetchOne(url, key string) (sim.Result, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerReadTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/peer/results/"+key, nil)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	resp, err := n.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return sim.Result{}, false
+	}
+	var res sim.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return sim.Result{}, false
+	}
+	return res, true
+}
+
+// ---- plumbing -----------------------------------------------------------
+
+func (n *Node) postJSON(url string, body, out any, timeout time.Duration) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// WriteMetrics renders the node's spbd_cluster_* gauges and counters in
+// Prometheus text format (appended to the daemon's /metrics page).
+func (n *Node) WriteMetrics(w io.Writer) {
+	alive, suspect := 0, 0
+	for _, m := range n.Members() {
+		switch m.State {
+		case StateAlive:
+			alive++
+		case StateSuspect:
+			suspect++
+		}
+	}
+	fmt.Fprintf(w, "# HELP spbd_cluster_members Fleet members in this node's table, by state.\n# TYPE spbd_cluster_members gauge\n")
+	fmt.Fprintf(w, "spbd_cluster_members{state=%q} %d\n", StateAlive, alive)
+	fmt.Fprintf(w, "spbd_cluster_members{state=%q} %d\n", StateSuspect, suspect)
+	fmt.Fprintf(w, "# HELP spbd_cluster_self_epoch This node's liveness epoch (unix nanos at start).\n# TYPE spbd_cluster_self_epoch gauge\nspbd_cluster_self_epoch %d\n", n.cfg.Epoch)
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("spbd_cluster_gossip_rounds_total", "Gossip exchanges initiated.", n.stats.GossipRounds.Load())
+	counter("spbd_cluster_gossip_failures_total", "Gossip exchanges that failed (peer down or injected drop).", n.stats.GossipFailures.Load())
+	counter("spbd_cluster_steal_requests_total", "Steal attempts initiated by this node (thief side).", n.stats.StealRequests.Load())
+	counter("spbd_cluster_steal_jobs_taken_total", "Jobs received from victims (thief side).", n.stats.StealJobsTaken.Load())
+	counter("spbd_cluster_peer_lookups_total", "Peer cache read-through probes sent.", n.stats.PeerLookups.Load())
+	counter("spbd_cluster_peer_fetched_total", "Peer cache read-through probes that returned a result.", n.stats.PeerFetched.Load())
+}

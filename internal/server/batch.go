@@ -136,6 +136,11 @@ func terminalItems(j *job, indices []int) []BatchItem {
 // in every outstanding job: points nobody else is waiting on stop
 // simulating, exactly like an abandoned ?wait=1 submission.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.tenantFor(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad batch request: %v", err)
@@ -233,15 +238,15 @@ dispatch:
 		var j *job
 		for {
 			var err error
-			j, err = s.submit(g.spec, traceID)
+			j, err = s.submit(g.spec, traceID, tn)
 			if err == nil {
 				break
 			}
 			var inj *faults.InjectedError
-			if errors.Is(err, errQueueFull) || errors.As(err, &inj) {
-				// A saturated queue — or an injected transient submission
-				// fault — clears with time; wait and resubmit rather than
-				// failing the point.
+			if errors.Is(err, errQueueFull) || errors.Is(err, errQuota) || errors.As(err, &inj) {
+				// A saturated queue, a spent tenant quota, or an injected
+				// transient submission fault — all clear with time; wait
+				// and resubmit rather than failing the point.
 				select {
 				case <-time.After(batchQueuePoll):
 					continue

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spb/internal/cluster"
+	"spb/internal/faults"
+)
+
+// attachNode wires a cluster node onto a test server: advertise at the
+// httptest URL, fast protocol ticks, started and stopped with the test.
+func attachNode(t *testing.T, s *Server, ts *httptest.Server, cfg cluster.Config) *cluster.Node {
+	t.Helper()
+	cfg.Advertise = ts.URL
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = 15 * time.Millisecond
+	}
+	if cfg.StealInterval == 0 {
+		cfg.StealInterval = 20 * time.Millisecond
+	}
+	cfg.Logf = t.Logf
+	n, err := cluster.New(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachCluster(n)
+	n.Start()
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func waitCluster(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func aliveMembers(n *cluster.Node) int {
+	alive := 0
+	for _, m := range n.Members() {
+		if m.State == cluster.StateAlive {
+			alive++
+		}
+	}
+	return alive
+}
+
+// TestPeerReadThroughByteIdentical: a result simulated and persisted on
+// node A is served to a submission at node B from A's disk tier — stats
+// byte-identical, B's runner never executes, and the job reports the "peer"
+// cache tier.
+func TestPeerReadThroughByteIdentical(t *testing.T) {
+	sA, tsA := testServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	nA := attachNode(t, sA, tsA, cluster.Config{ID: "a", Epoch: 1})
+	sB, tsB := testServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	nB := attachNode(t, sB, tsB, cluster.Config{ID: "b", Epoch: 2, Seeds: []string{tsA.URL}})
+
+	waitCluster(t, 5*time.Second, "gossip convergence", func() bool {
+		return aliveMembers(nA) == 2 && aliveMembers(nB) == 2
+	})
+
+	resp, vA := postRun(t, tsA, smallSpec, "?wait=1")
+	if resp.StatusCode != http.StatusOK || vA.Status != StatusDone {
+		t.Fatalf("POST to A = %d, status %s", resp.StatusCode, vA.Status)
+	}
+	// The peer protocol serves the disk tier; make sure A's persist landed.
+	spec, err := smallSpec.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(spec.Normalized())
+	waitCluster(t, 5*time.Second, "A's disk tier to hold the result", func() bool {
+		_, ok := sA.ReadLocal(key)
+		return ok
+	})
+
+	resp, vB := postRun(t, tsB, smallSpec, "?wait=1")
+	if resp.StatusCode != http.StatusOK || vB.Status != StatusDone {
+		t.Fatalf("POST to B = %d, status %s", resp.StatusCode, vB.Status)
+	}
+	if vB.Cached != "peer" {
+		t.Errorf("B's job cached tier = %q, want peer", vB.Cached)
+	}
+	if !bytes.Equal(vA.Stats, vB.Stats) {
+		t.Errorf("peer-served stats differ from the original:\nA: %s\nB: %s", vA.Stats, vB.Stats)
+	}
+	if runs := sB.Runner().Runs(); runs != 0 {
+		t.Errorf("B simulated %d times; the peer read-through should have avoided all of them", runs)
+	}
+	if sB.Metrics().PeerHits.Load() == 0 {
+		t.Error("B's PeerHits counter did not advance")
+	}
+	if sA.Metrics().PeerServed.Load() == 0 {
+		t.Error("A's PeerServed counter did not advance")
+	}
+}
+
+// blockWorker submits the long spec and waits until it occupies a worker,
+// returning its id for cleanup. With Workers:1 this pins the whole pool.
+func blockWorker(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, v := postRun(t, ts, longSpec, "")
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("blocker POST = %d", resp.StatusCode)
+	}
+	waitStatus(t, ts, v.ID, StatusRunning)
+	return v.ID
+}
+
+func cancelRun(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs/"+id+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func jobStatus(ts *httptest.Server, id string) (Status, bool) {
+	r, err := http.Get(ts.URL + "/v1/runs/" + id)
+	if err != nil {
+		return "", false
+	}
+	defer r.Body.Close()
+	var jv JobView
+	if err := json.NewDecoder(r.Body).Decode(&jv); err != nil {
+		return "", false
+	}
+	return jv.Status, true
+}
+
+// TestStealRunsExactlyOnce: with the victim's only worker pinned, its
+// queued jobs are stolen by an idle peer and every point is simulated
+// exactly once across the two runners.
+func TestStealRunsExactlyOnce(t *testing.T) {
+	victim, tsV := testServer(t, Config{Workers: 1, QueueDepth: 64})
+	nV := attachNode(t, victim, tsV, cluster.Config{ID: "victim", Epoch: 1, DisableSteal: true})
+	// StealThreshold 1: if a steal takes only part of the backlog (free
+	// capacity is sampled racily), the remainder must still be stealable —
+	// the victim's only worker stays pinned for the whole test.
+	thief, tsT := testServer(t, Config{Workers: 4, QueueDepth: 64})
+	nT := attachNode(t, thief, tsT, cluster.Config{ID: "thief", Epoch: 2, Seeds: []string{tsV.URL}, StealThreshold: 1})
+
+	waitCluster(t, 5*time.Second, "gossip convergence", func() bool {
+		return aliveMembers(nV) == 2 && aliveMembers(nT) == 2
+	})
+	blockerID := blockWorker(t, tsV)
+	defer cancelRun(t, tsV, blockerID)
+
+	const n = 4
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		req := smallSpec
+		req.Seed = uint64(i + 1) // distinct points: no cache help
+		resp, v := postRun(t, tsV, req, "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queued POST %d = %d", i, resp.StatusCode)
+		}
+		ids[i] = v.ID
+	}
+
+	for i, id := range ids {
+		id := id
+		waitCluster(t, 30*time.Second, fmt.Sprintf("queued job %d to finish", i), func() bool {
+			st, ok := jobStatus(tsV, id)
+			return ok && st == StatusDone
+		})
+	}
+
+	thiefRuns := thief.Runner().Runs()
+	victimRuns := victim.Runner().Runs()
+	if thiefRuns == 0 {
+		t.Error("the thief never executed a stolen job")
+	}
+	// Exactly once across the fleet: the 4 points plus the victim's blocker.
+	if total := thiefRuns + victimRuns; total != n+1 {
+		t.Errorf("total runs = %d (thief %d, victim %d), want %d: some point ran twice or not at all",
+			total, thiefRuns, victimRuns, n+1)
+	}
+	if victim.Metrics().StealsOut.Load() == 0 {
+		t.Error("victim's StealsOut counter did not advance")
+	}
+	if thief.Metrics().StealsIn.Load() == 0 {
+		t.Error("thief's StealsIn counter did not advance")
+	}
+}
+
+// TestStealCutReclaims: the steal.cut fault severs the first steal response
+// after ownership transferred. The victim's reclaim janitor must take the
+// jobs back and the points must still complete — exactly once each.
+func TestStealCutReclaims(t *testing.T) {
+	inj, err := faults.Parse("steal.cut:cut:1:limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, tsV := testServer(t, Config{Workers: 1, QueueDepth: 64, Faults: inj})
+	nV := attachNode(t, victim, tsV, cluster.Config{
+		ID: "victim", Epoch: 1, DisableSteal: true,
+		Faults: inj, StealTimeout: 250 * time.Millisecond,
+	})
+	thief, tsT := testServer(t, Config{Workers: 4, QueueDepth: 64})
+	nT := attachNode(t, thief, tsT, cluster.Config{ID: "thief", Epoch: 2, Seeds: []string{tsV.URL}, StealThreshold: 1})
+
+	waitCluster(t, 5*time.Second, "gossip convergence", func() bool {
+		return aliveMembers(nV) == 2 && aliveMembers(nT) == 2
+	})
+	blockerID := blockWorker(t, tsV)
+	defer cancelRun(t, tsV, blockerID)
+
+	const n = 2
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		req := smallSpec
+		req.Seed = uint64(100 + i)
+		resp, v := postRun(t, tsV, req, "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queued POST %d = %d", i, resp.StatusCode)
+		}
+		ids[i] = v.ID
+	}
+
+	for i, id := range ids {
+		id := id
+		waitCluster(t, 30*time.Second, fmt.Sprintf("job %d to survive the severed steal", i), func() bool {
+			st, ok := jobStatus(tsV, id)
+			return ok && st == StatusDone
+		})
+	}
+	if victim.Metrics().StealsReclaimed.Load() == 0 {
+		t.Error("no handoffs were reclaimed; the cut steal should have forced the reclaim path")
+	}
+	if total := thief.Runner().Runs() + victim.Runner().Runs(); total != n+1 {
+		t.Errorf("total runs = %d, want %d: the reclaim must not double-simulate", total, n+1)
+	}
+}

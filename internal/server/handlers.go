@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -26,6 +27,7 @@ type JobView struct {
 	IPC       float64         `json:"ipc"`
 	Stats     json.RawMessage `json:"stats,omitempty"`
 	TraceID   string          `json:"trace_id,omitempty"`
+	Tenant    string          `json:"tenant,omitempty"`
 }
 
 func (j *job) view() JobView {
@@ -44,6 +46,9 @@ func (j *job) view() JobView {
 		Stats:     stats,
 		TraceID:   j.trace.TraceID(),
 	}
+	if j.tenant != nil {
+		v.Tenant = j.tenant.Name
+	}
 	if v.Cycles > 0 {
 		v.IPC = float64(v.Committed) / float64(v.Cycles)
 	}
@@ -58,7 +63,7 @@ func (s *Server) routes() {
 	mux.Handle("GET /v1/runs/{id}", s.timed("GET /v1/runs/{id}", s.handleGet))
 	mux.Handle("GET /v1/runs/{id}/trace", s.timed("GET /v1/runs/{id}/trace", s.handleTrace))
 	mux.Handle("GET /v1/jobs/{id}/trace", s.timed("GET /v1/runs/{id}/trace", s.handleTrace)) // alias
-	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents) // long-lived: kept out of the latency histogram
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)                               // long-lived: kept out of the latency histogram
 	mux.Handle("POST /v1/runs/{id}/cancel", s.timed("POST /v1/runs/{id}/cancel", s.handleCancel))
 	mux.Handle("DELETE /v1/runs/{id}", s.timed("DELETE /v1/runs/{id}", s.handleCancel))
 	mux.Handle("GET /healthz", s.timed("GET /healthz", s.handleHealthz))
@@ -93,6 +98,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // ?wait=1). A full queue returns 429 with Retry-After; a draining server
 // returns 503.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.tenantFor(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad run spec: %v", err)
@@ -103,11 +113,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad run spec: %v", err)
 		return
 	}
-	j, err := s.submit(spec, r.Header.Get(obs.TraceHeader))
+	j, err := s.submit(spec, r.Header.Get(obs.TraceHeader), tn)
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs deep); retry later", s.cfg.QueueDepth)
+		return
+	case errors.Is(err, errQuota):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "tenant %q quota exceeded (%d outstanding jobs); retry later", tn.Name, tn.MaxActive)
 		return
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -176,6 +190,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	// Cancellation is a write: it needs a valid tenant key when tenants are
+	// configured (any tenant may cancel any job — per-job ownership is
+	// deliberately out of scope, jobs are shared by content address).
+	if _, err := s.tenantFor(r); err != nil {
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
 	j := s.jobByID(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
@@ -348,4 +369,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w, s.QueueDepth, s.Inflight, s.Degraded, s.runner.SimStats)
+	s.writeTenantMetrics(w)
+	if s.cluster != nil {
+		s.cluster.WriteMetrics(w)
+	}
+}
+
+// writeTenantMetrics renders the per-tenant spbd_tenant_* series. The
+// implicit default tenant keeps the series present on single-tenant daemons.
+func (s *Server) writeTenantMetrics(w io.Writer) {
+	series := func(name, typ, help string, value func(*tenantState) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, tn := range s.tenantList {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, tn.Name, value(tn))
+		}
+	}
+	series("spbd_tenant_weight", "gauge", "Configured WFQ weight per tenant.",
+		func(tn *tenantState) int64 { return int64(tn.Weight) })
+	series("spbd_tenant_active", "gauge", "Outstanding (queued+running) jobs per tenant.",
+		func(tn *tenantState) int64 { return tn.active.Load() })
+	series("spbd_tenant_submitted_total", "counter", "Jobs accepted onto the queue per tenant.",
+		func(tn *tenantState) int64 { return int64(tn.submitted.Load()) })
+	series("spbd_tenant_completed_total", "counter", "Jobs that reached a terminal state per tenant.",
+		func(tn *tenantState) int64 { return int64(tn.completed.Load()) })
+	series("spbd_tenant_quota_rejected_total", "counter", "Submissions rejected by the tenant's quota.",
+		func(tn *tenantState) int64 { return int64(tn.rejected.Load()) })
 }

@@ -37,6 +37,17 @@ type Metrics struct {
 	BatchRequests    atomic.Uint64
 	BatchSpecs       atomic.Uint64 // specs received across all batch requests
 
+	// Cluster protocol counters (the daemon side; the node's own gossip
+	// counters live in cluster.NodeStats). Always rendered so dashboards
+	// and serve_check see the series on standalone daemons too.
+	PeerHits        atomic.Uint64 // submissions answered from a peer's disk tier
+	PeerMisses      atomic.Uint64 // read-throughs that found no peer copy
+	PeerServed      atomic.Uint64 // peer read-through requests this daemon answered
+	StealsOut       atomic.Uint64 // queued jobs handed to thief peers
+	StealsIn        atomic.Uint64 // stolen jobs executed for victim peers
+	StealsReclaimed atomic.Uint64 // handoffs taken back from silent thieves
+	QuotaRejected   atomic.Uint64 // submissions rejected by a tenant quota
+
 	// Top-Down stall accounting aggregated over every completed run (paper
 	// §V): raw cycle counters so operators can derive fleet-level stall
 	// ratios, plus how many runs met the >2% SB-bound criterion.
@@ -124,6 +135,13 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degrad
 	counter("spbd_progress_snapshots_total", "Progress callbacks delivered by running simulations.", m.ProgressSnapshot.Load())
 	counter("spbd_batch_requests_total", "Batch sweep requests accepted.", m.BatchRequests.Load())
 	counter("spbd_batch_specs_total", "Specs received across all batch requests.", m.BatchSpecs.Load())
+	counter("spbd_cluster_peer_hits_total", "Submissions answered from a peer's disk tier.", m.PeerHits.Load())
+	counter("spbd_cluster_peer_misses_total", "Peer read-throughs that found no copy in the fleet.", m.PeerMisses.Load())
+	counter("spbd_cluster_peer_served_total", "Peer read-through requests this daemon answered from its disk tier.", m.PeerServed.Load())
+	counter("spbd_cluster_steals_out_total", "Queued jobs handed to thief peers.", m.StealsOut.Load())
+	counter("spbd_cluster_steals_in_total", "Stolen jobs executed on behalf of victim peers.", m.StealsIn.Load())
+	counter("spbd_cluster_steal_reclaimed_total", "Stolen-job handoffs reclaimed from silent thieves.", m.StealsReclaimed.Load())
+	counter("spbd_tenant_quota_rejected_all_total", "Submissions rejected by any tenant quota.", m.QuotaRejected.Load())
 
 	ss := simStats()
 	counter("spbd_sim_insts_total", "Instructions simulated (functional warming + detailed intervals).", ss.InstsSimulated)

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"spb/internal/cluster"
+	"spb/internal/sim"
+)
+
+// This file is spbd's side of the cluster protocols: the cluster.Backend
+// implementation (load reporting, steal handoff, peer cache reads, stolen
+// execution) and the handler mounts. The cluster.Node stays ignorant of
+// jobs, tenants and traces; everything daemon-shaped lives here.
+
+// stolenHandoff tracks one job whose ownership moved to a thief peer. The
+// job stays in s.jobs (clients still poll it by id) and in s.active (late
+// duplicate submissions coalesce onto it), but it is no longer in the local
+// queue — the thief runs it and posts the result back. at drives the
+// reclaim deadline.
+type stolenHandoff struct {
+	j  *job
+	at time.Time
+}
+
+// AttachCluster mounts n's protocol endpoints on the server's mux and wires
+// the peer read-through into the submit path. Must be called before the
+// server starts serving requests.
+func (s *Server) AttachCluster(n *cluster.Node) {
+	s.cluster = n
+	s.mux.HandleFunc("POST /v1/cluster/gossip", n.HandleGossip)
+	s.mux.HandleFunc("GET /v1/cluster/members", n.HandleMembers)
+	s.mux.HandleFunc("POST /v1/cluster/steal", n.HandleSteal)
+	s.mux.HandleFunc("POST /v1/cluster/steal/complete", n.HandleStealComplete)
+	s.mux.HandleFunc("GET /v1/peer/results/{key}", n.HandlePeerRead)
+}
+
+// Cluster reports the attached node (nil on a standalone daemon).
+func (s *Server) Cluster() *cluster.Node { return s.cluster }
+
+// Load implements cluster.Backend: the node gossips this on every round.
+func (s *Server) Load() cluster.Load {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return cluster.Load{
+		Queue:    s.tq.len(),
+		Inflight: int(s.inflight.Load()),
+		Workers:  s.cfg.Workers,
+		Draining: draining,
+	}
+}
+
+// StealJobs implements cluster.Backend: pop up to max queued jobs into the
+// handoff table. Ownership transfers here — the popped jobs can no longer be
+// taken by a local worker, so exactly-once holds by construction; the
+// reclaim janitor is the only way back.
+func (s *Server) StealJobs(max int) []cluster.StolenJob {
+	var out []cluster.StolenJob
+	for len(out) < max {
+		j := s.tq.steal()
+		if j == nil {
+			break
+		}
+		if j.ctx.Err() != nil { // cancelled while queued: finalize, don't export
+			if j.finish(StatusCancelled, sim.Result{}, nil, cancelMsg(j.ctx)) {
+				s.metrics.RunsCancelled.Add(1)
+			}
+			s.clearActive(j)
+			continue
+		}
+		j.setRunning() // remotely, but running: SSE/status views stay truthful
+		j.trace.Event("steal-out")
+		s.mu.Lock()
+		s.stolen[j.id] = &stolenHandoff{j: j, at: time.Now()}
+		s.mu.Unlock()
+		s.metrics.StealsOut.Add(1)
+		out = append(out, cluster.StolenJob{ID: j.id, Key: j.key, Spec: j.spec})
+	}
+	return out
+}
+
+// CompleteStolen implements cluster.Backend: a thief delivering a stolen
+// job's terminal result. False means the handoff is unknown (reclaimed or
+// duplicate delivery) and the caller should not retry.
+func (s *Server) CompleteStolen(id string, res sim.Result, errMsg string) bool {
+	s.mu.Lock()
+	h, ok := s.stolen[id]
+	if ok {
+		delete(s.stolen, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j := h.j
+	defer s.clearActive(j)
+	defer j.trace.Finish()
+	j.trace.Span("remote-run", h.at, time.Now())
+	if errMsg != "" {
+		if j.finish(StatusFailed, sim.Result{}, nil, errMsg) {
+			s.metrics.RunsFailed.Add(1)
+		}
+		return true
+	}
+	stats, err := res.StatsJSON()
+	if err != nil {
+		if j.finish(StatusFailed, sim.Result{}, nil, err.Error()) {
+			s.metrics.RunsFailed.Add(1)
+		}
+		return true
+	}
+	// Seed both local tiers: the thief simulated it, but this daemon owns
+	// the job — its future submitters must hit, not re-simulate.
+	s.runner.Put(j.spec, res)
+	j.committed.Store(res.CPU.Committed)
+	j.cycles.Store(res.CPU.Cycles)
+	if j.finish(StatusDone, res, stats, "") {
+		s.metrics.RunsCompleted.Add(1)
+		s.metrics.ObserveTopDown(&res.CPU)
+	}
+	s.persist(j, res)
+	return true
+}
+
+// ReclaimStolen implements cluster.Backend: take back handoffs whose thief
+// has been silent past the deadline. Reclaimed jobs re-enter the local
+// queue; if it is momentarily full they stay in the handoff table for the
+// next janitor pass rather than being dropped.
+func (s *Server) ReclaimStolen(olderThan time.Duration) int {
+	cutoff := time.Now().Add(-olderThan)
+	s.mu.Lock()
+	var back []*job
+	for id, h := range s.stolen {
+		if h.at.Before(cutoff) {
+			delete(s.stolen, id)
+			back = append(back, h.j)
+		}
+	}
+	s.mu.Unlock()
+	reclaimed := 0
+	for _, j := range back {
+		if j.ctx.Err() != nil {
+			if j.finish(StatusCancelled, sim.Result{}, nil, cancelMsg(j.ctx)) {
+				s.metrics.RunsCancelled.Add(1)
+			}
+			s.clearActive(j)
+			continue
+		}
+		j.trace.Event("steal-reclaim")
+		switch err := s.tq.push(j); err {
+		case nil:
+			s.metrics.StealsReclaimed.Add(1)
+			reclaimed++
+		case errDraining:
+			if j.finish(StatusCancelled, sim.Result{}, nil, errDraining.Error()) {
+				s.metrics.RunsCancelled.Add(1)
+			}
+			s.clearActive(j)
+		default: // queue full right now: park it for the next pass
+			s.mu.Lock()
+			s.stolen[j.id] = &stolenHandoff{j: j, at: time.Now()}
+			s.mu.Unlock()
+		}
+	}
+	return reclaimed
+}
+
+// ReadLocal implements cluster.Backend: serve a peer's read-through from the
+// local disk tier only. Never simulates, never consults peers — recursion
+// ends here.
+func (s *Server) ReadLocal(key string) (sim.Result, bool) {
+	if !s.diskUsable() {
+		return sim.Result{}, false
+	}
+	res, ok, err := s.store.Get(key)
+	if err != nil || !ok {
+		return sim.Result{}, false
+	}
+	s.metrics.PeerServed.Add(1)
+	return res, true
+}
+
+// RunStolen implements cluster.Backend: execute a stolen spec on this node.
+// It deliberately bypasses the admission queue — stolen work is bounded by
+// the thief's free worker capacity at steal time, already has an owner
+// (the victim's clients), and must not be re-stealable or quota-rejected.
+// Cache tiers are consulted first, so stealing a point this node has seen
+// costs a map lookup.
+func (s *Server) RunStolen(ctx context.Context, spec sim.RunSpec) (sim.Result, error) {
+	spec = spec.Normalized()
+	key := Key(spec)
+	s.metrics.StealsIn.Add(1)
+	if res, ok := s.runner.Lookup(spec); ok {
+		return res, nil
+	}
+	if s.diskUsable() {
+		res, ok, err := s.store.Get(key)
+		switch {
+		case err != nil:
+			s.diskError("read", key, err)
+		case ok:
+			s.diskHealthy()
+			s.runner.Put(spec, res)
+			return res, nil
+		default:
+			s.diskHealthy()
+		}
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	res, err := s.runner.GetCtx(ctx, spec, func(sim.Progress) {})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if s.diskUsable() {
+		if perr := s.store.Put(key, res); perr != nil {
+			s.diskError("write", key, perr)
+		} else {
+			s.diskHealthy()
+		}
+	}
+	return res, nil
+}
+
+// clearActive removes j from the active-by-key map if it still owns its key.
+func (s *Server) clearActive(j *job) {
+	s.mu.Lock()
+	if s.active[j.key] == j {
+		delete(s.active, j.key)
+	}
+	s.mu.Unlock()
+}
+
+// persist writes a finished job's result to the disk tier (shared by the
+// local worker path and the stolen-completion path).
+func (s *Server) persist(j *job, res sim.Result) {
+	if !s.diskUsable() {
+		return
+	}
+	writeStart := time.Now()
+	perr := s.store.Put(j.key, res)
+	writeEnd := time.Now()
+	j.trace.Span("store-write", writeStart, writeEnd)
+	s.metrics.StoreWrite.Observe(writeEnd.Sub(writeStart))
+	if perr != nil {
+		s.diskError("write", j.key, perr)
+	} else {
+		s.diskHealthy()
+	}
+}
+
+// fetchFromPeers is submit's read-through: after both local tiers miss, ask
+// the fleet. A hit seeds both local tiers and becomes a terminal job with
+// cache tier "peer".
+func (s *Server) fetchFromPeers(key string, spec sim.RunSpec, traceID string, submitStart time.Time) (*job, bool) {
+	if s.cluster == nil {
+		return nil, false
+	}
+	res, from, ok := s.cluster.FetchPeer(key)
+	if !ok {
+		s.metrics.PeerMisses.Add(1)
+		return nil, false
+	}
+	s.metrics.PeerHits.Add(1)
+	s.cfg.Logf("spbd: peer cache hit %.12s from %s", key, from)
+	s.runner.Put(spec, res)
+	if s.diskUsable() {
+		if perr := s.store.Put(key, res); perr != nil {
+			s.diskError("write", key, perr)
+		} else {
+			s.diskHealthy()
+		}
+	}
+	j, err := s.completedJob(key, spec, res, "peer", traceID, submitStart)
+	if err != nil {
+		return nil, false
+	}
+	return j, true
+}
+
+// Compile-time check: the server is the cluster's backend.
+var _ cluster.Backend = (*Server)(nil)

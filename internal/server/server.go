@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spb/internal/cluster"
 	"spb/internal/faults"
 	"spb/internal/obs"
 	"spb/internal/sim"
@@ -54,6 +55,10 @@ type Config struct {
 	// are byte-identical either way; this is the operational escape hatch
 	// (also reachable via SPB_WARMSTART=0).
 	DisableWarmStart bool
+	// Tenants declares the multi-tenant API keys, weights, priority lanes
+	// and quotas (tenant.go). Empty means single-tenant: no key required,
+	// everything runs as the implicit "default" tenant.
+	Tenants []TenantConfig
 	// Logf receives operational log lines (default: log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -110,6 +115,19 @@ type job struct {
 	submitted time.Time
 	trace     *obs.Trace // nil when tracing is disabled; all methods no-op
 
+	// Tenant scheduling state. tenant is always non-nil (the implicit
+	// default tenant on single-tenant daemons); cost is the spec's work
+	// estimate under the runner's warm-start setting; lane is the strict
+	// priority lane; vfinish/seq are stamped by tenantQueue.push (guarded
+	// by its mutex). onTerminal, when set, runs exactly once as the job
+	// reaches a terminal state — it returns the tenant's quota slot.
+	tenant     *tenantState
+	cost       float64
+	lane       int
+	vfinish    float64
+	seq        uint64
+	onTerminal func()
+
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 
@@ -149,6 +167,10 @@ func (j *job) finish(st Status, res sim.Result, stats json.RawMessage, errMsg st
 	j.stats = stats
 	j.errMsg = errMsg
 	close(j.done)
+	if j.onTerminal != nil {
+		j.onTerminal()
+		j.onTerminal = nil
+	}
 	return true
 }
 
@@ -177,11 +199,21 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job // every job ever accepted, by id
 	active   map[string]*job // queued or running jobs, by spec key
-	queue    chan *job
-	queued   atomic.Int64
+	stolen   map[string]*stolenHandoff
+	tq       *tenantQueue
 	inflight atomic.Int64
 	draining bool
 	nextID   atomic.Uint64
+
+	// Multi-tenancy (tenant.go): tenants maps API key → state,
+	// defaultTenant serves keyless single-tenant traffic, tenantList is
+	// the stable metrics/render order.
+	tenants       map[string]*tenantState
+	defaultTenant *tenantState
+	tenantList    []*tenantState
+
+	// cluster is the attached fleet node (AttachCluster); nil standalone.
+	cluster *cluster.Node
 
 	// Degraded-mode bookkeeping for the disk tier: diskErrStreak counts
 	// consecutive I/O errors; crossing DiskErrorThreshold sets degraded and
@@ -204,7 +236,11 @@ func New(cfg Config) (*Server, error) {
 		metrics: NewMetrics(),
 		jobs:    make(map[string]*job),
 		active:  make(map[string]*job),
-		queue:   make(chan *job, cfg.QueueDepth),
+		stolen:  make(map[string]*stolenHandoff),
+		tq:      newTenantQueue(cfg.QueueDepth),
+	}
+	if err := s.initTenants(cfg.Tenants); err != nil {
+		return nil, err
 	}
 	if cfg.DisableWarmStart {
 		s.runner.SetWarmStart(false)
@@ -245,15 +281,21 @@ var (
 	errDraining  = errors.New("server: draining, not accepting jobs")
 )
 
-// submit resolves a normalized spec against the cache tiers or places it on
-// the queue. It returns the job (fresh, coalesced, or already-complete from
-// cache) — never both a job and an error. traceID, usually propagated from
-// the client's X-Spb-Trace-Id header, groups the job's trace with the
-// caller's; empty mints a fresh ID (when tracing is enabled).
-func (s *Server) submit(spec sim.RunSpec, traceID string) (*job, error) {
+// submit resolves a normalized spec against the cache tiers (memory, disk,
+// then cluster peers) or places it on the tenant-aware queue. It returns the
+// job (fresh, coalesced, or already-complete from cache) — never both a job
+// and an error. traceID, usually propagated from the client's X-Spb-Trace-Id
+// header, groups the job's trace with the caller's; empty mints a fresh ID
+// (when tracing is enabled). tn is the submitting tenant (nil means the
+// implicit default tenant): cache hits and coalesces are free, only a fresh
+// enqueue consumes its quota.
+func (s *Server) submit(spec sim.RunSpec, traceID string, tn *tenantState) (*job, error) {
 	submitStart := time.Now()
 	if err := s.cfg.Faults.Err("submit"); err != nil {
 		return nil, err
+	}
+	if tn == nil {
+		tn = s.defaultTenant
 	}
 	spec = spec.Normalized()
 	key := Key(spec)
@@ -282,10 +324,25 @@ func (s *Server) submit(spec sim.RunSpec, traceID string) (*job, error) {
 			s.diskHealthy()
 		}
 	}
+	// Tier 3: the fleet. Both local tiers missed; a rendezvous-ranked peer
+	// may have simulated this key already (content addressing makes any
+	// answer the right answer).
+	if j, ok := s.fetchFromPeers(key, spec, traceID, submitStart); ok {
+		return j, nil
+	}
 
+	// A genuine miss is about to consume a quota slot; the slot is
+	// released if the submission coalesces or is rejected below, and
+	// otherwise returned by the job's onTerminal hook.
+	if !tn.acquire() {
+		tn.rejected.Add(1)
+		s.metrics.QuotaRejected.Add(1)
+		return nil, errQuota
+	}
 	s.mu.Lock()
 	if j, ok := s.active[key]; ok {
 		s.mu.Unlock()
+		tn.release()
 		s.metrics.RunsCoalesced.Add(1)
 		// The coalesced submitter rides the active job's trace; the marker
 		// records that a second request folded in (and when).
@@ -294,30 +351,40 @@ func (s *Server) submit(spec sim.RunSpec, traceID string) (*job, error) {
 	}
 	if s.draining {
 		s.mu.Unlock()
+		tn.release()
 		return nil, errDraining
 	}
-	j := s.newJobLocked(key, spec)
+	j := s.newJobLocked(key, spec, tn)
+	// The terminal hook returns the quota slot; it must be in place before
+	// the push makes the job visible to workers (a worker can finish it
+	// before submit resumes).
+	j.onTerminal = tn.finishJob
 	// Attach the trace before the job becomes visible to workers via the
-	// queue channel; assigning after the send would race with runJob.
+	// queue; assigning after the push would race with runJob.
 	j.trace = s.cfg.Tracer.Start(traceID, j.id, key)
 	j.trace.Span("submit", submitStart, time.Now())
-	select {
-	case s.queue <- j:
-		s.queued.Add(1)
-		s.jobs[j.id] = j
-		s.active[key] = j
+	if err := s.tq.push(j); err != nil {
 		s.mu.Unlock()
-		s.metrics.CacheMisses.Add(1)
-		return j, nil
-	default:
-		s.mu.Unlock()
-		s.metrics.QueueRejected.Add(1)
+		tn.release()
+		j.onTerminal = nil
+		if errors.Is(err, errQueueFull) {
+			s.metrics.QueueRejected.Add(1)
+		}
 		j.trace.Finish() // rejected: close out the orphan trace
-		return nil, errQueueFull
+		return nil, err
 	}
+	s.jobs[j.id] = j
+	s.active[key] = j
+	s.mu.Unlock()
+	tn.submitted.Add(1)
+	s.metrics.CacheMisses.Add(1)
+	return j, nil
 }
 
-func (s *Server) newJobLocked(key string, spec sim.RunSpec) *job {
+func (s *Server) newJobLocked(key string, spec sim.RunSpec, tn *tenantState) *job {
+	if tn == nil {
+		tn = s.defaultTenant
+	}
 	id := fmt.Sprintf("r%06d-%s", s.nextID.Add(1), key[:8])
 	j := &job{
 		id:          id,
@@ -327,6 +394,9 @@ func (s *Server) newJobLocked(key string, spec sim.RunSpec) *job {
 		targetInsts: spec.Insts * uint64(spec.Cores),
 		done:        make(chan struct{}),
 		status:      StatusQueued,
+		tenant:      tn,
+		cost:        float64(spec.CostEstimateAt(s.runner.WarmStart())),
+		lane:        tn.laneIdx,
 	}
 	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
 	return j
@@ -340,7 +410,7 @@ func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier
 		return nil, err
 	}
 	s.mu.Lock()
-	j := s.newJobLocked(key, spec)
+	j := s.newJobLocked(key, spec, nil) // cache hits are quota-free
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 	j.cached = tier
@@ -357,8 +427,11 @@ func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier
 
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
-		s.queued.Add(-1)
+	for {
+		j, ok := s.tq.pop()
+		if !ok {
+			return
+		}
 		s.inflight.Add(1)
 		s.runJob(j)
 		s.inflight.Add(-1)
@@ -458,24 +531,28 @@ func cancelMsg(ctx context.Context) string {
 	return "cancelled"
 }
 
-// cancelJob cancels a job's context and, if the job had not started
-// running, finalizes it immediately (so a queued job doesn't report
-// "queued" until a worker gets around to it).
+// cancelJob cancels a job's context and, if the job is not actually
+// executing anywhere — still queued locally, or handed off to a thief —
+// finalizes it immediately (so it doesn't report a live status until
+// somebody gets around to it). A stolen job's handoff is dropped; the
+// thief's late completion is answered with "unknown handoff" and ignored.
 func (s *Server) cancelJob(j *job, cause error) {
 	j.cancel(cause)
+	s.mu.Lock()
+	_, stolenOut := s.stolen[j.id]
+	if stolenOut {
+		delete(s.stolen, j.id)
+	}
+	s.mu.Unlock()
 	j.mu.Lock()
 	queued := j.status == StatusQueued
 	j.mu.Unlock()
-	if queued {
+	if queued || stolenOut {
 		if j.finish(StatusCancelled, sim.Result{}, nil, cause.Error()) {
 			s.metrics.RunsCancelled.Add(1)
 			j.trace.Event("cancel")
 		}
-		s.mu.Lock()
-		if s.active[j.key] == j {
-			delete(s.active, j.key)
-		}
-		s.mu.Unlock()
+		s.clearActive(j)
 	}
 }
 
@@ -496,13 +573,27 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.tq.close()
 	}
 	s.mu.Unlock()
 
 	idle := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		// Wait out stolen handoffs too: their thieves are still computing
+		// results this daemon's clients are blocked on.
+		for ctx.Err() == nil {
+			s.mu.Lock()
+			n := len(s.stolen)
+			s.mu.Unlock()
+			if n == 0 {
+				break
+			}
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+			}
+		}
 		close(idle)
 	}()
 	select {
@@ -511,7 +602,27 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		s.baseCancel(fmt.Errorf("drain deadline exceeded: %w", context.Cause(ctx)))
 		<-idle // cancellation propagates within a few thousand sim cycles
+		s.failStolen(fmt.Errorf("drain deadline exceeded"))
 		return ctx.Err()
+	}
+}
+
+// failStolen finalizes every outstanding stolen handoff as cancelled (drain
+// deadline: the thief's eventual completion will be answered with "unknown
+// handoff" and dropped).
+func (s *Server) failStolen(cause error) {
+	s.mu.Lock()
+	var orphans []*job
+	for id, h := range s.stolen {
+		delete(s.stolen, id)
+		orphans = append(orphans, h.j)
+	}
+	s.mu.Unlock()
+	for _, j := range orphans {
+		if j.finish(StatusCancelled, sim.Result{}, nil, cause.Error()) {
+			s.metrics.RunsCancelled.Add(1)
+		}
+		s.clearActive(j)
 	}
 }
 
@@ -529,7 +640,7 @@ func (s *Server) jobByID(id string) *job {
 }
 
 // QueueDepth reports jobs waiting for a worker (metrics gauge).
-func (s *Server) QueueDepth() int { return int(s.queued.Load()) }
+func (s *Server) QueueDepth() int { return s.tq.len() }
 
 // Inflight reports simulations currently executing (metrics gauge).
 func (s *Server) Inflight() int { return int(s.inflight.Load()) }

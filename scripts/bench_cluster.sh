@@ -1,0 +1,148 @@
+#!/bin/sh
+# bench_cluster.sh — record the cluster subsystem baseline in BENCH_cluster.json.
+#
+# Two measurements:
+#   1. Work-stealing makespan on a skewed load: every point of a fixed mix
+#      is submitted to ONE node of a 3-node fleet (the worst-case client —
+#      no pool, no sharding). With stealing disabled the loaded node grinds
+#      through its queue alone; with stealing enabled its idle peers drain
+#      the backlog. Each makespan is the minimum of RUNS attempts over
+#      freshly started daemons with cold caches (every point simulates).
+#      Stealing only helps when the host has cores for the other nodes to
+#      use — host.cpus records which situation the numbers describe.
+#   2. Weighted-fair tenancy: a weight-3 and a weight-1 tenant storm a
+#      single saturated daemon concurrently; the recorded shares are each
+#      tenant's fraction of completions at the instant the first tenant
+#      finished (see spbload -tenants). The shares should track 75/25.
+set -eu
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-2}"
+OUT="${OUT:-BENCH_cluster.json}"
+MIX="-workloads bwaves,mcf -policies spb,at-commit -sb 14,56 -insts 100000"
+COUNT=24
+
+command -v curl >/dev/null || { echo "bench-cluster: curl required"; exit 1; }
+
+CPUS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+W=$(( CPUS / 3 )); [ "$W" -lt 1 ] && W=1
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+go build -o "$TMP/spbd" ./cmd/spbd
+go build -o "$TMP/spbload" ./cmd/spbload
+
+# start_fleet <steal: true|false> — 3 cold-cache nodes; sets B1 (the node
+# the skewed load hits) and PIDS.
+start_fleet() {
+    steal=$1; B1=""; SEED=""; PIDS=""
+    n=0
+    while [ "$n" -lt 3 ]; do
+        n=$((n+1))
+        LOG="$TMP/node$n.log"; : >"$LOG"
+        rm -rf "$TMP/bench-cache-$n"
+        set -- -addr 127.0.0.1:0 -cache-dir "$TMP/bench-cache-$n" -workers "$W" \
+            -cluster-advertise auto -cluster-id "node$n" -gossip-interval 100ms \
+            -cluster-steal="$steal"
+        [ -n "$SEED" ] && set -- "$@" -cluster-join "$SEED"
+        GOMAXPROCS="$W" "$TMP/spbd" "$@" >"$LOG" 2>&1 &
+        PIDS="$PIDS $!"
+        j=0
+        until grep -q "listening on" "$LOG" 2>/dev/null; do
+            j=$((j+1)); [ "$j" -gt 100 ] && { echo "node$n never started"; cat "$LOG"; exit 1; }
+            sleep 0.1
+        done
+        ADDR=$(sed -n 's/^spbd: listening on \([^ ]*\).*$/\1/p' "$LOG")
+        URL="http://127.0.0.1:${ADDR##*:}"
+        [ -z "$SEED" ] && SEED="$URL"
+        [ -z "$B1" ] && B1="$URL"
+    done
+    # Let membership converge before the storm so thieves know the victim.
+    j=0
+    until curl -fsS "$B1/v1/cluster/members" 2>/dev/null \
+        | jq -e '[.members[] | select(.state == "alive")] | length == 3' >/dev/null 2>&1; do
+        j=$((j+1)); [ "$j" -gt 100 ] && { echo "fleet never converged"; exit 1; }
+        sleep 0.1
+    done
+}
+
+stop_fleet() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
+    PIDS=""
+}
+
+# time_ms CMD... -> echoes wall milliseconds
+time_ms() {
+    S="$(date +%s%N)"
+    "$@" >/dev/null
+    E="$(date +%s%N)"
+    echo $(( (E - S) / 1000000 ))
+}
+
+# makespan <steal> -> min wall ms over RUNS of the skewed batch
+makespan() {
+    MINV=""
+    for r in $(seq 1 "$RUNS"); do
+        start_fleet "$1"
+        # shellcheck disable=SC2086
+        MS=$(time_ms "$TMP/spbload" -addr "$B1" -batch -count "$COUNT" $MIX -seed 7)
+        stop_fleet
+        echo "  steal=$1 run $r: ${MS}ms" >&2
+        if [ -z "$MINV" ] || [ "$MS" -lt "$MINV" ]; then MINV="$MS"; fi
+    done
+    echo "$MINV"
+}
+
+echo "== skewed-load makespan, stealing OFF =="
+OFF=$(makespan false)
+echo "== skewed-load makespan, stealing ON =="
+ON=$(makespan true)
+
+echo "== weighted-fair tenant storm (3:1) on one saturated daemon =="
+rm -rf "$TMP/bench-cache-t"
+GOMAXPROCS=1 "$TMP/spbd" -addr 127.0.0.1:0 -cache-dir "$TMP/bench-cache-t" -workers 1 \
+    -tenants 'heavy:kh:weight=3;light:kl' >"$TMP/tenant.log" 2>&1 &
+PIDS="$PIDS $!"
+j=0
+until grep -q "listening on" "$TMP/tenant.log" 2>/dev/null; do
+    j=$((j+1)); [ "$j" -gt 100 ] && { echo "tenant daemon never started"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^spbd: listening on \([^ ]*\).*$/\1/p' "$TMP/tenant.log")
+TB="http://127.0.0.1:${ADDR##*:}"
+# shellcheck disable=SC2086
+"$TMP/spbload" -addr "$TB" -tenants 'heavy:kh:weight=3;light:kl' \
+    -count 20 $MIX >"$TMP/storm.txt"
+cat "$TMP/storm.txt"
+HEAVY=$(awk '/^tenant heavy/ { sub("%","",$8); print $8 }' "$TMP/storm.txt")
+LIGHT=$(awk '/^tenant light/ { sub("%","",$8); print $8 }' "$TMP/storm.txt")
+stop_fleet
+
+{
+    echo '{'
+    echo '  "host": {'
+    echo "    \"cpus\": $CPUS, \"workers_per_node\": $W,"
+    echo '    "note": "stealing needs cpus > the loaded node'\''s workers to show a win; on a 1-cpu host all nodes share the core and the steal protocol only adds overhead"'
+    echo '  },'
+    echo "  \"mix\": { \"workloads\": \"bwaves,mcf\", \"policies\": \"spb,at-commit\", \"sb\": \"14,56\", \"insts\": 100000, \"count\": $COUNT },"
+    echo "  \"runs\": $RUNS,"
+    echo '  "skewed_makespan_min_wall_ms": {'
+    echo "    \"steal_off\": $OFF,"
+    echo "    \"steal_on\": $ON,"
+    echo "    \"speedup\": $(awk "BEGIN { printf \"%.2f\", $OFF / $ON }")"
+    echo '  },'
+    echo '  "tenant_storm_shares_pct": {'
+    echo "    \"heavy_weight3\": $HEAVY,"
+    echo "    \"light_weight1\": $LIGHT,"
+    echo '    "weight_shares": { "heavy_weight3": 75.0, "light_weight1": 25.0 }'
+    echo '  }'
+    echo '}'
+} > "$OUT"
+echo "wrote $OUT"

@@ -39,8 +39,12 @@ go build -o "$TMP/spbload" ./cmd/spbload
 # cache and appends its pid to PIDS; sets BASE to the daemon's base URL.
 start_daemon() {
     name=$1; faults=$2
+    # Truncate before launching: on a restart the until-grep below must not
+    # match the previous incarnation's log while the new process is still
+    # setting up its own redirection.
+    : >"$TMP/$name.log"
     "$TMP/spbd" -addr 127.0.0.1:0 -cache-dir "$TMP/cache-$name" -workers 2 \
-        -faults "$faults" >"$TMP/$name.log" 2>&1 &
+        -faults "$faults" >>"$TMP/$name.log" 2>&1 &
     PIDS="$PIDS $!"
     i=0
     until grep -q "listening on" "$TMP/$name.log" 2>/dev/null; do

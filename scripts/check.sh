@@ -12,10 +12,12 @@ echo "== go build =="
 go build ./...
 echo "== go test =="
 go test ./...
-echo "== go test -race (sim, figures, server, client, obs, memsys, cpu, trace) =="
-go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/obs ./internal/memsys ./internal/cpu ./internal/trace
+echo "== go test -race (sim, figures, server, client, cluster, obs, memsys, cpu, trace) =="
+go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/cluster ./internal/obs ./internal/memsys ./internal/cpu ./internal/trace
 echo "== serve-check (spbd end-to-end smoke) =="
 sh scripts/serve_check.sh
 echo "== chaos-check (fault injection + self-healing) =="
 sh scripts/chaos_check.sh
+echo "== cluster-check (3-node fleet: gossip, stealing, peering, tenants) =="
+sh scripts/cluster_check.sh
 echo "OK"

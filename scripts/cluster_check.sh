@@ -1,0 +1,220 @@
+#!/bin/sh
+# cluster_check.sh — end-to-end gate for the cluster subsystem: a real
+# 3-node spbd fleet exercised from the outside.
+#   1. three daemons gossip through a single seed and converge on a full
+#      membership view;
+#   2. a result simulated on one node is served to another from the peer
+#      disk tier (cached tier "peer", byte-identical stats);
+#   3. under skewed load (every job posted to a 1-worker victim) idle peers
+#      steal the queue and the spbd_cluster_steals_* counters advance on
+#      both sides;
+#   4. a killed node goes non-alive in the survivors' view and rejoins with
+#      a fresh liveness epoch that supersedes the old incarnation;
+#   5. a sweep through the cluster (-cluster discovery from one seed) is
+#      byte-identical to the in-process sweep, including under a fault
+#      storm covering the three cluster fault sites (gossip.drop,
+#      steal.cut, peer.read);
+#   6. multi-tenant admission: keyless submits get 401, an over-quota
+#      tenant gets 429 + Retry-After, the spbd_tenant_* metrics carry
+#      per-tenant labels, and an spbload -tenants storm completes with a
+#      weighted-fair share report;
+#   7. every daemon drains cleanly on SIGTERM.
+set -eu
+cd "$(dirname "$0")/.."
+
+command -v curl >/dev/null || { echo "cluster-check: curl required"; exit 1; }
+command -v jq >/dev/null || { echo "cluster-check: jq required"; exit 1; }
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build spbd + spbsweep + spbload =="
+go build -o "$TMP/spbd" ./cmd/spbd
+go build -o "$TMP/spbsweep" ./cmd/spbsweep
+go build -o "$TMP/spbload" ./cmd/spbload
+
+# start_node <name> <workers> <join-csv> [extra flags...] — starts one
+# cluster member with its own disk cache; sets BASE and NODE_PID.
+start_node() {
+    name=$1; workers=$2; join=$3; shift 3
+    set -- "$@" -addr 127.0.0.1:0 -cache-dir "$TMP/cache-$name" \
+        -workers "$workers" -cluster-advertise auto -cluster-id "$name" \
+        -gossip-interval 100ms -steal-timeout 2s
+    [ -n "$join" ] && set -- "$@" -cluster-join "$join"
+    "$TMP/spbd" "$@" >>"$TMP/$name.log" 2>&1 &
+    NODE_PID=$!
+    PIDS="$PIDS $NODE_PID"
+    i=0
+    until grep -q "listening on" "$TMP/$name.log" 2>/dev/null; do
+        i=$((i+1)); [ "$i" -gt 100 ] && { echo "$name never started"; cat "$TMP/$name.log"; exit 1; }
+        sleep 0.1
+    done
+    ADDR=$(tail -20 "$TMP/$name.log" | sed -n 's/^spbd: listening on \([^ ]*\).*$/\1/p' | tail -1)
+    BASE="http://127.0.0.1:${ADDR##*:}"
+    echo "   $name at $BASE (workers $workers)"
+}
+
+# wait_alive <base> <n> — polls the membership view until n members are alive.
+wait_alive() {
+    i=0
+    until curl -fsS "$1/v1/cluster/members" 2>/dev/null \
+        | jq -e --argjson n "$2" '[.members[] | select(.state == "alive")] | length == $n' >/dev/null; do
+        i=$((i+1)); [ "$i" -gt 100 ] && {
+            echo "membership at $1 never reached $2 alive members"
+            curl -fsS "$1/v1/cluster/members" | jq . || true; exit 1; }
+        sleep 0.1
+    done
+}
+
+# metric <base> <name> — prints the (label-free) counter value, 0 if absent.
+metric() {
+    curl -fsS "$1/metrics" | awk -v m="$2" '$1 == m { print $2; found=1 } END { if (!found) print 0 }'
+}
+
+echo "== start a 3-node fleet (n1 is the 1-worker steal victim) =="
+start_node n1 1 "";     B1=$BASE; P1=$NODE_PID
+start_node n2 2 "$B1";  B2=$BASE
+start_node n3 2 "$B1";  B3=$BASE; P3=$NODE_PID
+
+echo "== gossip converges to 3 alive members on every node =="
+for b in "$B1" "$B2" "$B3"; do wait_alive "$b" 3; done
+
+echo "== peer cache read-through: n3 serves n2's result byte-identically =="
+SPEC='{"workload":"mcf","policy":"spb","sb":28,"insts":20000}'
+curl -fsS -X POST "$B2/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SPEC" >"$TMP/origin.json"
+jq -e '.status == "done" and ((.cached // "") == "")' "$TMP/origin.json" >/dev/null
+KEY=$(jq -r '.key' "$TMP/origin.json")
+ENTRY="$TMP/cache-n2/$(printf %s "$KEY" | cut -c1-2)/$KEY.json"
+i=0
+until [ -s "$ENTRY" ]; do
+    i=$((i+1)); [ "$i" -gt 100 ] && { echo "n2 never persisted $KEY"; exit 1; }
+    sleep 0.1
+done
+curl -fsS -X POST "$B3/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SPEC" >"$TMP/peer.json"
+jq -e '.status == "done" and .cached == "peer"' "$TMP/peer.json" >/dev/null || {
+    echo "n3 did not answer from the peer tier"; cat "$TMP/peer.json"; exit 1; }
+jq -ce '.stats' "$TMP/origin.json" >"$TMP/origin_stats.json"
+jq -ce '.stats' "$TMP/peer.json" | cmp - "$TMP/origin_stats.json" || {
+    echo "peer-served stats differ from the origin"; exit 1; }
+[ "$(metric "$B3" spbd_cluster_peer_hits_total)" -ge 1 ] || {
+    echo "n3 peer_hits_total did not advance"; exit 1; }
+[ "$(metric "$B2" spbd_cluster_peer_served_total)" -ge 1 ] || {
+    echo "n2 peer_served_total did not advance"; exit 1; }
+
+echo "== work stealing drains a skewed queue on n1 =="
+LONG='{"workload":"bwaves","policy":"spb","sb":14,"insts":2000000000}'
+BLOCKER=$(curl -fsS -X POST "$B1/v1/runs" -H 'Content-Type: application/json' -d "$LONG" | jq -r '.id')
+i=0
+until curl -fsS "$B1/v1/runs/$BLOCKER" | jq -e '.status == "running"' >/dev/null; do
+    i=$((i+1)); [ "$i" -gt 100 ] && { echo "blocker never started"; exit 1; }
+    sleep 0.1
+done
+IDS=""
+for seed in 11 12 13 14 15 16; do
+    ID=$(curl -fsS -X POST "$B1/v1/runs" -H 'Content-Type: application/json' \
+        -d "{\"workload\":\"bwaves\",\"policy\":\"spb\",\"sb\":14,\"insts\":30000,\"seed\":$seed}" | jq -r '.id')
+    IDS="$IDS $ID"
+done
+for id in $IDS; do
+    i=0
+    until curl -fsS "$B1/v1/runs/$id" | jq -e '.status == "done"' >/dev/null; do
+        i=$((i+1)); [ "$i" -gt 300 ] && {
+            echo "queued job $id never finished (stealing broken?)"
+            curl -fsS "$B1/v1/runs/$id" | jq .; exit 1; }
+        sleep 0.1
+    done
+done
+curl -fsS -X POST "$B1/v1/runs/$BLOCKER/cancel" >/dev/null
+[ "$(metric "$B1" spbd_cluster_steals_out_total)" -ge 1 ] || {
+    echo "victim steals_out_total did not advance"; exit 1; }
+IN=$(( $(metric "$B2" spbd_cluster_steals_in_total) + $(metric "$B3" spbd_cluster_steals_in_total) ))
+[ "$IN" -ge 1 ] || { echo "no thief counted a stolen execution"; exit 1; }
+echo "   n1 handed off $(metric "$B1" spbd_cluster_steals_out_total) jobs; thieves ran $IN"
+
+echo "== kill n3: survivors mark it non-alive =="
+kill -TERM "$P3"; wait "$P3" 2>/dev/null || true
+i=0
+until curl -fsS "$B1/v1/cluster/members" \
+    | jq -e '[.members[] | select(.state == "alive")] | length == 2' >/dev/null; do
+    i=$((i+1)); [ "$i" -gt 100 ] && { echo "n1 never suspected the dead n3"; exit 1; }
+    sleep 0.1
+done
+
+echo "== n3 rejoins on the same port with a fresh epoch =="
+OLD_EPOCH=$(curl -fsS "$B1/v1/cluster/members" \
+    | jq -r '[.members[] | select(.id == "n3")][0].epoch // 0')
+N3_PORT=${B3##*:}
+"$TMP/spbd" -addr "127.0.0.1:$N3_PORT" -cache-dir "$TMP/cache-n3" -workers 2 \
+    -cluster-advertise auto -cluster-id n3 -gossip-interval 100ms -steal-timeout 2s \
+    -cluster-join "$B1" >>"$TMP/n3.log" 2>&1 &
+PIDS="$PIDS $!"
+for b in "$B1" "$B2" "$B3"; do wait_alive "$b" 3; done
+NEW_EPOCH=$(curl -fsS "$B1/v1/cluster/members" \
+    | jq -r '[.members[] | select(.id == "n3")][0].epoch')
+[ "$NEW_EPOCH" -gt "$OLD_EPOCH" ] || {
+    echo "rejoined n3 epoch $NEW_EPOCH does not supersede $OLD_EPOCH"; exit 1; }
+
+GRID="-suite sbbound -sb 14,56 -policies at-commit,spb -insts 30000"
+
+echo "== cluster sweep (one seed, -cluster discovery) is byte-identical =="
+# shellcheck disable=SC2086
+"$TMP/spbsweep" $GRID >"$TMP/local.csv"
+# shellcheck disable=SC2086
+"$TMP/spbsweep" $GRID -server "$B1" -cluster >"$TMP/cluster.csv"
+cmp "$TMP/local.csv" "$TMP/cluster.csv" || {
+    echo "cluster sweep CSV differs from in-process"; exit 1; }
+
+echo "== chaos fleet: same sweep under gossip.drop + steal.cut + peer.read =="
+CHAOS="seed=7;gossip.drop:error:0.2;steal.cut:cut:0.5:limit=2;peer.read:error:0.5:limit=4"
+start_node c1 1 ""    -faults "$CHAOS" -steal-timeout 1s; C1=$BASE
+start_node c2 2 "$C1" -faults "$CHAOS" -steal-timeout 1s; C2=$BASE
+start_node c3 2 "$C1" -faults "$CHAOS" -steal-timeout 1s
+for b in "$C1" "$C2"; do wait_alive "$b" 3; done
+# shellcheck disable=SC2086
+"$TMP/spbsweep" $GRID -server "$C1" -cluster >"$TMP/chaos.csv"
+cmp "$TMP/local.csv" "$TMP/chaos.csv" || {
+    echo "chaos-fleet sweep CSV differs from in-process"; exit 1; }
+
+echo "== multi-tenant daemon: auth, quota, weighted-fair storm =="
+start_node t1 2 "" -tenants 'heavy:kh:weight=3;light:kl;capped:kq:quota=1'; T1=$BASE
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$T1/v1/runs" \
+    -H 'Content-Type: application/json' -d "$SPEC")
+[ "$CODE" = 401 ] || { echo "keyless submit got $CODE, want 401"; exit 1; }
+# capped (quota=1): a long run fills the quota, the next distinct spec is 429.
+CID=$(curl -fsS -X POST "$T1/v1/runs" -H 'Content-Type: application/json' \
+    -H 'X-Spb-Api-Key: kq' -d "$LONG" | jq -r '.id')
+curl -s -o /dev/null -D "$TMP/quota.hdr" -X POST "$T1/v1/runs" \
+    -H 'Content-Type: application/json' -H 'X-Spb-Api-Key: kq' \
+    -d '{"workload":"mcf","policy":"spb","sb":14,"insts":2000000000}'
+grep -q "^HTTP/1.1 429" "$TMP/quota.hdr" || {
+    echo "over-quota submit not rejected with 429"; cat "$TMP/quota.hdr"; exit 1; }
+grep -qi "^Retry-After:" "$TMP/quota.hdr" || {
+    echo "quota 429 carries no Retry-After"; exit 1; }
+curl -fsS -X POST "$T1/v1/runs/$CID/cancel" -H 'X-Spb-Api-Key: kq' >/dev/null
+"$TMP/spbload" -addr "$T1" -tenants 'heavy:kh:weight=3;light:kl' \
+    -count 24 -insts 20000 >"$TMP/storm.txt" || {
+    echo "tenant storm failed"; cat "$TMP/storm.txt"; exit 1; }
+grep -q "fairness window" "$TMP/storm.txt"
+grep -q "tenant heavy" "$TMP/storm.txt"
+curl -fsS "$T1/metrics" >"$TMP/tmetrics.txt"
+grep -q 'spbd_tenant_weight{tenant="heavy"} 3' "$TMP/tmetrics.txt"
+grep -q 'spbd_tenant_quota_rejected_total{tenant="capped"} 1' "$TMP/tmetrics.txt"
+grep -Eq 'spbd_tenant_completed_total\{tenant="light"\} [1-9]' "$TMP/tmetrics.txt"
+
+echo "== SIGTERM drains every daemon cleanly =="
+for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
+for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
+PIDS=""
+for name in n1 n2 n3 c1 c2 c3 t1; do
+    grep -q "drained cleanly" "$TMP/$name.log" || {
+        echo "$name did not drain cleanly"; tail "$TMP/$name.log"; exit 1; }
+done
+
+echo "cluster-check OK"

@@ -142,6 +142,16 @@ done
 grep -q 'spbd_topdown_cycles_total{class="all"}' "$TMP/metrics3.txt" \
     || { echo "metrics missing Top-Down cycle counters"; exit 1; }
 
+echo "== cluster + tenant series present on a standalone daemon =="
+# These render unconditionally (all zero / default tenant) so dashboards
+# and alerts can be written once for standalone and clustered fleets alike.
+for m in spbd_cluster_peer_hits_total spbd_cluster_steals_out_total \
+         spbd_cluster_steal_reclaimed_total spbd_tenant_quota_rejected_all_total; do
+    grep -q "^$m " "$TMP/metrics3.txt" || { echo "metrics missing $m"; exit 1; }
+done
+grep -q 'spbd_tenant_weight{tenant="default"} 1' "$TMP/metrics3.txt" \
+    || { echo "metrics missing the implicit default tenant series"; exit 1; }
+
 echo "== SIGTERM drains cleanly =="
 kill -TERM "$SPBD_PID"
 wait "$SPBD_PID"
