@@ -84,6 +84,7 @@ func main() {
 		clusterSteal     = flag.Bool("cluster-steal", true, "steal queued jobs from overloaded peers when idle")
 		stealTimeout     = flag.Duration("steal-timeout", 30*time.Second, "reclaim a stolen job if the thief stays silent this long")
 		peerRead         = flag.Bool("peer-read", true, "consult peer disk caches before simulating a miss")
+		clusterSecret    = flag.String("cluster-secret", os.Getenv("SPB_CLUSTER_SECRET"), "shared fleet secret authenticating gossip/steal/peer-read endpoints (default: $SPB_CLUSTER_SECRET; empty leaves the cluster plane open)")
 		tenantsSpec      = flag.String("tenants", os.Getenv("SPB_TENANTS"), "tenant spec 'name:key[:weight=N][:prio=high|normal|low][:quota=N];...' (default: $SPB_TENANTS; empty = single implicit tenant, no auth)")
 	)
 	flag.Parse()
@@ -173,6 +174,7 @@ func main() {
 			DisableSteal:    !*clusterSteal,
 			StealTimeout:    *stealTimeout,
 			DisablePeerRead: !*peerRead,
+			Secret:          *clusterSecret,
 			Faults:          injector,
 			Logf:            log.Printf,
 		}, srv)
@@ -181,8 +183,12 @@ func main() {
 		}
 		srv.AttachCluster(node)
 		node.Start()
-		log.Printf("spbd: cluster node %s advertising %s (seeds %v, steal %v, peer-read %v)",
-			node.ID(), adv, seeds, *clusterSteal, *peerRead)
+		log.Printf("spbd: cluster node %s advertising %s (seeds %v, steal %v, peer-read %v, secured %v)",
+			node.ID(), adv, seeds, *clusterSteal, *peerRead, *clusterSecret != "")
+		if len(tenants) > 0 && *clusterSecret == "" {
+			log.Printf("spbd: WARNING: -tenants is set but -cluster-secret is empty; " +
+				"the cluster plane (steal, peer reads, gossip) accepts unauthenticated callers")
+		}
 	}
 
 	hs := &http.Server{Handler: srv}
@@ -199,7 +205,9 @@ func main() {
 	}
 
 	// Leave the cluster first: stop gossiping/stealing so peers stop routing
-	// work here while the drain empties the queue.
+	// work here while the drain empties the queue. The victim-side reclaim
+	// of silent thieves' handoffs survives this — Drain stands in for the
+	// stopped janitor and finishes reclaimed jobs locally.
 	if node != nil {
 		node.Stop()
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -270,6 +271,123 @@ func TestRestartSupersedes(t *testing.T) {
 	ms := tb.Snapshot(now, time.Minute, time.Hour)
 	if len(ms) != 1 || ms[0].Epoch != 200 {
 		t.Fatalf("snapshot = %+v, want the epoch-200 incarnation", ms)
+	}
+}
+
+// blockingBackend runs stolen jobs until their context is cancelled —
+// standing in for a thief mid-simulation at shutdown.
+type blockingBackend struct {
+	*stubBackend
+	started chan struct{} // closed when the first stolen run is executing
+	once    sync.Once
+}
+
+func (b *blockingBackend) RunStolen(ctx context.Context, spec sim.RunSpec) (sim.Result, error) {
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return sim.Result{}, ctx.Err()
+}
+
+// TestShutdownAbandonsStolenJobs: a thief stopped mid-run must NOT deliver
+// its own cancellation as the job's terminal failure — it stays silent so
+// the victim's reclaim janitor re-queues the work. A rolling restart of one
+// node must never fail other nodes' jobs.
+func TestShutdownAbandonsStolenJobs(t *testing.T) {
+	victim := newStubBackend(Load{Workers: 1, Inflight: 1})
+	victim.queue = append(victim.queue, StolenJob{
+		ID: "job-0", Key: "key-0", Spec: sim.RunSpec{Workload: "bwaves", Seed: 1},
+	})
+	thief := &blockingBackend{
+		stubBackend: newStubBackend(Load{Workers: 4}),
+		started:     make(chan struct{}),
+	}
+
+	vNode, vTS := testNode(t, victim, Config{ID: "victim", Epoch: 1, DisableSteal: true})
+	tNode, _ := testNode(t, thief, Config{ID: "thief", Epoch: 2, Seeds: []string{vTS.URL}, StealThreshold: 1})
+	vNode.Start()
+	tNode.Start()
+
+	select {
+	case <-thief.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("the thief never began executing a stolen job")
+	}
+	// Graceful shutdown: cancels the in-flight stolen run and waits for its
+	// goroutine, so any (wrong) completion would have been posted by now.
+	tNode.Stop()
+
+	if got := victim.completedCount(); got != 0 {
+		t.Errorf("victim received %d completions; a thief's shutdown must deliver none", got)
+	}
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	if len(victim.handoffs) != 1 {
+		t.Errorf("victim has %d handoffs, want 1 kept for the reclaim janitor", len(victim.handoffs))
+	}
+}
+
+// TestClusterSecret: with a shared secret configured, keyless callers are
+// rejected from every protocol endpoint (membership stays open for client
+// discovery), and a fleet agreeing on the secret still steals end to end.
+func TestClusterSecret(t *testing.T) {
+	const secret = "fleet-s3cret"
+	victim := newStubBackend(Load{Workers: 1, Inflight: 1})
+	for i := 0; i < 2; i++ {
+		victim.queue = append(victim.queue, StolenJob{
+			ID:   fmt.Sprintf("job-%d", i),
+			Key:  fmt.Sprintf("key-%d", i),
+			Spec: sim.RunSpec{Workload: "bwaves", Seed: uint64(i + 1)},
+		})
+	}
+	vNode, vTS := testNode(t, victim, Config{ID: "victim", Epoch: 1, DisableSteal: true, Secret: secret})
+
+	probes := []struct{ method, path, body string }{
+		{http.MethodPost, "/v1/cluster/steal", `{"thief":"intruder","max":8}`},
+		{http.MethodPost, "/v1/cluster/steal/complete", `{"id":"job-0","error":"forged"}`},
+		{http.MethodPost, "/v1/cluster/gossip", `{}`},
+		{http.MethodGet, "/v1/peer/results/key-0", ""},
+	}
+	for _, wrongKey := range []string{"", "not-the-secret"} {
+		for _, p := range probes {
+			req, err := http.NewRequest(p.method, vTS.URL+p.path, strings.NewReader(p.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wrongKey != "" {
+				req.Header.Set(ClusterKeyHeader, wrongKey)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Errorf("%s %s with key %q = %d, want 401", p.method, p.path, wrongKey, resp.StatusCode)
+			}
+		}
+	}
+	resp, err := http.Get(vTS.URL + "/v1/cluster/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("members view = %d, want 200 (discovery stays open)", resp.StatusCode)
+	}
+	if victim.completedCount() != 0 {
+		t.Fatal("a forged completion got through")
+	}
+
+	// The secret-bearing fleet works end to end.
+	thief := newStubBackend(Load{Workers: 4})
+	tNode, _ := testNode(t, thief, Config{ID: "thief", Epoch: 2, Seeds: []string{vTS.URL}, Secret: secret})
+	vNode.Start()
+	tNode.Start()
+	waitFor(t, 5*time.Second, "both stolen jobs to complete through the secured plane", func() bool {
+		return victim.completedCount() == 2
+	})
+	if tNode.Stats().StealJobsTaken.Load() != 2 {
+		t.Errorf("StealJobsTaken = %d, want 2", tNode.Stats().StealJobsTaken.Load())
 	}
 }
 

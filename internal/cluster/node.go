@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -99,6 +100,14 @@ type Config struct {
 	// StealTimeout is the victim-side reclaim deadline: a handoff with no
 	// completion for this long is re-enqueued locally (default 30s).
 	StealTimeout time.Duration
+
+	// Secret, when non-empty, authenticates the cluster plane: every node
+	// sends it in the X-Spb-Cluster-Key header on gossip/steal/peer calls
+	// and rejects inbound protocol requests without it (401). It must be
+	// identical fleet-wide. Empty leaves the plane open — acceptable only
+	// on trusted networks; always set it alongside tenant auth, or the
+	// steal/peer endpoints hand out RunSpecs and results keylessly.
+	Secret string
 
 	// DisablePeerRead turns the cache read-through off.
 	DisablePeerRead bool
@@ -233,6 +242,11 @@ func (n *Node) ID() string { return n.cfg.ID }
 
 // Epoch reports the node's incarnation number.
 func (n *Node) Epoch() uint64 { return n.cfg.Epoch }
+
+// StealTimeout reports the victim-side reclaim deadline. server.Drain uses
+// it to keep reclaiming silent thieves' handoffs after Stop has halted the
+// node's own janitor loop.
+func (n *Node) StealTimeout() time.Duration { return n.cfg.StealTimeout }
 
 // self renders this node's current member record (fresh beat + load).
 func (n *Node) self() Member {
@@ -375,9 +389,33 @@ func (n *Node) exchange(url string) error {
 	return nil
 }
 
+// ClusterKeyHeader carries the shared fleet secret on every cluster-plane
+// request (gossip, steal, steal/complete, peer reads).
+const ClusterKeyHeader = "X-Spb-Cluster-Key"
+
+// authorize gates one inbound cluster-plane request. With no secret
+// configured the plane is open; with one, a missing or wrong header is
+// rejected with 401 (constant-time compare, no oracle). The membership view
+// (HandleMembers) is deliberately not gated — clients discover the fleet
+// through it and it carries topology only, never specs or results.
+func (n *Node) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if n.cfg.Secret == "" {
+		return true
+	}
+	got := r.Header.Get(ClusterKeyHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(n.cfg.Secret)) == 1 {
+		return true
+	}
+	http.Error(w, "missing or invalid cluster key", http.StatusUnauthorized)
+	return false
+}
+
 // HandleGossip is POST /v1/cluster/gossip: merge the initiator's table and
 // answer with ours.
 func (n *Node) HandleGossip(w http.ResponseWriter, r *http.Request) {
+	if !n.authorize(w, r) {
+		return
+	}
 	var req gossipRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -513,6 +551,16 @@ func (n *Node) runStolen(job StolenJob, victimURL string) {
 		}
 	}()
 	res, err := n.be.RunStolen(ctx, job.Spec)
+	if err != nil && ctx.Err() != nil {
+		// This node is shutting down (ctx is only ever cancelled via
+		// n.stop) — the error is our cancellation, not the simulation's
+		// verdict. Deliver nothing: posting it would make the victim mark
+		// the job failed and abort client sweeps over a routine rolling
+		// restart. Staying silent is the designed path — the victim's
+		// reclaim janitor re-queues the job after StealTimeout.
+		n.cfg.Logf("cluster: abandoning stolen job %s at shutdown; %s will reclaim it", job.ID, victimURL)
+		return
+	}
 	comp := stealCompleteRequest{ID: job.ID}
 	if err != nil {
 		comp.Error = err.Error()
@@ -539,6 +587,9 @@ func (n *Node) runStolen(job StolenJob, victimURL string) {
 // ownership transferred, severing the response — the deterministic way to
 // exercise the reclaim path.
 func (n *Node) HandleSteal(w http.ResponseWriter, r *http.Request) {
+	if !n.authorize(w, r) {
+		return
+	}
 	var req stealRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -561,6 +612,9 @@ func (n *Node) HandleSteal(w http.ResponseWriter, r *http.Request) {
 // HandleStealComplete is POST /v1/cluster/steal/complete: the thief
 // delivering a stolen job's terminal result.
 func (n *Node) HandleStealComplete(w http.ResponseWriter, r *http.Request) {
+	if !n.authorize(w, r) {
+		return
+	}
 	var req stealCompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -588,6 +642,9 @@ func (n *Node) HandleStealComplete(w http.ResponseWriter, r *http.Request) {
 // HandlePeerRead is GET /v1/peer/results/{key}: serve the local disk tier,
 // never simulate. The "peer.read" fault fails the endpoint server-side.
 func (n *Node) HandlePeerRead(w http.ResponseWriter, r *http.Request) {
+	if !n.authorize(w, r) {
+		return
+	}
 	if err := n.cfg.Faults.Err("peer.read"); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -665,6 +722,9 @@ func (n *Node) fetchOne(url, key string) (sim.Result, bool) {
 	if err != nil {
 		return sim.Result{}, false
 	}
+	if n.cfg.Secret != "" {
+		req.Header.Set(ClusterKeyHeader, n.cfg.Secret)
+	}
 	resp, err := n.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return sim.Result{}, false
@@ -695,6 +755,9 @@ func (n *Node) postJSON(url string, body, out any, timeout time.Duration) error 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if n.cfg.Secret != "" {
+		req.Header.Set(ClusterKeyHeader, n.cfg.Secret)
+	}
 	resp, err := n.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return err

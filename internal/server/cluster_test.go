@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"spb/internal/cluster"
 	"spb/internal/faults"
+	"spb/internal/sim"
 )
 
 // attachNode wires a cluster node onto a test server: advertise at the
@@ -243,5 +245,75 @@ func TestStealCutReclaims(t *testing.T) {
 	}
 	if total := thief.Runner().Runs() + victim.Runner().Runs(); total != n+1 {
 		t.Errorf("total runs = %d, want %d: the reclaim must not double-simulate", total, n+1)
+	}
+}
+
+// TestStealHandoffTokens: the id a thief completes a stolen job under is a
+// fresh random token, never the guessable client-facing job id — so a
+// network caller cannot forge steal/complete for a job it did not steal.
+func TestStealHandoffTokens(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 8})
+	blockerID := blockWorker(t, ts)
+	defer cancelRun(t, ts, blockerID)
+
+	resp, v := postRun(t, ts, smallSpec, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued POST = %d", resp.StatusCode)
+	}
+	jobs := s.StealJobs(4)
+	if len(jobs) != 1 {
+		t.Fatalf("StealJobs took %d jobs, want 1", len(jobs))
+	}
+	tok := jobs[0].ID
+	if tok == v.ID {
+		t.Error("handoff token is the client-facing job id; it must be unguessable")
+	}
+	if len(tok) != 32 {
+		t.Errorf("handoff token %q is %d chars, want 32 hex chars", tok, len(tok))
+	}
+	if s.CompleteStolen(v.ID, sim.Result{}, "forged") {
+		t.Error("a completion forged with the public job id was accepted")
+	}
+	if !s.CompleteStolen(tok, sim.Result{}, "thief failed") {
+		t.Error("the genuine handoff token was rejected")
+	}
+	waitStatus(t, ts, v.ID, StatusFailed)
+}
+
+// TestDrainReclaimsSilentThief: a handoff whose thief goes silent while
+// this node drains must be reclaimed and finished locally by the drain
+// loop (the cluster node — and its janitor — is already stopped, mirroring
+// main's shutdown order), not spun on until the deadline and cancelled.
+func TestDrainReclaimsSilentThief(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 8})
+	n := attachNode(t, s, ts, cluster.Config{
+		ID: "victim", Epoch: 1, DisableSteal: true, DisablePeerRead: true,
+		StealTimeout: 200 * time.Millisecond,
+	})
+	blockerID := blockWorker(t, ts)
+
+	resp, v := postRun(t, ts, smallSpec, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued POST = %d", resp.StatusCode)
+	}
+	// The "thief": takes the handoff and is never heard from again.
+	if jobs := s.StealJobs(4); len(jobs) != 1 {
+		t.Fatalf("StealJobs took %d jobs, want 1", len(jobs))
+	}
+	// main.go's shutdown order: the node (and its reclaim janitor) stops
+	// before Drain runs.
+	n.Stop()
+	cancelRun(t, ts, blockerID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain = %v, want a clean drain via local reclaim", err)
+	}
+	if st, ok := jobStatus(ts, v.ID); !ok || st != StatusDone {
+		t.Errorf("stolen job after drain = %s, want done (reclaimed and run locally)", st)
+	}
+	if s.Metrics().StealsReclaimed.Load() == 0 {
+		t.Error("StealsReclaimed did not advance during drain")
 	}
 }

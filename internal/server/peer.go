@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"time"
 
 	"spb/internal/cluster"
@@ -18,9 +20,23 @@ import (
 // duplicate submissions coalesce onto it), but it is no longer in the local
 // queue — the thief runs it and posts the result back. at drives the
 // reclaim deadline.
+//
+// s.stolen keys handoffs by a fresh random token, not the job id: client-
+// facing ids are sequential and guessable, and the completion token is the
+// only proof a steal/complete caller actually received the handoff — a
+// forged completion with a guessed id must not be able to inject results.
 type stolenHandoff struct {
 	j  *job
 	at time.Time
+}
+
+// stealToken mints an unguessable handoff completion token.
+func stealToken() string {
+	var b [16]byte
+	// crypto/rand.Read never returns an error (it panics on a broken
+	// randomness source rather than degrade).
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
 }
 
 // AttachCluster mounts n's protocol endpoints on the server's mux and wires
@@ -71,11 +87,12 @@ func (s *Server) StealJobs(max int) []cluster.StolenJob {
 		}
 		j.setRunning() // remotely, but running: SSE/status views stay truthful
 		j.trace.Event("steal-out")
+		tok := stealToken()
 		s.mu.Lock()
-		s.stolen[j.id] = &stolenHandoff{j: j, at: time.Now()}
+		s.stolen[tok] = &stolenHandoff{j: j, at: time.Now()}
 		s.mu.Unlock()
 		s.metrics.StealsOut.Add(1)
-		out = append(out, cluster.StolenJob{ID: j.id, Key: j.key, Spec: j.spec})
+		out = append(out, cluster.StolenJob{ID: tok, Key: j.key, Spec: j.spec})
 	}
 	return out
 }
@@ -129,17 +146,22 @@ func (s *Server) CompleteStolen(id string, res sim.Result, errMsg string) bool {
 // next janitor pass rather than being dropped.
 func (s *Server) ReclaimStolen(olderThan time.Duration) int {
 	cutoff := time.Now().Add(-olderThan)
+	type reclaim struct {
+		tok string
+		j   *job
+	}
 	s.mu.Lock()
-	var back []*job
-	for id, h := range s.stolen {
+	var back []reclaim
+	for tok, h := range s.stolen {
 		if h.at.Before(cutoff) {
-			delete(s.stolen, id)
-			back = append(back, h.j)
+			delete(s.stolen, tok)
+			back = append(back, reclaim{tok, h.j})
 		}
 	}
 	s.mu.Unlock()
 	reclaimed := 0
-	for _, j := range back {
+	for _, r := range back {
+		j := r.j
 		if j.ctx.Err() != nil {
 			if j.finish(StatusCancelled, sim.Result{}, nil, cancelMsg(j.ctx)) {
 				s.metrics.RunsCancelled.Add(1)
@@ -158,8 +180,10 @@ func (s *Server) ReclaimStolen(olderThan time.Duration) int {
 			}
 			s.clearActive(j)
 		default: // queue full right now: park it for the next pass
+			// Under the original token: a thief's very late completion
+			// can still land while the job is parked, saving a re-run.
 			s.mu.Lock()
-			s.stolen[j.id] = &stolenHandoff{j: j, at: time.Now()}
+			s.stolen[r.tok] = &stolenHandoff{j: j, at: time.Now()}
 			s.mu.Unlock()
 		}
 	}
@@ -250,16 +274,40 @@ func (s *Server) persist(j *job, res sim.Result) {
 	}
 }
 
+// peerMissTTL is how long a fleet-wide miss for a key suppresses further
+// peer probes for it. Sized to cover many batchQueuePoll retry iterations
+// while staying well under a simulation's life: the fleet can only gain a
+// copy of a key somebody is about to simulate locally anyway.
+const peerMissTTL = time.Second
+
+// peerMissCap bounds the negative cache; crossing it sweeps expired
+// entries on the next insert.
+const peerMissCap = 4096
+
 // fetchFromPeers is submit's read-through: after both local tiers miss, ask
 // the fleet. A hit seeds both local tiers and becomes a terminal job with
-// cache tier "peer".
+// cache tier "peer"; a fleet-wide miss is remembered for peerMissTTL so
+// dispatch retry loops (queue full, quota) don't re-probe the fleet on
+// every poll.
 func (s *Server) fetchFromPeers(key string, spec sim.RunSpec, traceID string, submitStart time.Time) (*job, bool) {
 	if s.cluster == nil {
 		return nil, false
 	}
+	now := time.Now()
+	s.mu.Lock()
+	at, seen := s.peerMiss[key]
+	if seen && now.Sub(at) < peerMissTTL {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if seen {
+		delete(s.peerMiss, key)
+	}
+	s.mu.Unlock()
 	res, from, ok := s.cluster.FetchPeer(key)
 	if !ok {
 		s.metrics.PeerMisses.Add(1)
+		s.notePeerMiss(key, now)
 		return nil, false
 	}
 	s.metrics.PeerHits.Add(1)
@@ -277,6 +325,21 @@ func (s *Server) fetchFromPeers(key string, spec sim.RunSpec, traceID string, su
 		return nil, false
 	}
 	return j, true
+}
+
+// notePeerMiss records a fleet-wide miss for key, sweeping expired entries
+// when the cache is over its cap.
+func (s *Server) notePeerMiss(key string, at time.Time) {
+	s.mu.Lock()
+	if len(s.peerMiss) >= peerMissCap {
+		for k, t := range s.peerMiss {
+			if at.Sub(t) >= peerMissTTL {
+				delete(s.peerMiss, k)
+			}
+		}
+	}
+	s.peerMiss[key] = at
+	s.mu.Unlock()
 }
 
 // Compile-time check: the server is the cluster's backend.

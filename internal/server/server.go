@@ -214,6 +214,12 @@ type Server struct {
 
 	// cluster is the attached fleet node (AttachCluster); nil standalone.
 	cluster *cluster.Node
+	// peerMiss remembers keys whose last fleet read-through found nothing
+	// (by miss time, guarded by mu): retry loops hammering submit for a
+	// queue-full/quota-rejected key skip re-probing peers until the TTL
+	// passes. Entries are dropped on expiry, on a later hit, and by the
+	// size-capped sweep in notePeerMiss.
+	peerMiss map[string]time.Time
 
 	// Degraded-mode bookkeeping for the disk tier: diskErrStreak counts
 	// consecutive I/O errors; crossing DiskErrorThreshold sets degraded and
@@ -238,6 +244,8 @@ func New(cfg Config) (*Server, error) {
 		active:  make(map[string]*job),
 		stolen:  make(map[string]*stolenHandoff),
 		tq:      newTenantQueue(cfg.QueueDepth),
+
+		peerMiss: make(map[string]time.Time),
 	}
 	if err := s.initTenants(cfg.Tenants); err != nil {
 		return nil, err
@@ -324,6 +332,20 @@ func (s *Server) submit(spec sim.RunSpec, traceID string, tn *tenantState) (*job
 			s.diskHealthy()
 		}
 	}
+	// Coalesce before consulting the fleet: a key already queued or running
+	// here is by definition a local-tier miss, so every duplicate
+	// submission would otherwise pay PeerFanout network probes just to
+	// re-discover that — and batch dispatch retry loops re-enter submit
+	// every poll. Ride the active job instead; its result lands locally.
+	s.mu.Lock()
+	if j, ok := s.active[key]; ok {
+		s.mu.Unlock()
+		s.metrics.RunsCoalesced.Add(1)
+		j.trace.Event("coalesce")
+		return j, nil
+	}
+	s.mu.Unlock()
+
 	// Tier 3: the fleet. Both local tiers missed; a rendezvous-ranked peer
 	// may have simulated this key already (content addressing makes any
 	// answer the right answer).
@@ -539,9 +561,13 @@ func cancelMsg(ctx context.Context) string {
 func (s *Server) cancelJob(j *job, cause error) {
 	j.cancel(cause)
 	s.mu.Lock()
-	_, stolenOut := s.stolen[j.id]
-	if stolenOut {
-		delete(s.stolen, j.id)
+	stolenOut := false
+	for tok, h := range s.stolen { // keyed by random token, so scan for j
+		if h.j == j {
+			delete(s.stolen, tok)
+			stolenOut = true
+			break
+		}
 	}
 	s.mu.Unlock()
 	j.mu.Lock()
@@ -581,11 +607,24 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() {
 		s.workers.Wait()
 		// Wait out stolen handoffs too: their thieves are still computing
-		// results this daemon's clients are blocked on.
+		// results this daemon's clients are blocked on. The cluster node is
+		// already stopped by now (main stops it before Drain), so its
+		// janitor no longer runs — reclaim silent thieves here, executing
+		// the jobs directly since the worker pool has exited.
+		var rerun sync.WaitGroup
 		for ctx.Err() == nil {
 			s.mu.Lock()
 			n := len(s.stolen)
 			s.mu.Unlock()
+			for _, j := range s.reclaimOverdue() {
+				rerun.Add(1)
+				go func(j *job) {
+					defer rerun.Done()
+					s.inflight.Add(1)
+					s.runJob(j)
+					s.inflight.Add(-1)
+				}(j)
+			}
 			if n == 0 {
 				break
 			}
@@ -594,6 +633,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			case <-ctx.Done():
 			}
 		}
+		rerun.Wait()
 		close(idle)
 	}()
 	select {
@@ -605,6 +645,32 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.failStolen(fmt.Errorf("drain deadline exceeded"))
 		return ctx.Err()
 	}
+}
+
+// reclaimOverdue takes back handoffs whose thief has been silent past the
+// cluster's steal timeout and returns their jobs for the caller to execute
+// directly — the drain path's stand-in for the stopped cluster janitor,
+// running after the worker pool has exited. Nil without a cluster (the
+// handoff table can only fill through one).
+func (s *Server) reclaimOverdue() []*job {
+	if s.cluster == nil {
+		return nil
+	}
+	cutoff := time.Now().Add(-s.cluster.StealTimeout())
+	s.mu.Lock()
+	var back []*job
+	for tok, h := range s.stolen {
+		if h.at.Before(cutoff) {
+			delete(s.stolen, tok)
+			back = append(back, h.j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range back {
+		j.trace.Event("steal-reclaim")
+		s.metrics.StealsReclaimed.Add(1)
+	}
+	return back
 }
 
 // failStolen finalizes every outstanding stolen handoff as cancelled (drain

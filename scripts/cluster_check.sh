@@ -18,7 +18,10 @@
 #      tenant gets 429 + Retry-After, the spbd_tenant_* metrics carry
 #      per-tenant labels, and an spbload -tenants storm completes with a
 #      weighted-fair share report;
-#   7. every daemon drains cleanly on SIGTERM.
+#   7. the cluster plane is authenticated: every node runs with a shared
+#      -cluster-secret, the protocols work through it, and a keyless
+#      caller poking /v1/cluster/steal is rejected with 401;
+#   8. every daemon drains cleanly on SIGTERM.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,13 +41,17 @@ go build -o "$TMP/spbd" ./cmd/spbd
 go build -o "$TMP/spbsweep" ./cmd/spbsweep
 go build -o "$TMP/spbload" ./cmd/spbload
 
+# Every fleet member shares the cluster-plane secret; §7 asserts that a
+# caller without it is turned away.
+CSECRET="check-fleet-secret"
+
 # start_node <name> <workers> <join-csv> [extra flags...] — starts one
 # cluster member with its own disk cache; sets BASE and NODE_PID.
 start_node() {
     name=$1; workers=$2; join=$3; shift 3
     set -- "$@" -addr 127.0.0.1:0 -cache-dir "$TMP/cache-$name" \
         -workers "$workers" -cluster-advertise auto -cluster-id "$name" \
-        -gossip-interval 100ms -steal-timeout 2s
+        -gossip-interval 100ms -steal-timeout 2s -cluster-secret "$CSECRET"
     [ -n "$join" ] && set -- "$@" -cluster-join "$join"
     "$TMP/spbd" "$@" >>"$TMP/$name.log" 2>&1 &
     NODE_PID=$!
@@ -153,7 +160,7 @@ OLD_EPOCH=$(curl -fsS "$B1/v1/cluster/members" \
 N3_PORT=${B3##*:}
 "$TMP/spbd" -addr "127.0.0.1:$N3_PORT" -cache-dir "$TMP/cache-n3" -workers 2 \
     -cluster-advertise auto -cluster-id n3 -gossip-interval 100ms -steal-timeout 2s \
-    -cluster-join "$B1" >>"$TMP/n3.log" 2>&1 &
+    -cluster-secret "$CSECRET" -cluster-join "$B1" >>"$TMP/n3.log" 2>&1 &
 PIDS="$PIDS $!"
 for b in "$B1" "$B2" "$B3"; do wait_alive "$b" 3; done
 NEW_EPOCH=$(curl -fsS "$B1/v1/cluster/members" \
@@ -207,6 +214,14 @@ curl -fsS "$T1/metrics" >"$TMP/tmetrics.txt"
 grep -q 'spbd_tenant_weight{tenant="heavy"} 3' "$TMP/tmetrics.txt"
 grep -q 'spbd_tenant_quota_rejected_total{tenant="capped"} 1' "$TMP/tmetrics.txt"
 grep -Eq 'spbd_tenant_completed_total\{tenant="light"\} [1-9]' "$TMP/tmetrics.txt"
+
+echo "== cluster plane rejects callers without the shared secret =="
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$B1/v1/cluster/steal" \
+    -H 'Content-Type: application/json' -d '{"thief":"intruder","max":8}')
+[ "$CODE" = 401 ] || { echo "keyless steal got $CODE, want 401"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$B1/v1/peer/results/deadbeef" \
+    -H "X-Spb-Cluster-Key: wrong")
+[ "$CODE" = 401 ] || { echo "wrong-key peer read got $CODE, want 401"; exit 1; }
 
 echo "== SIGTERM drains every daemon cleanly =="
 for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
