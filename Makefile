@@ -1,4 +1,4 @@
-.PHONY: check bench bench-sweep bench-warm bench-cluster test build serve-check chaos cluster-check
+.PHONY: check bench bench-sweep bench-warm bench-sampled bench-cluster test build serve-check chaos cluster-check
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -19,6 +19,12 @@ bench-sweep:
 # warmed sweep) into BENCH_warm.json.
 bench-warm:
 	sh scripts/bench_warm.sh
+
+# Record the SMARTS-style sampling speedup (sampled vs full-detail on the
+# long-horizon SB-bound sweep, with CI-accuracy and byte-determinism gates)
+# into BENCH_sampled.json.
+bench-sampled:
+	sh scripts/bench_sampled.sh
 
 # Record the cluster baseline (work-stealing makespan on a skewed load,
 # weighted-fair tenant completion shares) into BENCH_cluster.json.

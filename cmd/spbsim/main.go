@@ -33,6 +33,11 @@ func main() {
 		backward   = flag.Bool("spb-backward", false, "enable the backward-burst extension (paper §IV.A)")
 		crossPage  = flag.Bool("spb-crosspage", false, "enable the cross-page burst extension (paper footnote 2)")
 		coalesce   = flag.Bool("coalesce-sb", false, "enable the store-coalescing SB ablation (related work)")
+		sample     = flag.Bool("sample", false, "SMARTS sampling at the validated default (125k-inst period, 8k detailed, 12k warm)")
+		sampleInt  = flag.Uint64("sample-interval", 0, "sampling period in instructions per core (overrides -sample's default; 0 = off)")
+		sampleDet  = flag.Uint64("sample-detailed", 0, "detailed-window length per sample (0 = engine default)")
+		sampleWarm = flag.Uint64("sample-warm", 0, "detailed warming before each window (0 = engine default)")
+		sampleHist = flag.Uint64("sample-history", 0, "bound full warming to the last N insts of each skip; the LLC+directory stay warm throughout (0 = full-warm the whole skip)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		dump       = flag.Bool("stats", false, "dump every raw counter (stable sorted format)")
 		jsonOut    = flag.Bool("json", false, "emit the full exported stats set as canonical JSON (the spbd service serialization) and nothing else")
@@ -49,6 +54,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spbsim:", err)
 		os.Exit(2)
 	}
+	sampling := sim.SamplingConfig{
+		IntervalInsts: *sampleInt, DetailedInsts: *sampleDet,
+		WarmInsts: *sampleWarm, HistoryInsts: *sampleHist,
+	}
+	if *sample && !sampling.Enabled() {
+		sampling = sim.DefaultSampling
+	}
 
 	res, err := sim.Run(sim.RunSpec{
 		Workload:        *workload,
@@ -64,6 +76,7 @@ func main() {
 		BackwardBursts:  *backward,
 		CrossPageBursts: *crossPage,
 		CoalesceSB:      *coalesce,
+		Sampling:        sampling,
 		Seed:            *seed,
 	})
 	if err != nil {
@@ -89,6 +102,16 @@ func main() {
 		*workload, pol, *sb, pf)
 	fmt.Printf("cycles              %d\n", c.Cycles)
 	fmt.Printf("committed           %d (IPC %.3f)\n", c.Committed, res.IPC())
+	if sp := res.Sample; res.Spec.Sampling.Enabled() {
+		ppm := func(v uint64) float64 { return float64(v) / 1e6 }
+		fmt.Printf("sampling            %d windows: measured %d insts, detailed %d, fast-forwarded %d\n",
+			sp.Intervals, sp.MeasuredInsts, sp.DetailedInsts, sp.FastForwardInsts)
+		fmt.Printf("  ipc               %.3f ± %.3f (95%% CI)\n", ppm(sp.IPCMeanPPM), ppm(sp.IPCCI95PPM))
+		fmt.Printf("  sbStall/inst      %.4f ± %.4f\n", ppm(sp.SBStallPerInstMeanPPM), ppm(sp.SBStallPerInstCI95PPM))
+		fmt.Printf("  otherStall/inst   %.4f ± %.4f\n", ppm(sp.OtherStallPerInstMeanPPM), ppm(sp.OtherStallPerInstCI95PPM))
+		fmt.Printf("  l1Miss/inst       %.4f ± %.4f\n", ppm(sp.L1MissPerInstMeanPPM), ppm(sp.L1MissPerInstCI95PPM))
+		fmt.Printf("  dram/inst         %.4f ± %.4f\n", ppm(sp.DRAMPerInstMeanPPM), ppm(sp.DRAMPerInstCI95PPM))
+	}
 	fmt.Printf("loads/stores        %d / %d (forwarded %d, partial %d)\n",
 		c.Loads, c.Stores, c.ForwardedLoads, c.PartialForwards)
 	fmt.Printf("branches            %d (mispredicted %d, wrong-path insts %d)\n",

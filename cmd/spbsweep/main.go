@@ -69,6 +69,11 @@ func main() {
 		insts    = flag.Uint64("insts", 200_000, "committed instructions per core")
 		warmup   = flag.Uint64("warmup", 0, "functional-warming instructions per core before the measured interval")
 		warmFork = flag.Bool("warm-start", true, "share each group's warmup via snapshot/fork (local runs; identical results either way)")
+		sample   = flag.Bool("sample", false, "SMARTS sampling at the validated default (125k-inst period, 8k detailed, 12k warm)")
+		sampleI  = flag.Uint64("sample-interval", 0, "sampling period in instructions per core (overrides -sample's default; 0 = off)")
+		sampleD  = flag.Uint64("sample-detailed", 0, "detailed-window length per sample (0 = engine default)")
+		sampleW  = flag.Uint64("sample-warm", 0, "detailed warming before each window (0 = engine default)")
+		sampleH  = flag.Uint64("sample-history", 0, "bound full warming to the last N insts of each skip; the LLC+directory stay warm throughout (0 = full-warm the whole skip)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		server   = flag.String("server", "", "comma-separated spbd base URLs; the sweep executes remotely via the sharded client pool")
 		discover = flag.Bool("cluster", false, "expand -server via the daemons' gossip membership: any one live node discovers the fleet")
@@ -139,6 +144,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	sampling := sim.SamplingConfig{
+		IntervalInsts: *sampleI, DetailedInsts: *sampleD,
+		WarmInsts: *sampleW, HistoryInsts: *sampleH,
+	}
+	if *sample && !sampling.Enabled() {
+		sampling = sim.DefaultSampling
+	}
+
 	var specs []sim.RunSpec
 	for _, name := range names {
 		for _, sb := range sbs {
@@ -147,7 +160,7 @@ func main() {
 					specs = append(specs, sim.RunSpec{
 						Workload: name, Policy: p, SQSize: sb,
 						Cores: nCores, Insts: *insts, WarmupInsts: *warmup,
-						WindowN: n, Seed: *seed,
+						WindowN: n, Sampling: sampling, Seed: *seed,
 					})
 				}
 			}
@@ -190,10 +203,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spbsweep:", err)
 			os.Exit(1)
 		}
-		if ss := runner.SimStats(); ss.WarmGroups > 0 || *warmup > 0 {
+		ss := runner.SimStats()
+		if ss.WarmGroups > 0 || *warmup > 0 {
 			fmt.Fprintf(os.Stderr,
 				"spbsweep: warmstart: groups=%d forks=%d insts_saved=%d insts=%d\n",
 				ss.WarmGroups, ss.WarmForks, ss.WarmInstsSaved, ss.InstsSimulated)
+		}
+		if ss.SampledRuns > 0 {
+			fmt.Fprintf(os.Stderr,
+				"spbsweep: sampling: runs=%d intervals=%d insts_skipped=%d insts=%d\n",
+				ss.SampledRuns, ss.SampleIntervals, ss.SampleInstsSkipped, ss.InstsSimulated)
 		}
 	}
 
@@ -206,6 +225,8 @@ func main() {
 		"spf_issued", "spf_successful", "spf_late", "spf_early",
 		"l1_tag_accesses", "dram_reads", "invalidations",
 		"energy_cache_dyn_j", "energy_core_dyn_j", "energy_static_j", "energy_total_j",
+		"sample_intervals", "sample_ipc_mean_ppm", "sample_ipc_ci95_ppm",
+		"sample_sb_stall_pi_mean_ppm", "sample_sb_stall_pi_ci95_ppm",
 	}
 	if err := w.Write(header); err != nil {
 		fmt.Fprintln(os.Stderr, "spbsweep:", err)
@@ -239,6 +260,11 @@ func main() {
 			f(r.Energy.CoreDynamic),
 			f(r.Energy.Static),
 			f(r.Energy.Total()),
+			u(r.Sample.Intervals),
+			u(r.Sample.IPCMeanPPM),
+			u(r.Sample.IPCCI95PPM),
+			u(r.Sample.SBStallPerInstMeanPPM),
+			u(r.Sample.SBStallPerInstCI95PPM),
 		}
 		if err := w.Write(row); err != nil {
 			fmt.Fprintln(os.Stderr, "spbsweep:", err)

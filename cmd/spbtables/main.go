@@ -25,6 +25,7 @@ import (
 	"spb/internal/client"
 	"spb/internal/figures"
 	"spb/internal/prof"
+	"spb/internal/sim"
 )
 
 func main() {
@@ -34,6 +35,11 @@ func main() {
 		insts      = flag.Uint64("insts", 0, "override the per-run instruction budget")
 		warmup     = flag.Uint64("warmup", 0, "functional-warming instructions per core before each measured interval (stock scales use 0)")
 		warmStart  = flag.Bool("warm-start", true, "share each warmup-equivalence group's warmup via snapshot/fork (identical tables either way)")
+		sample     = flag.Bool("sample", false, "SMARTS sampling at the validated default (125k-inst period, 8k detailed, 12k warm); figure values become sampled estimates")
+		sampleI    = flag.Uint64("sample-interval", 0, "sampling period in instructions per core (overrides -sample's default; 0 = off)")
+		sampleD    = flag.Uint64("sample-detailed", 0, "detailed-window length per sample (0 = engine default)")
+		sampleW    = flag.Uint64("sample-warm", 0, "detailed warming before each window (0 = engine default)")
+		sampleH    = flag.Uint64("sample-history", 0, "bound full warming to the last N insts of each skip; the LLC+directory stay warm throughout (0 = full-warm the whole skip)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		server     = flag.String("server", "", "comma-separated spbd base URLs; sweeps execute remotely via the sharded client pool")
 		discover   = flag.Bool("cluster", false, "expand -server via the daemons' gossip membership: any one live node discovers the fleet")
@@ -63,6 +69,13 @@ func main() {
 	}
 	if *warmup > 0 {
 		scale.Warmup = *warmup
+	}
+	scale.Sampling = sim.SamplingConfig{
+		IntervalInsts: *sampleI, DetailedInsts: *sampleD,
+		WarmInsts: *sampleW, HistoryInsts: *sampleH,
+	}
+	if *sample && !scale.Sampling.Enabled() {
+		scale.Sampling = sim.DefaultSampling
 	}
 
 	// Ctrl-C cancels the harness context: every queued and in-flight

@@ -187,6 +187,15 @@ type Options struct {
 	// modes produce bit-identical statistics; the knob exists for the
 	// equivalence test and for debugging.
 	DisableFastForward bool
+	// StartCycle sets the core clock's initial value. The memory system
+	// stamps lines, MSHRs and queues with absolute cycle numbers, so when a
+	// sampled run executes successive detailed segments against one
+	// persistent hierarchy, each segment's cores must continue the previous
+	// segment's cycle domain: a core restarting at zero would read every
+	// in-flight timestamp the last segment left behind as lying up to a
+	// whole segment in the future and stall on state that in reality
+	// settled during the functional gap.
+	StartCycle uint64
 }
 
 // New builds a core running the given policy over the instruction stream.
@@ -238,6 +247,8 @@ func NewWithOptions(cfg config.CoreConfig, policy core.Policy, spbCfg config.SPB
 		c.bp = bpred.New(bpred.TableI())
 	}
 	c.noFF = opts.DisableFastForward
+	c.cycle = opts.StartCycle
+	c.St.Cycles = c.cycle
 	return c
 }
 

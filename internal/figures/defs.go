@@ -678,6 +678,7 @@ func (h *Harness) Fig18() ([]Table, error) {
 				specs = append(specs, sim.RunSpec{
 					Workload: p.Name, Policy: pol, SQSize: sq,
 					Prefetcher: config.PrefetchStream, Cores: threads, Insts: insts,
+					Sampling: h.scale.Sampling,
 				})
 			}
 		}

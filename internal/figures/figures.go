@@ -28,6 +28,10 @@ type Scale struct {
 	// earlier releases; sweeps that opt in share one warmup per
 	// warmup-equivalence group through the runner's warm-start fork engine.
 	Warmup uint64
+	// Sampling, when enabled, runs every sweep point as a SMARTS-sampled
+	// simulation (sim.RunSpec.Sampling): figure values become sampled
+	// estimates, so the stock Quick/Full scales keep it disabled.
+	Sampling sim.SamplingConfig
 	// SBBoundOnly restricts sweeps to the paper's SB-bound set where the
 	// full suite is not required (fast mode for benchmarks).
 	SBBoundOnly bool
@@ -137,6 +141,7 @@ func (h *Harness) spec(w string, p core.Policy, sq int) sim.RunSpec {
 		Prefetcher:  config.PrefetchStream,
 		Insts:       h.scale.Insts,
 		WarmupInsts: h.scale.Warmup,
+		Sampling:    h.scale.Sampling,
 	}
 }
 

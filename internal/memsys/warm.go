@@ -3,6 +3,7 @@ package memsys
 import (
 	"spb/internal/cache"
 	"spb/internal/mem"
+	"spb/internal/prefetch"
 )
 
 // This file implements functional warming of the memory hierarchy
@@ -19,25 +20,29 @@ import (
 // (ReadyAt 0) and no taxonomy bookkeeping.
 
 // WarmLoad replays a demand load of the block containing addr (mirrors
-// Port.Load → access → readBelowL1 minus counters and timing).
-func (p *Port) WarmLoad(addr mem.Addr) {
+// Port.Load → access → readBelowL1 minus counters and timing) and reports
+// whether it hit the L1 — the miss bit a prefetcher-training caller feeds
+// to WarmObserve.
+func (p *Port) WarmLoad(addr mem.Addr) (hit bool) {
 	b := mem.BlockOf(addr)
 	if p.l1.WarmLookup(b) != nil {
-		return
+		return true
 	}
 	p.warmReadBelowL1(b, false)
 	p.warmFillPrivate(b, cache.Shared)
+	return false
 }
 
 // WarmStore replays a committed store of the block containing addr: the
 // block ends up writable and Modified in this core's L1, exactly as the
 // drain of a senior store leaves it (mirrors acquire + PerformStore).
-func (p *Port) WarmStore(addr mem.Addr) {
+// Reports whether the block was already present in the L1.
+func (p *Port) WarmStore(addr mem.Addr) (hit bool) {
 	b := mem.BlockOf(addr)
 	if line := p.l1.WarmLookup(b); line != nil {
 		if line.State.Writable() {
 			line.State = cache.Modified
-			return
+			return true
 		}
 		// Present but read-only: upgrade through the directory.
 		p.sys.warmReadExclusive(b, p.id)
@@ -45,10 +50,55 @@ func (p *Port) WarmStore(addr mem.Addr) {
 		if l2line := p.l2.Peek(b); l2line != nil {
 			l2line.State = cache.Modified
 		}
-		return
+		return true
 	}
 	p.warmReadBelowL1(b, true)
 	p.warmFillPrivate(b, cache.Modified)
+	return false
+}
+
+// WarmObserve feeds the port's generic prefetcher one warmed demand access
+// so its tables track the functionally-warmed stream: observePF minus the
+// issue side. Sampled runs use it so a detailed segment opens with the
+// prefetcher trained on the recent history — state a dense sampling
+// schedule inherits from the previous window but a sparse skip must
+// reconstruct. The blocks the prefetcher asks for are deliberately NOT
+// warm-filled: warming itself replays the demand stream right up to the
+// window, so anything a prefetch would have fetched is touched (and filled)
+// by the very next warmed accesses anyway — issuing the fills roughly
+// doubles the cost of warming a miss-heavy stream for no extra fidelity.
+// The adaptive scheme gets no Epoch feedback here (warming has no outcome
+// counters to measure), so its aggressiveness stays where detailed
+// execution last set it.
+func (p *Port) WarmObserve(pc uint64, addr mem.Addr, miss, store bool) {
+	b := mem.BlockOf(addr)
+	p.pfBuf = p.pf.Observe(prefetch.Event{PC: pc, Block: b, Miss: miss, Store: store}, p.pfBuf[:0])
+}
+
+// WarmTouch replays the memory footprint of functionally-skipped
+// instructions against the shared LLC and the coherence directory only —
+// the long-history structures whose state a bounded warming window cannot
+// reconstruct. The span [addr, addr+n) is touched block by block:
+// warmReadShared / warmReadExclusive keep L3 content, recency, dirtiness
+// and directory ownership tracking the full skipped stream, while the
+// short-history private caches and TLB are left to the bounded full warming
+// that runs just before each measured window. Without this tier, a skip
+// longer than the LLC's natural history leaves stale lines resident that
+// the elided traffic would have evicted, and measured windows see an LLC
+// that hits too often, writes back too little, and underloads DRAM.
+func (p *Port) WarmTouch(addr mem.Addr, n uint64, store bool) {
+	if n == 0 {
+		return
+	}
+	b := mem.BlockOf(addr)
+	last := mem.BlockOf(addr + mem.Addr(n-1))
+	for ; b <= last; b++ {
+		if store {
+			p.sys.warmReadExclusive(b, p.id)
+		} else {
+			p.sys.warmReadShared(b, p.id)
+		}
+	}
 }
 
 // warmFillPrivate mirrors fillPrivate: install the block in L2 then L1,
@@ -146,8 +196,28 @@ func (s *System) warmL3Fill(b mem.Block, st cache.State) {
 	}
 }
 
-// warmReadShared mirrors readShared's state transitions.
+// warmReadShared mirrors readShared's state transitions. The owner
+// downgrade is skipped on single-core systems: the only possible owner is
+// the requester itself, so the probe can never change state there and the
+// warming hot path saves a directory lookup per miss.
+//
+// Single-core systems take a further shortcut: directory owner/sharers
+// values are behaviorally inert when only one core exists (the requester is
+// always the owner/sharer, so downgrades and invalidation sweeps are
+// no-ops) — the entry's only live role is marking the block as possibly
+// present in the private hierarchy so an L3 eviction back-invalidates it.
+// Warming therefore skips the directory entirely on L3 hits and creates a
+// conservative "core 0 shares it" entry on fills, removing a hash-table
+// lookup from the hottest path in functional warming.
 func (s *System) warmReadShared(b mem.Block, requester int) {
+	if len(s.ports) == 1 {
+		if s.l3.WarmLookup(b) != nil {
+			return
+		}
+		s.warmL3Fill(b, cache.Shared)
+		s.dirOf(b).sharers = 1
+		return
+	}
 	s.warmDowngradeOwner(b, requester)
 	e := s.dirOf(b)
 	if s.l3.WarmLookup(b) != nil {
@@ -159,8 +229,21 @@ func (s *System) warmReadShared(b mem.Block, requester int) {
 	e.sharers |= 1 << uint(requester)
 }
 
-// warmReadExclusive mirrors readExclusive's state transitions.
+// warmReadExclusive mirrors readExclusive's state transitions. As in
+// warmReadShared, the cross-core invalidation sweep cannot change state when
+// the requester is the only core, so it is skipped there — and on L3 hits
+// the directory update is skipped entirely (see warmReadShared: ownership
+// values are inert with one core; only the line's Modified state matters).
 func (s *System) warmReadExclusive(b mem.Block, requester int) {
+	if len(s.ports) == 1 {
+		if line := s.l3.WarmLookup(b); line != nil {
+			line.State = cache.Modified
+			return
+		}
+		s.warmL3Fill(b, cache.Modified)
+		s.dirOf(b).sharers = 1
+		return
+	}
 	s.warmInvalidateOthers(b, requester)
 	e := s.dirOf(b)
 	if line := s.l3.WarmLookup(b); line != nil {

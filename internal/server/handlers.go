@@ -24,6 +24,7 @@ type JobView struct {
 	Error     string          `json:"error,omitempty"`
 	Committed uint64          `json:"committed"`
 	Cycles    uint64          `json:"cycles"`
+	FFInsts   uint64          `json:"ff_insts,omitempty"`
 	IPC       float64         `json:"ipc"`
 	Stats     json.RawMessage `json:"stats,omitempty"`
 	TraceID   string          `json:"trace_id,omitempty"`
@@ -43,6 +44,7 @@ func (j *job) view() JobView {
 		Error:     errMsg,
 		Committed: j.committed.Load(),
 		Cycles:    j.cycles.Load(),
+		FFInsts:   j.ffInsts.Load(),
 		Stats:     stats,
 		TraceID:   j.trace.TraceID(),
 	}
@@ -228,6 +230,7 @@ type sseEvent struct {
 	Status    Status  `json:"status"`
 	Committed uint64  `json:"committed"`
 	Cycles    uint64  `json:"cycles"`
+	FFInsts   uint64  `json:"ff_insts,omitempty"`
 	IPC       float64 `json:"ipc"`
 	Target    uint64  `json:"target_insts"`
 	Error     string  `json:"error,omitempty"`
@@ -270,6 +273,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			Status:    st,
 			Committed: j.committed.Load(),
 			Cycles:    j.cycles.Load(),
+			FFInsts:   j.ffInsts.Load(),
 			Target:    j.targetInsts,
 			Error:     errMsg,
 		}

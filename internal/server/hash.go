@@ -12,8 +12,10 @@ import (
 // simulator's statistics change meaning (a new counter, a model fix) or the
 // spec gains a field, so stale disk-cache entries miss instead of serving
 // results the current binary would not produce. v2: WarmupInsts joined the
-// spec (a warmed run's statistics differ from a cold run's).
-const keyVersion = "spb-runspec-v2"
+// spec (a warmed run's statistics differ from a cold run's). v3: SMARTS
+// sampling joined the spec (a sampled run's statistics are estimates over
+// measured windows, not full-run totals).
+const keyVersion = "spb-runspec-v3"
 
 // Key returns the content address of a simulation point: a hex SHA-256 over
 // an explicit, field-by-field rendering of the normalized spec. Two specs
@@ -28,10 +30,11 @@ func Key(spec sim.RunSpec) string {
 	// otherwise collide with a separator); enums render as their stable
 	// String() names.
 	fmt.Fprintf(h,
-		"%s|workload=%q|policy=%s|sq=%d|pf=%s|core=%q|cores=%d|insts=%d|warm=%d|win=%d|dyn=%t|coalesce=%t|backward=%t|xpage=%t|bpred=%t|noff=%t|seed=%d",
+		"%s|workload=%q|policy=%s|sq=%d|pf=%s|core=%q|cores=%d|insts=%d|warm=%d|win=%d|dyn=%t|coalesce=%t|backward=%t|xpage=%t|bpred=%t|noff=%t|smp=%d/%d/%d/%d|seed=%d",
 		keyVersion, n.Workload, n.Policy, n.SQSize, n.Prefetcher, n.CoreName,
 		n.Cores, n.Insts, n.WarmupInsts, n.WindowN, n.DynamicSPB, n.CoalesceSB,
 		n.BackwardBursts, n.CrossPageBursts, n.ModelBranchPredictor,
-		n.DisableFastForward, n.Seed)
+		n.DisableFastForward, n.Sampling.IntervalInsts, n.Sampling.DetailedInsts,
+		n.Sampling.WarmInsts, n.Sampling.HistoryInsts, n.Seed)
 	return hex.EncodeToString(h.Sum(nil))
 }

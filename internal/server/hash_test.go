@@ -40,9 +40,9 @@ func TestKeyStableAcrossRestarts(t *testing.T) {
 		key  string
 	}{
 		{sim.RunSpec{Workload: "bwaves"},
-			"021a5f71ca37736c4ace941693480f707df37555af65a1e3a1408f39938df4e0"},
+			"90c36d1bb1c03077b207cbf1d2c301e68fecaa03b37b299ebaeb71a68dc344dd"},
 		{sim.RunSpec{Workload: "dedup", Cores: 8, SQSize: 56},
-			"204f458925ecb294442b63411f7ab4906630fe49cfaf12f6f9298021639f9bcc"},
+			"4e2fa6c6072fe0693b972bd4c50318096a812ccc29b4457e9d213fc781c12d97"},
 	}
 	for _, g := range golden {
 		if got := Key(g.spec); got != g.key {
@@ -77,6 +77,14 @@ func TestKeyDistinguishesSpecs(t *testing.T) {
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, ModelBranchPredictor: true},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, DisableFastForward: true},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, CoreName: "SLM"},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14,
+			Sampling: sim.SamplingConfig{IntervalInsts: 100_000}},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14,
+			Sampling: sim.SamplingConfig{IntervalInsts: 100_000, DetailedInsts: 5_000}},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14,
+			Sampling: sim.SamplingConfig{IntervalInsts: 100_000, DetailedInsts: 5_000, WarmInsts: 20_000}},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14,
+			Sampling: sim.SamplingConfig{IntervalInsts: 100_000, DetailedInsts: 5_000, WarmInsts: 20_000, HistoryInsts: 50_000}},
 	}
 	baseKey := Key(base)
 	seen := map[string]int{baseKey: -1}

@@ -148,6 +148,9 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degrad
 	counter("spbd_warmstart_groups_total", "Warmup-equivalence groups simulated (one warmup each).", ss.WarmGroups)
 	counter("spbd_warmstart_forks_total", "Detailed runs forked from a shared warm snapshot.", ss.WarmForks)
 	counter("spbd_warmstart_insts_saved_total", "Warmup instructions elided by warm-start snapshot sharing.", ss.WarmInstsSaved)
+	counter("spbd_sample_runs_total", "Completed runs that used SMARTS sampling.", ss.SampledRuns)
+	counter("spbd_sample_intervals_total", "Detailed measurement intervals executed by sampled runs.", ss.SampleIntervals)
+	counter("spbd_sample_insts_skipped_total", "Instructions functionally warmed instead of detailed-simulated by sampling.", ss.SampleInstsSkipped)
 
 	fmt.Fprintf(w, "# HELP spbd_topdown_cycles_total Simulated cycles aggregated over completed runs, by Top-Down stall class.\n")
 	fmt.Fprintf(w, "# TYPE spbd_topdown_cycles_total counter\n")

@@ -130,7 +130,7 @@ func (s *Server) CompleteStolen(id string, res sim.Result, errMsg string) bool {
 	// Seed both local tiers: the thief simulated it, but this daemon owns
 	// the job — its future submitters must hit, not re-simulate.
 	s.runner.Put(j.spec, res)
-	j.committed.Store(res.CPU.Committed)
+	j.committed.Store(resultCommitted(&res))
 	j.cycles.Store(res.CPU.Cycles)
 	if j.finish(StatusDone, res, stats, "") {
 		s.metrics.RunsCompleted.Add(1)

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"spb/internal/sim"
+)
+
+// sampledSpec is a quick sampled simulation point: ~5 detailed windows of
+// 3k instructions inside a 200k-instruction run.
+var sampledSpec = RunRequest{
+	Workload: "bwaves", Policy: "spb", SB: 14,
+	Insts: 200_000, Warmup: 20_000,
+	SampleInterval: 40_000, SampleDetail: 3_000, SampleWarm: 5_000,
+}
+
+// TestSampledRunRoundTrip pushes a SMARTS-sampled spec through the whole
+// service: the wire form must round-trip the sampling fields, the response
+// stats must be byte-identical to an in-process run and carry the sample.*
+// estimates, the content address must be distinct from the spec's
+// full-detail twin, and both cache tiers plus the sampling metrics must see
+// the run.
+func TestSampledRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{Workers: 2, CacheDir: dir})
+
+	resp, v := postRun(t, ts, sampledSpec, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST = %d", resp.StatusCode)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", v.Status, v.Error)
+	}
+	if v.Spec.SampleInterval != sampledSpec.SampleInterval ||
+		v.Spec.SampleDetail != sampledSpec.SampleDetail ||
+		v.Spec.SampleWarm != sampledSpec.SampleWarm {
+		t.Fatalf("sampling fields did not round-trip: %+v", v.Spec)
+	}
+
+	spec, err := sampledSpec.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Stats) != string(want) {
+		t.Fatalf("service stats differ from in-process stats:\n  got  %s\n  want %s", v.Stats, want)
+	}
+	if !strings.Contains(string(v.Stats), `"sample.intervals"`) ||
+		!strings.Contains(string(v.Stats), `"sample.ipcCI95PPM"`) {
+		t.Fatalf("sampled stats missing sample.* estimates: %s", v.Stats)
+	}
+
+	// The full-detail twin is a different simulation point: it must get its
+	// own content address and simulate instead of hitting the cache.
+	full := sampledSpec
+	full.SampleInterval, full.SampleDetail, full.SampleWarm = 0, 0, 0
+	_, fv := postRun(t, ts, full, "?wait=1")
+	if fv.Status != StatusDone {
+		t.Fatalf("full-detail twin: %s (%s)", fv.Status, fv.Error)
+	}
+	if fv.Key == v.Key {
+		t.Fatalf("sampled and full-detail specs share key %s", v.Key)
+	}
+	if fv.Cached != "" {
+		t.Fatalf("full-detail twin answered from cache (tier %q)", fv.Cached)
+	}
+	if strings.Contains(string(fv.Stats), `"sample.`) {
+		t.Fatalf("full-detail stats carry sample.* fields: %s", fv.Stats)
+	}
+
+	// The sampling counters must reflect the one sampled run.
+	st := s.Runner().SimStats()
+	if st.SampledRuns != 1 || st.SampleIntervals == 0 || st.SampleInstsSkipped == 0 {
+		t.Fatalf("runner sampling stats = %+v, want 1 sampled run with intervals and skips", st)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"spbd_sample_runs_total 1",
+		"spbd_sample_intervals_total",
+		"spbd_sample_insts_skipped_total",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	// A fresh daemon over the same store must answer the sampled spec from
+	// disk, byte-identically.
+	ts.Close()
+	s.Close()
+	_, ts2 := testServer(t, Config{Workers: 2, CacheDir: dir})
+	_, again := postRun(t, ts2, sampledSpec, "?wait=1")
+	if again.Cached != "disk" {
+		t.Fatalf("restarted daemon: cached = %q, want disk (%s)", again.Cached, again.Error)
+	}
+	if string(again.Stats) != string(want) {
+		t.Fatalf("disk round-trip changed sampled stats:\n  got  %s\n  want %s", again.Stats, want)
+	}
+}

@@ -132,9 +132,12 @@ type job struct {
 	cancel context.CancelCauseFunc
 
 	// Progress, written by the simulating goroutine, read by SSE streams
-	// and status requests.
+	// and status requests. ffInsts counts functionally-warmed instructions
+	// (warmup prefix + sampling skips), kept apart from committed so sampled
+	// runs report honest detailed progress.
 	committed   atomic.Uint64
 	cycles      atomic.Uint64
+	ffInsts     atomic.Uint64
 	targetInsts uint64
 
 	// waiters counts parties whose interest keeps the job alive: the
@@ -424,6 +427,19 @@ func (s *Server) newJobLocked(key string, spec sim.RunSpec, tn *tenantState) *jo
 	return j
 }
 
+// resultCommitted returns the detail-simulated instruction count a terminal
+// job reports. For sampled runs the measured aggregate alone under-reports
+// the detailed work — each window's unmeasured detailed warming commits
+// instructions too — so the job view carries the full detailed count, and
+// committed + ff_insts covers the spec's whole horizon (the cost-accounting
+// invariant the tenant quota and dashboard sums rely on).
+func resultCommitted(res *sim.Result) uint64 {
+	if res.Sample.Intervals > 0 {
+		return res.Sample.DetailedInsts
+	}
+	return res.CPU.Committed
+}
+
 // completedJob materializes a cache hit as an already-terminal job so the
 // response shape (and GET /v1/runs/{id}) is uniform across hits and misses.
 func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier string, traceID string, submitStart time.Time) (*job, error) {
@@ -436,7 +452,8 @@ func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 	j.cached = tier
-	j.committed.Store(res.CPU.Committed)
+	j.committed.Store(resultCommitted(&res))
+	j.ffInsts.Store(res.Sample.FastForwardInsts)
 	j.cycles.Store(res.CPU.Cycles)
 	j.trace = s.cfg.Tracer.Start(traceID, j.id, key)
 	j.trace.Span("submit", submitStart, time.Now())
@@ -502,6 +519,7 @@ func (s *Server) runJob(j *job) {
 	res, err := s.runner.GetCtx(obs.NewContext(ctx, j.trace), j.spec, func(p sim.Progress) {
 		j.committed.Store(p.Committed)
 		j.cycles.Store(p.Cycles)
+		j.ffInsts.Store(p.FastForwardInsts)
 		s.metrics.ProgressSnapshot.Add(1)
 	})
 	runEnd := time.Now()
@@ -516,7 +534,7 @@ func (s *Server) runJob(j *job) {
 			}
 			return
 		}
-		j.committed.Store(res.CPU.Committed)
+		j.committed.Store(resultCommitted(&res))
 		j.cycles.Store(res.CPU.Cycles)
 		if j.finish(StatusDone, res, stats, "") {
 			s.metrics.RunsCompleted.Add(1)

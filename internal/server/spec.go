@@ -37,6 +37,17 @@ type RunRequest struct {
 	BranchPredictor    bool   `json:"branch_predictor,omitempty"`
 	DisableFastForward bool   `json:"disable_fast_forward,omitempty"`
 	Seed               uint64 `json:"seed,omitempty"`
+
+	// SMARTS sampling (DESIGN.md §14): a non-zero interval requests a
+	// sampled run — short detailed windows at SampleDetail instructions
+	// behind SampleWarm of detailed warming, one per SampleInterval
+	// instructions, with confidence intervals in the sample.* stats.
+	// SampleHistory, when non-zero, bounds functional warming to the last
+	// that-many instructions of each inter-window skip (MRRL/BLRL-style).
+	SampleInterval uint64 `json:"sample_interval_insts,omitempty"`
+	SampleDetail   uint64 `json:"sample_detailed_insts,omitempty"`
+	SampleWarm     uint64 `json:"sample_warm_insts,omitempty"`
+	SampleHistory  uint64 `json:"sample_history_insts,omitempty"`
 }
 
 // Spec converts the wire form into a sim.RunSpec, resolving the enum names.
@@ -57,7 +68,13 @@ func (r RunRequest) Spec() (sim.RunSpec, error) {
 		CrossPageBursts:      r.CrossPageBursts,
 		ModelBranchPredictor: r.BranchPredictor,
 		DisableFastForward:   r.DisableFastForward,
-		Seed:                 r.Seed,
+		Sampling: sim.SamplingConfig{
+			IntervalInsts: r.SampleInterval,
+			DetailedInsts: r.SampleDetail,
+			WarmInsts:     r.SampleWarm,
+			HistoryInsts:  r.SampleHistory,
+		},
+		Seed: r.Seed,
 	}
 	if r.Workload == "" {
 		return sim.RunSpec{}, fmt.Errorf("missing workload")
@@ -98,6 +115,10 @@ func Request(spec sim.RunSpec) RunRequest {
 		CrossPageBursts:    spec.CrossPageBursts,
 		BranchPredictor:    spec.ModelBranchPredictor,
 		DisableFastForward: spec.DisableFastForward,
+		SampleInterval:     spec.Sampling.IntervalInsts,
+		SampleDetail:       spec.Sampling.DetailedInsts,
+		SampleWarm:         spec.Sampling.WarmInsts,
+		SampleHistory:      spec.Sampling.HistoryInsts,
 		Seed:               spec.Seed,
 	}
 }

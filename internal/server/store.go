@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -137,6 +138,16 @@ func (s *DiskStore) Get(key string) (sim.Result, bool, error) {
 	}
 	if e.Sum != want {
 		s.quarantine(key, path, fmt.Errorf("checksum mismatch (stored %.12s, computed %.12s)", e.Sum, want))
+		return sim.Result{}, false, nil
+	}
+	// The checksum proves the decoded entry matches what was stored, but a
+	// flipped byte inside an ignored region (an unknown field name, say) can
+	// decode to the same entry. Entries are always written in canonical
+	// indented form, so any byte-level damage at all shows up as a deviation
+	// from the re-marshalling of the decoded entry.
+	canon, err := json.MarshalIndent(e, "", "\t")
+	if err != nil || !bytes.Equal(append(canon, '\n'), data) {
+		s.quarantine(key, path, errors.New("entry deviates from canonical form"))
 		return sim.Result{}, false, nil
 	}
 	return e.Result, true, nil

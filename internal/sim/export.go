@@ -75,6 +75,34 @@ func (r Result) ExportStats(s *stats.Set) {
 		s.Counter("td.sbBound").Add(0)
 	}
 
+	// SMARTS sampling summary (DESIGN.md §14), present only for sampled runs
+	// so full-detail output is byte-identical to pre-sampling builds. Rates
+	// travel as integer PPM like td.*; each mean carries its 95% CLT
+	// confidence half-width.
+	if r.Spec.Sampling.Enabled() {
+		sm := r.Sample
+		s.Counter("sample.intervals").Add(sm.Intervals)
+		s.Counter("sample.measuredInsts").Add(sm.MeasuredInsts)
+		s.Counter("sample.detailedInsts").Add(sm.DetailedInsts)
+		s.Counter("sample.fastForwardInsts").Add(sm.FastForwardInsts)
+		s.Counter("sample.ipcMeanPPM").Add(sm.IPCMeanPPM)
+		s.Counter("sample.ipcCI95PPM").Add(sm.IPCCI95PPM)
+		s.Counter("sample.cpiMeanPPM").Add(sm.CPIMeanPPM)
+		s.Counter("sample.cpiCI95PPM").Add(sm.CPICI95PPM)
+		s.Counter("sample.sbStallPerInstMeanPPM").Add(sm.SBStallPerInstMeanPPM)
+		s.Counter("sample.sbStallPerInstCI95PPM").Add(sm.SBStallPerInstCI95PPM)
+		s.Counter("sample.otherStallPerInstMeanPPM").Add(sm.OtherStallPerInstMeanPPM)
+		s.Counter("sample.otherStallPerInstCI95PPM").Add(sm.OtherStallPerInstCI95PPM)
+		s.Counter("sample.frontendStallPerInstMeanPPM").Add(sm.FrontendStallPerInstMeanPPM)
+		s.Counter("sample.frontendStallPerInstCI95PPM").Add(sm.FrontendStallPerInstCI95PPM)
+		s.Counter("sample.execStallL1DPerInstMeanPPM").Add(sm.ExecStallL1DPerInstMeanPPM)
+		s.Counter("sample.execStallL1DPerInstCI95PPM").Add(sm.ExecStallL1DPerInstCI95PPM)
+		s.Counter("sample.l1MissPerInstMeanPPM").Add(sm.L1MissPerInstMeanPPM)
+		s.Counter("sample.l1MissPerInstCI95PPM").Add(sm.L1MissPerInstCI95PPM)
+		s.Counter("sample.dramPerInstMeanPPM").Add(sm.DRAMPerInstMeanPPM)
+		s.Counter("sample.dramPerInstCI95PPM").Add(sm.DRAMPerInstCI95PPM)
+	}
+
 	// Energy in microjoules so integer counters remain meaningful.
 	s.Counter("energy.cacheDynamicUJ").Add(uint64(r.Energy.CacheDynamic * 1e6))
 	s.Counter("energy.coreDynamicUJ").Add(uint64(r.Energy.CoreDynamic * 1e6))

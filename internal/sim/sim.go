@@ -73,6 +73,11 @@ type RunSpec struct {
 	// the event-horizon fast forward. Both modes produce bit-identical
 	// statistics; the knob exists for the equivalence test and debugging.
 	DisableFastForward bool
+	// Sampling configures SMARTS-style systematic sampling (DESIGN.md §14):
+	// short detailed measurement intervals interleaved with fast functional
+	// warming, with CLT confidence intervals reported in the stats. The zero
+	// value simulates every instruction in detail.
+	Sampling SamplingConfig
 	// Seed perturbs the workload generator (0 = default seed).
 	Seed uint64
 }
@@ -121,13 +126,17 @@ func (m MemStats) SPFNeverUsed() uint64 {
 	return m.SPFIssued - accounted
 }
 
-// Result is the outcome of one simulation point.
+// Result is the outcome of one simulation point. For a sampled run (Spec.
+// Sampling enabled), CPU and Mem aggregate the measured detailed windows
+// only — they are the sampled estimate, not full-run totals — and Sample
+// carries the per-interval statistics (mean + 95% CI per rate).
 type Result struct {
 	Spec   RunSpec
 	CPU    cpu.Stats // aggregated over cores (cycles = max across cores)
 	Mem    MemStats
 	Energy energy.Breakdown
 	TD     topdown.Report
+	Sample SampleStats // zero unless Spec.Sampling is enabled
 }
 
 // IPC returns committed instructions per cycle over all cores.
@@ -159,6 +168,7 @@ func (s RunSpec) normalize() RunSpec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	s.Sampling = s.Sampling.normalize()
 	return s
 }
 
@@ -187,6 +197,20 @@ func (s RunSpec) CostEstimate() uint64 { return s.CostEstimateAt(false) }
 func (s RunSpec) CostEstimateAt(warmStart bool) uint64 {
 	n := s.normalize()
 	insts := n.Insts
+	if n.Sampling.Enabled() {
+		// A sampled run simulates only the detailed portion of each sampling
+		// period in detail; the skips run functionally at the same
+		// quarter-weight as a warmup prefix. This is what lets LPT ordering,
+		// batch scheduling and client-pool hedging rank a sampled point by
+		// the work it will actually do, far below its full-detail twin.
+		cfg := n.Sampling
+		intervals := (n.Insts + cfg.IntervalInsts - 1) / cfg.IntervalInsts
+		detailed := intervals * (cfg.WarmInsts + cfg.DetailedInsts)
+		if detailed > n.Insts {
+			detailed = n.Insts
+		}
+		insts = detailed + (n.Insts-detailed)/4
+	}
 	if !warmStart {
 		insts += n.WarmupInsts / 4
 	}
@@ -212,10 +236,15 @@ type Progress struct {
 	Committed   uint64
 	Cycles      uint64
 	TargetInsts uint64
-	// InstsPerSec is the wall-clock simulation throughput (committed
-	// instructions per second of real time) since the run started. It is
-	// reporting-only state: it never enters the canonical stats JSON,
-	// which must stay byte-deterministic.
+	// FastForwardInsts counts instructions covered functionally rather than
+	// in detail: the warmup prefix plus any sampling skips. They are kept
+	// out of Committed so InstsPerSec reports the honest detailed-simulation
+	// rate instead of a number inflated by fast-forwarding.
+	FastForwardInsts uint64
+	// InstsPerSec is the wall-clock simulation throughput (detailed
+	// committed instructions per second of real time) since the run
+	// started. It is reporting-only state: it never enters the canonical
+	// stats JSON, which must stay byte-deterministic.
 	InstsPerSec float64
 }
 
@@ -266,6 +295,9 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 	buildSpan := tr.StartSpan("run.build")
 
 	spec = spec.normalize()
+	if err := spec.Sampling.validate(); err != nil {
+		return Result{}, err
+	}
 	machine, err := spec.machineConfig()
 	if err != nil {
 		return Result{}, err
@@ -275,7 +307,29 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 		return Result{}, err
 	}
 	sys := memsys.New(machine, spec.Cores)
-	cores := buildCores(spec, machine, sys, readers)
+	if spec.Sampling.Enabled() {
+		// Sampled run: the TLBs and branch predictors live outside any core
+		// (the functional mode needs them between detailed segments), and
+		// the shared warmup prefix runs against them before the interval
+		// scheduler takes over.
+		dtlbs, bps := buildFunctionalState(machine, spec)
+		if spec.WarmupInsts > 0 {
+			if err := warm(ctx, sys, dtlbs, bps, readers, spec.WarmupInsts, false); err != nil {
+				for i := range dtlbs {
+					dtlbs[i].Release()
+					if bps[i] != nil {
+						bps[i].Release()
+					}
+				}
+				sys.Release()
+				return Result{}, err
+			}
+		}
+		buildSpan.End()
+		return runSampled(ctx, tr, spec, machine, sys, readers, dtlbs, bps,
+			spec.WarmupInsts*uint64(spec.Cores), onProgress)
+	}
+	cores := buildCores(spec, machine, sys, readers, 0)
 	if spec.WarmupInsts > 0 {
 		// In-place functional warming — the warm-start-off reference path.
 		// Cores are built first: their Limit wrappers bind to the underlying
@@ -288,13 +342,13 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 			dtlbs[i] = c.DTLB()
 			bps[i] = c.BranchPredictor()
 		}
-		if err := warm(ctx, sys, dtlbs, bps, readers, spec.WarmupInsts); err != nil {
+		if err := warm(ctx, sys, dtlbs, bps, readers, spec.WarmupInsts, false); err != nil {
 			sys.Release()
 			return Result{}, err
 		}
 	}
 	buildSpan.End()
-	return runDetailed(ctx, tr, spec, sys, cores, onProgress)
+	return runDetailed(ctx, tr, spec, sys, cores, spec.WarmupInsts*uint64(spec.Cores), onProgress)
 }
 
 // machineConfig resolves and validates the spec's full machine configuration.
@@ -332,8 +386,12 @@ func buildReaders(spec RunSpec) ([]trace.Reader, error) {
 }
 
 // buildCores constructs the per-core pipelines, each budgeted to spec.Insts
-// committed instructions of its reader's stream from its current position on.
-func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, readers []trace.Reader) []*cpu.Core {
+// committed instructions of its reader's stream from its current position
+// on. startCycle is the value the core clocks open at — zero for a
+// standalone run; a sampled run passes the previous detailed segment's end
+// cycle so every segment shares the memory system's cycle domain (see
+// cpu.Options.StartCycle).
+func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, readers []trace.Reader, startCycle uint64) []*cpu.Core {
 	cores := make([]*cpu.Core, spec.Cores)
 	opts := cpu.Options{
 		CoalesceSB:         spec.CoalesceSB,
@@ -341,6 +399,7 @@ func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, 
 		CrossPageBursts:    spec.CrossPageBursts,
 		UseBranchPredictor: spec.ModelBranchPredictor,
 		DisableFastForward: spec.DisableFastForward,
+		StartCycle:         startCycle,
 	}
 	for i := range cores {
 		cores[i] = cpu.NewWithOptions(machine.Core, spec.Policy, machine.SPB, machine.TLB, opts,
@@ -352,11 +411,15 @@ func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, 
 // runDetailed executes the detailed (statistics-gathering) interval on an
 // already-built machine and collects the Result. It owns the machine from
 // here on: on success the cores' and hierarchy's pooled arrays are released.
-func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.System, cores []*cpu.Core, onProgress func(Progress)) (Result, error) {
+// warmupFF is the functionally-covered instruction count reported in
+// Progress.FastForwardInsts (the warmup prefix, whether this run executed it
+// or a warm-start fork elided it).
+func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.System, cores []*cpu.Core, warmupFF uint64, onProgress func(Progress)) (Result, error) {
 	loopSpan := tr.StartSpan("run.sim")
 	start := time.Now()
 	report := func() {
 		p := snapshotProgress(cores, spec.Insts*uint64(spec.Cores))
+		p.FastForwardInsts = warmupFF
 		if el := time.Since(start).Seconds(); el > 0 {
 			p.InstsPerSec = float64(p.Committed) / el
 		}
@@ -427,61 +490,68 @@ func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.S
 	loopSpan.End()
 	collectSpan := tr.StartSpan("run.collect")
 
-	res := Result{Spec: spec}
+	var aggCPU cpu.Stats
 	for _, c := range cores {
 		st := c.St
-		if st.Cycles > res.CPU.Cycles {
-			res.CPU.Cycles = st.Cycles
+		cyc := st.Cycles
+		st.Cycles = 0
+		addCPU(&aggCPU, st)
+		if cyc > aggCPU.Cycles {
+			aggCPU.Cycles = cyc
 		}
-		res.CPU.Committed += st.Committed
-		res.CPU.Loads += st.Loads
-		res.CPU.Stores += st.Stores
-		res.CPU.Branches += st.Branches
-		res.CPU.Mispredicts += st.Mispredicts
-		res.CPU.WrongPathInsts += st.WrongPathInsts
-		res.CPU.ForwardedLoads += st.ForwardedLoads
-		res.CPU.PartialForwards += st.PartialForwards
-		res.CPU.SBStallCycles += st.SBStallCycles
-		res.CPU.ROBStallCycles += st.ROBStallCycles
-		res.CPU.IQStallCycles += st.IQStallCycles
-		res.CPU.LQStallCycles += st.LQStallCycles
-		res.CPU.FrontendStallCycles += st.FrontendStallCycles
-		res.CPU.SBStallApp += st.SBStallApp
-		res.CPU.SBStallLib += st.SBStallLib
-		res.CPU.SBStallKernel += st.SBStallKernel
-		res.CPU.ExecStallL1DPending += st.ExecStallL1DPending
-		res.CPU.StoresPerformed += st.StoresPerformed
-		res.CPU.SPBBursts += st.SPBBursts
 	}
-	for i := 0; i < spec.Cores; i++ {
-		p := sys.Port(i)
-		res.Mem.L1TagAccesses += p.L1().TagAccesses
-		res.Mem.L1Hits += p.L1().Hits
-		res.Mem.L1Misses += p.L1().Misses
-		res.Mem.L2Accesses += p.L2().TagAccesses
-		res.Mem.Loads += p.Loads
-		res.Mem.Stores += p.Stores
-		res.Mem.LoadMisses += p.LoadMisses
-		res.Mem.StoreMisses += p.StoreMisses
-		res.Mem.WrongPathLoads += p.WrongPathLoads
-		res.Mem.SPFIssued += p.SPFIssued
-		res.Mem.SPFDiscarded += p.SPFDiscarded
-		res.Mem.SPFMissToL2 += p.SPFMissToL2
-		res.Mem.SPFSuccessful += p.SPFSuccessful
-		res.Mem.SPFLate += p.SPFLate
-		res.Mem.SPFEarly += p.SPFEarly
-		res.Mem.SPFBurst += p.SPFBurst
-		res.Mem.GPFIssued += p.GPFIssued
-		res.Mem.GPFUsed += p.GPFUsed
-		res.Mem.GPFLate += p.GPFLate
-		res.Mem.GPFPolluted += p.GPFPolluted
-		res.Mem.Writebacks += p.L1().Writebacks + p.L2().Writebacks
+	res := finishResult(spec, aggCPU, collectMem(spec.Cores, sys))
+	// Everything the caller gets is copied into res; hand the cores' and the
+	// hierarchy's large arrays back to the pools for the next run.
+	for _, c := range cores {
+		c.Release()
 	}
-	res.Mem.L3Accesses = sys.L3().TagAccesses
-	res.Mem.DRAMReads = sys.DRAM().Reads
-	res.Mem.DRAMWrites = sys.DRAM().Writes
-	res.Mem.Invalidations = sys.Invalidations
+	sys.Release()
+	collectSpan.End()
+	return res, nil
+}
 
+// collectMem reads the memory system's cumulative counters into a MemStats.
+// The counters only grow, so the sampled scheduler measures a window as the
+// difference of two collections.
+func collectMem(cores int, sys *memsys.System) MemStats {
+	var m MemStats
+	for i := 0; i < cores; i++ {
+		p := sys.Port(i)
+		m.L1TagAccesses += p.L1().TagAccesses
+		m.L1Hits += p.L1().Hits
+		m.L1Misses += p.L1().Misses
+		m.L2Accesses += p.L2().TagAccesses
+		m.Loads += p.Loads
+		m.Stores += p.Stores
+		m.LoadMisses += p.LoadMisses
+		m.StoreMisses += p.StoreMisses
+		m.WrongPathLoads += p.WrongPathLoads
+		m.SPFIssued += p.SPFIssued
+		m.SPFDiscarded += p.SPFDiscarded
+		m.SPFMissToL2 += p.SPFMissToL2
+		m.SPFSuccessful += p.SPFSuccessful
+		m.SPFLate += p.SPFLate
+		m.SPFEarly += p.SPFEarly
+		m.SPFBurst += p.SPFBurst
+		m.GPFIssued += p.GPFIssued
+		m.GPFUsed += p.GPFUsed
+		m.GPFLate += p.GPFLate
+		m.GPFPolluted += p.GPFPolluted
+		m.Writebacks += p.L1().Writebacks + p.L2().Writebacks
+	}
+	m.L3Accesses = sys.L3().TagAccesses
+	m.DRAMReads = sys.DRAM().Reads
+	m.DRAMWrites = sys.DRAM().Writes
+	m.Invalidations = sys.Invalidations
+	return m
+}
+
+// finishResult assembles a Result from aggregated counters: the derived
+// energy and Top-Down views are computed from whatever window the counters
+// cover (the whole run, or a sampled run's measured intervals).
+func finishResult(spec RunSpec, aggCPU cpu.Stats, aggMem MemStats) Result {
+	res := Result{Spec: spec, CPU: aggCPU, Mem: aggMem}
 	res.Energy = energy.Compute(energy.Default22nm(), energy.Events{
 		Cycles:         res.CPU.Cycles,
 		L1TagAccesses:  res.Mem.L1TagAccesses,
@@ -495,14 +565,7 @@ func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.S
 		SBEntries:      spec.SQSize,
 	})
 	res.TD = topdown.Analyze(&res.CPU)
-	// Everything the caller gets is copied into res; hand the cores' and the
-	// hierarchy's large arrays back to the pools for the next run.
-	for _, c := range cores {
-		c.Release()
-	}
-	sys.Release()
-	collectSpan.End()
-	return res, nil
+	return res
 }
 
 // Runner is a memoizing, parallel executor of simulation points.
@@ -527,6 +590,10 @@ type Runner struct {
 	warmForks      atomic.Uint64 // detailed runs forked from a snapshot
 	warmInstsSaved atomic.Uint64 // warmup instructions elided by sharing
 	instsSimulated atomic.Uint64 // instructions simulated (warm + detailed)
+
+	sampledRuns        atomic.Uint64 // runs executed in sampling mode
+	sampleIntervals    atomic.Uint64 // measured detailed intervals
+	sampleInstsSkipped atomic.Uint64 // insts covered functionally by sampling
 }
 
 // runCall is one in-flight simulation other callers of the same spec wait on
@@ -582,16 +649,27 @@ type RunnerStats struct {
 	// InstsSimulated counts instructions actually simulated — functional
 	// warming plus detailed intervals.
 	InstsSimulated uint64
+	// SampledRuns counts runs executed in SMARTS sampling mode.
+	SampledRuns uint64
+	// SampleIntervals counts measured detailed intervals across sampled
+	// runs.
+	SampleIntervals uint64
+	// SampleInstsSkipped counts instructions sampled runs covered with fast
+	// functional warming instead of detailed simulation.
+	SampleInstsSkipped uint64
 }
 
 // SimStats returns the runner's execution counters.
 func (r *Runner) SimStats() RunnerStats {
 	return RunnerStats{
-		Runs:           r.runs.Load(),
-		WarmGroups:     r.warmGroups.Load(),
-		WarmForks:      r.warmForks.Load(),
-		WarmInstsSaved: r.warmInstsSaved.Load(),
-		InstsSimulated: r.instsSimulated.Load(),
+		Runs:               r.runs.Load(),
+		WarmGroups:         r.warmGroups.Load(),
+		WarmForks:          r.warmForks.Load(),
+		WarmInstsSaved:     r.warmInstsSaved.Load(),
+		InstsSimulated:     r.instsSimulated.Load(),
+		SampledRuns:        r.sampledRuns.Load(),
+		SampleIntervals:    r.sampleIntervals.Load(),
+		SampleInstsSkipped: r.sampleInstsSkipped.Load(),
 	}
 }
 

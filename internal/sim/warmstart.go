@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"spb/internal/bpred"
+	"spb/internal/mem"
 	"spb/internal/memsys"
 	"spb/internal/obs"
 	"spb/internal/tlb"
@@ -24,14 +25,54 @@ import (
 // off, RunCtx performs the identical functional warm in place per spec, so
 // the two modes produce byte-identical statistics; only wall-clock differs.
 
+// warmMemo elides redundant warm accesses: per core, the block and PC of
+// the immediately preceding memory access. Re-touching the most recent
+// block is a state no-op — the line is already MRU (the LRU clock is a
+// counter, so a skipped re-touch shifts absolute clock values but never the
+// relative recency order that drives victim choice), the TLB entry is
+// already MRU (same block ⇒ same page), a repeat store to an
+// already-Modified line changes nothing, and a same-PC same-block repeat is
+// a zero-delta no-op for the stream prefetcher too. A store after a load is
+// NOT elidable (it may need a directory upgrade), so the memo also records
+// whether the line is known writable; an access from a different PC is not
+// elidable either (it would train a different prefetcher table entry).
+type warmMemo struct {
+	block    mem.Block
+	pc       uint64
+	writable bool
+	valid    bool
+}
+
 // warm replays n instructions per core (round-robin, one instruction per
 // core per round, matching in-order multi-core interleaving) against the
 // memory system, TLBs and branch predictors. No statistics are touched. A
 // bps entry may be nil (predictor not modelled). Readers that run dry are
 // skipped; synthetic workload programs never do.
-func warm(ctx context.Context, sys *memsys.System, dtlbs []*tlb.TLB, bps []*bpred.Predictor, readers []trace.Reader, n uint64) error {
+//
+// Consecutive same-block accesses take the warmMemo fast path. In
+// multi-core interleavings one core's real access can downgrade, invalidate
+// or back-invalidate another core's line, so every real access kills the
+// other cores' memos; single-core warming (the common sampling case) keeps
+// its memo across the whole stream.
+//
+// trainPF additionally feeds every access to the port's generic prefetcher
+// and warm-fills what it requests (Port.WarmObserve). Sampled runs pass
+// true so detailed windows open with trained prefetchers and
+// prefetch-resident lines; the shared warmup prefix passes false — its
+// warmed snapshots are shared across specs regardless of prefetcher kind,
+// so they must stay prefetcher-independent.
+func warm(ctx context.Context, sys *memsys.System, dtlbs []*tlb.TLB, bps []*bpred.Predictor, readers []trace.Reader, n uint64, trainPF bool) error {
 	done := ctx.Done()
 	var in trace.Inst
+	memos := make([]warmMemo, len(readers))
+	multi := len(readers) > 1
+	invalidateOthers := func(i int) {
+		for j := range memos {
+			if j != i {
+				memos[j].valid = false
+			}
+		}
+	}
 	for k := uint64(0); k < n; k++ {
 		if done != nil && k%progressEvery == 0 {
 			select {
@@ -46,15 +87,153 @@ func warm(ctx context.Context, sys *memsys.System, dtlbs []*tlb.TLB, bps []*bpre
 			}
 			switch in.Kind {
 			case trace.KindLoad:
+				b := mem.BlockOf(in.Addr)
+				if m := &memos[i]; m.valid && m.block == b && m.pc == in.PC {
+					continue
+				}
 				dtlbs[i].Warm(in.Addr)
-				sys.Port(i).WarmLoad(in.Addr)
+				port := sys.Port(i)
+				hit := port.WarmLoad(in.Addr)
+				if trainPF {
+					port.WarmObserve(in.PC, in.Addr, !hit, false)
+				}
+				memos[i] = warmMemo{block: b, pc: in.PC, valid: true}
+				if multi {
+					invalidateOthers(i)
+				}
 			case trace.KindStore:
+				b := mem.BlockOf(in.Addr)
+				if m := &memos[i]; m.valid && m.block == b && m.pc == in.PC && m.writable {
+					continue
+				}
 				dtlbs[i].Warm(in.Addr)
-				sys.Port(i).WarmStore(in.Addr)
+				port := sys.Port(i)
+				hit := port.WarmStore(in.Addr)
+				if trainPF {
+					port.WarmObserve(in.PC, in.Addr, !hit, true)
+				}
+				memos[i] = warmMemo{block: b, pc: in.PC, writable: true, valid: true}
+				if multi {
+					invalidateOthers(i)
+				}
 			case trace.KindBranch:
 				if bps[i] != nil {
 					bps[i].Warm(in.PC, in.Taken)
 				}
+			}
+		}
+	}
+	return nil
+}
+
+// streamSkipper is the optional bulk-advance fast path a trace.Reader can
+// offer (trace.Program does): advance n instructions without materializing
+// them.
+type streamSkipper interface{ Skip(n uint64) }
+
+// drain advances the instruction streams n instructions per core without
+// touching caches, TLBs or predictors: only the trace cursors (and their
+// RNG state) move. Sampled runs with a bounded warming history
+// (SamplingConfig.HistoryInsts) drain the head of each long inter-window
+// skip and functionally warm only its tail — the cache-relevant recent
+// past — which is what makes sparse sampling periods cheap. Readers are
+// advanced one after another rather than round-robin: every reader owns its
+// RNG and region cursors, so with no architectural state touched the order
+// cannot matter, and the per-reader bulk Skip is where the speed comes
+// from.
+func drain(ctx context.Context, readers []trace.Reader, n uint64) error {
+	done := ctx.Done()
+	var in trace.Inst
+	for _, rd := range readers {
+		if s, ok := rd.(streamSkipper); ok {
+			for left := n; left > 0; {
+				k := min(left, uint64(progressEvery)*64)
+				s.Skip(k)
+				left -= k
+				if done != nil {
+					select {
+					case <-done:
+						return ctx.Err()
+					default:
+					}
+				}
+			}
+			continue
+		}
+		for k := uint64(0); k < n; k++ {
+			if done != nil && k%progressEvery == 0 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			if !rd.Next(&in) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// streamToucher is the footprint-reporting bulk advance (trace.Program's
+// SkipTouch): the stream skips like Skip while handing the consumer every
+// skipped memory access as a byte span.
+type streamToucher interface {
+	SkipTouch(n uint64, touch trace.Touch)
+}
+
+// drainLLC advances the instruction streams n instructions per core like
+// drain, but additionally replays every skipped access's footprint against
+// the shared LLC and the coherence directory (Port.WarmTouch). The private
+// caches, TLBs and predictors have short natural histories that the bounded
+// warming tail preceding each window rebuilds exactly; the LLC's history is
+// as long as its capacity — often longer than a whole sampling period — so
+// it must track every skipped instruction or measured windows inherit stale
+// resident lines the real run would have evicted. Dense burst ops surface
+// their footprint as O(1) spans, so this tier costs only a little more than
+// a pure drain. As in drain, readers advance one after another; the
+// resulting LLC interleaving across cores is coarser than the real one,
+// which is acceptable for functional warming and keeps the bulk fast path.
+func drainLLC(ctx context.Context, sys *memsys.System, readers []trace.Reader, n uint64) error {
+	done := ctx.Done()
+	var in trace.Inst
+	for i, rd := range readers {
+		port := sys.Port(i)
+		touch := func(addr mem.Addr, n uint64, store bool) {
+			port.WarmTouch(addr, n, store)
+		}
+		if s, ok := rd.(streamToucher); ok {
+			for left := n; left > 0; {
+				k := min(left, uint64(progressEvery)*8)
+				s.SkipTouch(k, touch)
+				left -= k
+				if done != nil {
+					select {
+					case <-done:
+						return ctx.Err()
+					default:
+					}
+				}
+			}
+			continue
+		}
+		for k := uint64(0); k < n; k++ {
+			if done != nil && k%progressEvery == 0 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			if !rd.Next(&in) {
+				break
+			}
+			switch in.Kind {
+			case trace.KindLoad:
+				port.WarmTouch(in.Addr, uint64(in.Size), false)
+			case trace.KindStore:
+				port.WarmTouch(in.Addr, uint64(in.Size), true)
 			}
 		}
 	}
@@ -116,7 +295,8 @@ func (r *Runner) execute(ctx context.Context, spec RunSpec, onProgress func(Prog
 		if ws != nil {
 			res, err := r.runForked(ctx, spec, ws, onProgress)
 			if err == nil {
-				r.instsSimulated.Add(res.CPU.Committed)
+				r.instsSimulated.Add(r.executedInsts(res, 0))
+				r.noteSampled(res)
 			}
 			return res, err
 		}
@@ -124,9 +304,34 @@ func (r *Runner) execute(ctx context.Context, spec RunSpec, onProgress func(Prog
 	}
 	res, err := RunCtx(ctx, spec, onProgress)
 	if err == nil {
-		r.instsSimulated.Add(res.CPU.Committed + spec.WarmupInsts*uint64(spec.Cores))
+		r.instsSimulated.Add(r.executedInsts(res, spec.WarmupInsts*uint64(spec.Cores)))
+		r.noteSampled(res)
 	}
 	return res, err
+}
+
+// executedInsts is the instruction count a finished run actually executed —
+// detailed plus functional — for the InstsSimulated counter. warmup is the
+// warmup-prefix contribution (0 when a shared snapshot elided it; it was
+// counted once by buildWarmState).
+func (r *Runner) executedInsts(res Result, warmup uint64) uint64 {
+	if res.Spec.Sampling.Enabled() {
+		// CPU.Committed only covers measured windows; Sample carries the full
+		// detailed (incl. per-interval warming) and functional-skip counts.
+		return res.Sample.DetailedInsts + res.Sample.FastForwardInsts + warmup
+	}
+	return res.CPU.Committed + warmup
+}
+
+// noteSampled folds a finished sampled run into the runner's sampling
+// counters (no-op for full-detail runs).
+func (r *Runner) noteSampled(res Result) {
+	if !res.Spec.Sampling.Enabled() {
+		return
+	}
+	r.sampledRuns.Add(1)
+	r.sampleIntervals.Add(res.Sample.Intervals)
+	r.sampleInstsSkipped.Add(res.Sample.FastForwardInsts)
 }
 
 // warmFor returns the shared warm state for spec's group, simulating the
@@ -204,7 +409,7 @@ func (r *Runner) buildWarmState(ctx context.Context, spec RunSpec) (*warmState, 
 			bps[i] = bpred.New(bpred.TableI())
 		}
 	}
-	if err := warm(ctx, sys, dtlbs, bps, readers, spec.WarmupInsts); err != nil {
+	if err := warm(ctx, sys, dtlbs, bps, readers, spec.WarmupInsts, false); err != nil {
 		sys.Release()
 		return nil, err
 	}
@@ -249,7 +454,26 @@ func (r *Runner) runForked(ctx context.Context, spec RunSpec, ws *warmState, onP
 	}
 	sys := memsys.New(machine, spec.Cores)
 	sys.Restore(ws.sys)
-	cores := buildCores(spec, machine, sys, readers)
+	warmupFF := spec.WarmupInsts * uint64(spec.Cores)
+	if spec.Sampling.Enabled() {
+		// Sampled fork: restore the warmed TLB/predictor snapshots into the
+		// persistent functional-state objects the interval scheduler carries
+		// between detailed segments, exactly as the in-place path warms them.
+		dtlbs, bps := buildFunctionalState(machine, spec)
+		for i := range dtlbs {
+			dtlbs[i].Restore(ws.dtlbs[i])
+			if bps[i] != nil {
+				bps[i].Restore(ws.bps[i])
+			}
+		}
+		buildSpan.End()
+		r.warmForks.Add(1)
+		if ws.forks.Add(1) > 1 {
+			r.warmInstsSaved.Add(warmupFF)
+		}
+		return runSampled(ctx, tr, spec, machine, sys, readers, dtlbs, bps, warmupFF, onProgress)
+	}
+	cores := buildCores(spec, machine, sys, readers, 0)
 	for i, c := range cores {
 		c.DTLB().Restore(ws.dtlbs[i])
 		if bp := c.BranchPredictor(); bp != nil {
@@ -262,7 +486,7 @@ func (r *Runner) runForked(ctx context.Context, spec RunSpec, ws *warmState, onP
 	if ws.forks.Add(1) > 1 {
 		// Every fork after the group's first rides a warmup that off-mode
 		// would have re-simulated.
-		r.warmInstsSaved.Add(spec.WarmupInsts * uint64(spec.Cores))
+		r.warmInstsSaved.Add(warmupFF)
 	}
-	return runDetailed(ctx, tr, spec, sys, cores, onProgress)
+	return runDetailed(ctx, tr, spec, sys, cores, warmupFF, onProgress)
 }

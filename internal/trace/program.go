@@ -195,6 +195,232 @@ func (p *Program) Next(out *Inst) bool {
 	}
 }
 
+// Skip advances the stream by exactly n instructions, leaving the program in
+// the state n successful Next calls would: the same phase picks, chunk draws
+// and RNG consumption, so interleaving Skip with Next is indistinguishable
+// from calling Next alone (TestProgramSkipEquivalence). Activations whose
+// instructions carry no per-instruction randomness — the dense burst ops —
+// are jumped in constant time; RNG-consuming ops replay their draws without
+// materializing instructions. Sampled runs use this to drain the unwarmed
+// head of each inter-window skip at a fraction of Next's cost.
+func (p *Program) Skip(n uint64) { p.SkipTouch(n, nil) }
+
+// Touch receives the memory footprint of skipped instructions: addr is the
+// first byte of a touched span, n its length, store whether the span is
+// written. Dense burst ops report one span per activation segment (the
+// consumer iterates its blocks); randomly-addressed ops report each access.
+type Touch func(addr mem.Addr, n uint64, store bool)
+
+// SkipTouch is Skip with a footprint callback: the stream state advances
+// exactly as Skip does, and touch additionally receives every skipped memory
+// access at byte-span granularity. This is what lets a sampled run keep the
+// large, long-history structures — the shared LLC and the coherence
+// directory — continuously warm across skips at near-Skip cost: the dense
+// ops (the bulk of the store-burst workloads) yield their footprint as O(1)
+// spans instead of materialized instructions, and the RNG-addressed ops
+// surface the very draws Skip must replay anyway. A nil touch is exactly
+// Skip.
+func (p *Program) SkipTouch(n uint64, touch Touch) {
+	for n > 0 {
+		if p.phase == nil {
+			p.pick()
+		}
+		ph := p.phase
+		if ph.Sub != nil {
+			if p.takeLeft > 0 {
+				k := min(n, p.takeLeft)
+				ph.Sub.SkipTouch(k, touch)
+				p.takeLeft -= k
+				n -= k
+				continue
+			}
+			p.phase = nil
+			continue
+		}
+		if p.active {
+			taken, exhausted := p.skipLeaf(n, touch)
+			n -= taken
+			if !exhausted {
+				continue // budget ran out mid-activation (n is now 0)
+			}
+			p.reps--
+			if p.reps > 0 {
+				p.activate()
+				continue
+			}
+			p.active = false
+			p.leafIdx++
+		}
+		if p.leafIdx >= len(ph.Leaves) {
+			p.phase = nil
+			continue
+		}
+		p.leaf = &ph.Leaves[p.leafIdx]
+		p.reps = p.leaf.Repeat
+		if p.reps < 1 {
+			p.reps = 1
+		}
+		p.activate()
+		p.active = true
+	}
+}
+
+// skipLeaf consumes up to budget instructions from the current activation,
+// returning how many it took and whether that exhausted the activation. Each
+// case advances the exact state (and RNG draws) the corresponding emit case
+// would; the dense ops do it in constant time. A non-nil touch receives the
+// skipped instructions' memory footprint (see SkipTouch).
+func (p *Program) skipLeaf(budget uint64, touch Touch) (taken uint64, exhausted bool) {
+	l := p.leaf
+	clamp := func(remaining uint64) uint64 {
+		if remaining <= budget {
+			return remaining
+		}
+		return budget
+	}
+	switch l.Op {
+	case OpMemset:
+		sz := uint64(l.Size)
+		remaining := (l.Bytes - min(p.off, l.Bytes) + sz - 1) / sz
+		taken = clamp(remaining)
+		if touch != nil && taken > 0 {
+			touch(p.base+mem.Addr(p.off), taken*sz, true)
+		}
+		p.off += taken * sz
+		return taken, taken == remaining
+
+	case OpMemcpy:
+		remaining := 2*((l.Bytes-min(p.off, l.Bytes)+7)/8) - uint64(p.step)
+		taken = clamp(remaining)
+		if touch != nil && taken > 0 {
+			// Micro-steps alternate load/store; with step 1 the pending
+			// store at the current offset comes first and the next load is
+			// one element on.
+			nLoads := (taken + uint64(1-p.step)) / 2
+			if nLoads > 0 {
+				touch(p.srcBase+mem.Addr(p.off+8*uint64(p.step)), 8*nLoads, false)
+			}
+			if nStores := taken - nLoads; nStores > 0 {
+				touch(p.base+mem.Addr(p.off), 8*nStores, true)
+			}
+		}
+		s := uint64(p.step) + taken
+		p.off += 8 * (s / 2)
+		p.step = int(s % 2)
+		return taken, taken == remaining
+
+	case OpRMW:
+		remaining := 3*((l.Bytes-min(p.off, l.Bytes)+7)/8) - uint64(p.step)
+		taken = clamp(remaining)
+		if touch != nil && taken > 0 {
+			// Triples step load/ALU/store at one offset, then advance; a
+			// mid-triple entry owes its load already, so the next load sits
+			// one element on while the store still lands at the current
+			// offset.
+			count := func(first uint64) uint64 {
+				if taken <= first {
+					return 0
+				}
+				return (taken - first + 2) / 3
+			}
+			nLoads := count((3 - uint64(p.step)) % 3)
+			loadOff := p.off
+			if p.step != 0 {
+				loadOff += 8
+			}
+			if nLoads > 0 {
+				touch(p.base+mem.Addr(loadOff), 8*nLoads, false)
+			}
+			if nStores := count((2 - uint64(p.step) + 3) % 3); nStores > 0 {
+				touch(p.base+mem.Addr(p.off), 8*nStores, true)
+			}
+		}
+		s := uint64(p.step) + taken
+		p.off += 8 * (s / 3)
+		p.step = int(s % 3)
+		return taken, taken == remaining
+
+	case OpStridedStores, OpStridedLoads:
+		remaining := uint64(l.Count - p.i)
+		taken = clamp(remaining)
+		if touch != nil && taken > 0 {
+			store := l.Op == OpStridedStores
+			sz := uint64(8)
+			if store {
+				sz = uint64(l.Size)
+			}
+			if l.Stride <= mem.BlockSize {
+				touch(p.base+mem.Addr(uint64(p.i)*l.Stride), (taken-1)*l.Stride+sz, store)
+			} else {
+				for k := uint64(0); k < taken; k++ {
+					touch(p.base+mem.Addr((uint64(p.i)+k)*l.Stride), sz, store)
+				}
+			}
+		}
+		p.i += int(taken)
+		return taken, taken == remaining
+
+	case OpPointerChase, OpScatterStores:
+		remaining := uint64(l.Count - p.i)
+		taken = clamp(remaining)
+		store := l.Op == OpScatterStores
+		for k := uint64(0); k < taken; k++ {
+			a := l.Dst.RandomAddr(p.rng, 8, 8)
+			if touch != nil {
+				touch(a, 8, store)
+			}
+		}
+		p.i += int(taken)
+		return taken, taken == remaining
+
+	case OpCompute:
+		o := &l.Compute
+		remaining := uint64(o.Count - p.i)
+		taken = clamp(remaining)
+		rng := p.rng
+		// Draws whose outcome does not steer control flow or program state
+		// (misprediction, FP class, latency class, dependence distance) are
+		// replayed with Advance: same state evolution, no value computed.
+		for k := uint64(0); k < taken; k++ {
+			p.i++
+			if rng.Bool(o.BrFrac) {
+				p.branches++
+				rng.Advance()
+				continue
+			}
+			rng.Advance()
+			if !rng.Bool(o.DivFrac) {
+				rng.Advance()
+			}
+			if rng.Bool(o.DepFrac) {
+				rng.Advance()
+			}
+		}
+		return taken, taken == remaining
+
+	case OpLoadUse:
+		remaining := 2*uint64(l.Count-p.i) - uint64(p.step)
+		taken = clamp(remaining)
+		rng := p.rng
+		for k := uint64(0); k < taken; k++ {
+			if p.step == 0 {
+				a := l.Dst.RandomAddr(rng, 8, 8)
+				if touch != nil {
+					touch(a, 8, false)
+				}
+				p.step = 1
+			} else {
+				rng.Advance() // taken draw — value unused when skipping
+				rng.Advance() // misprediction draw
+				p.i++
+				p.step = 0
+			}
+		}
+		return taken, taken == remaining
+	}
+	panic("trace: unknown program op")
+}
+
 // emit produces the current activation's next instruction, or reports false
 // when the activation is exhausted. Each case mirrors its synth.go builder
 // statement for statement — in particular every RNG call, in order.

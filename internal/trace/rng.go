@@ -41,6 +41,19 @@ func (r *RNG) Uint64() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
+// Advance consumes one draw, evolving the state exactly as Uint64 does but
+// producing no value: the output multiply and any float conversion are
+// skipped. Skip-mode replay uses it for draws whose outcome is discarded —
+// the state sequence (and thus every later draw) stays bit-identical to the
+// emitting path at a fraction of the cost.
+func (r *RNG) Advance() {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+}
+
 // Intn returns a pseudo-random int in [0, n). n must be positive.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

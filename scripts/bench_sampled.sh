@@ -1,0 +1,116 @@
+#!/bin/sh
+# bench_sampled.sh — record the SMARTS-style sampling speedup in
+# BENCH_sampled.json.
+#
+# Runs the long-horizon SB-bound sweep (40M instructions per point, the
+# regime where full-detail simulation is painful) twice: once in full detail
+# and once sampled (1M-instruction period, 8k detailed + 12k detailed
+# warming per window, functional warming bounded to the last 100k
+# instructions of each skip with the LLC+directory touch tier covering the
+# rest). The script then checks the three properties the sampled engine
+# promises:
+#
+#   1. speed   — effective MIPS improves by >= 5x over full detail;
+#   2. accuracy— per workload, the full run's IPC and SB-stall-per-inst
+#                land inside the sampled run's reported 95% CI;
+#   3. repeat  — sampled CSV output is byte-identical across runs.
+#
+# Any violation exits non-zero, so CI can gate on it. Wall time on a shared
+# box is noisy; each mode takes the minimum of N runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-2}"
+OUT="${OUT:-BENCH_sampled.json}"
+HORIZON="${HORIZON:-40000000}"
+SWEEP_ARGS="-suite sbbound -policies spb -sb 14 -insts $HORIZON"
+SAMPLE_ARGS="-sample-interval 1000000 -sample-detailed 8000 -sample-warm 12000 -sample-history 100000"
+
+echo "== building spbsweep =="
+go build -o /tmp/spbsweep_bench ./cmd/spbsweep
+
+measure() { # $1 = extra flags, $2 = csv prefix; echoes min wall ms
+    MIN_MS=""
+    for i in $(seq 1 "$RUNS"); do
+        S="$(date +%s%N)"
+        # shellcheck disable=SC2086
+        /tmp/spbsweep_bench $SWEEP_ARGS $1 >"$2.$i.csv" 2>/tmp/spbsweep_sampled.err
+        E="$(date +%s%N)"
+        MS=$(( (E - S) / 1000000 ))
+        echo "  run $i: ${MS}ms" >&2
+        if [ -z "$MIN_MS" ] || [ "$MS" -lt "$MIN_MS" ]; then MIN_MS="$MS"; fi
+    done
+    echo "$MIN_MS"
+}
+
+echo "== full detail, min of $RUNS runs =="
+FULL_MS="$(measure "" /tmp/bench_full)"
+echo "  min: ${FULL_MS}ms"
+
+echo "== sampled ($SAMPLE_ARGS), min of $RUNS runs =="
+SAMP_MS="$(measure "$SAMPLE_ARGS" /tmp/bench_samp)"
+SAMP_STATS="$(grep 'sampling:' /tmp/spbsweep_sampled.err || true)"
+echo "  min: ${SAMP_MS}ms   $SAMP_STATS"
+
+echo "== determinism: sampled output byte-identical across runs =="
+i=2
+while [ "$i" -le "$RUNS" ]; do
+    cmp /tmp/bench_samp.1.csv "/tmp/bench_samp.$i.csv"
+    i=$((i + 1))
+done
+echo "  ok ($RUNS runs identical)"
+
+echo "== accuracy: full-detail metrics inside sampled 95% CIs =="
+# Column map (29-column sweep CSV, both files):
+#   full:    $1 workload, $6 insts, $8 ipc, $10 sb_stall_cycles
+#   sampled: $55 sample_ipc_mean_ppm, $56 sample_ipc_ci95_ppm,
+#            $57 sample_sb_stall_pi_mean_ppm, $58 sample_sb_stall_pi_ci95_ppm
+CI_REPORT="$(paste -d, /tmp/bench_full.1.csv /tmp/bench_samp.1.csv | awk -F, '
+NR > 1 {
+    ipc = $8 * 1e6; sbpi = $10 / $6 * 1e6
+    ok1 = (ipc  >= $55 - $56 && ipc  <= $55 + $56)
+    ok2 = (sbpi >= $57 - $58 && sbpi <= $57 + $58)
+    n++
+    if (ok1 && ok2) pass++
+    else printf "  FAIL %s: ipc %.0f vs %.0f+-%.0f, sb_stall_pi %.0f vs %.0f+-%.0f\n", \
+        $1, ipc, $55, $56, sbpi, $57, $58 > "/dev/stderr"
+}
+END { printf "%d/%d", pass, n }')"
+echo "  within CI: $CI_REPORT workloads"
+PASS="${CI_REPORT%/*}"
+TOTAL="${CI_REPORT#*/}"
+[ "$PASS" = "$TOTAL" ]
+
+field() { echo "$2" | tr ' ' '\n' | awk -F= -v k="$1" '$1 == k { print $2 }'; }
+INTERVALS="$(field intervals "$SAMP_STATS")"
+SKIPPED="$(field insts_skipped "$SAMP_STATS")"
+INSTS="$(field insts "$SAMP_STATS")"
+
+SPEEDUP="$(awk "BEGIN { printf \"%.2f\", $FULL_MS / $SAMP_MS }")"
+# Effective throughput counts the instructions the sweep *covers* (the
+# full-detail total): sampling raises effective MIPS by eliding detail, not
+# by simulating less of the program.
+MIPS_FULL="$(awk "BEGIN { printf \"%.2f\", ${INSTS:-0} / $FULL_MS / 1000 }")"
+MIPS_SAMP="$(awk "BEGIN { printf \"%.2f\", ${INSTS:-0} / $SAMP_MS / 1000 }")"
+echo "== speedup: ${SPEEDUP}x (full ${FULL_MS}ms / sampled ${SAMP_MS}ms; effective ${MIPS_FULL} -> ${MIPS_SAMP} MIPS) =="
+awk "BEGIN { exit !($SPEEDUP >= 5.0) }" || {
+    echo "FAIL: speedup ${SPEEDUP}x below the 5x floor" >&2; exit 1; }
+
+cat > "$OUT" <<EOF
+{
+  "sweep": "$SWEEP_ARGS",
+  "sampling": "$SAMPLE_ARGS",
+  "runs_per_mode": $RUNS,
+  "full_min_wall_ms": $FULL_MS,
+  "sampled_min_wall_ms": $SAMP_MS,
+  "speedup": $SPEEDUP,
+  "effective_mips_full": $MIPS_FULL,
+  "effective_mips_sampled": $MIPS_SAMP,
+  "insts_covered": ${INSTS:-null},
+  "insts_skipped": ${SKIPPED:-null},
+  "sample_intervals": ${INTERVALS:-null},
+  "workloads_within_ci": "$CI_REPORT",
+  "sampled_output_deterministic": true
+}
+EOF
+echo "wrote $OUT"

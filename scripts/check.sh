@@ -12,6 +12,9 @@ echo "== go build =="
 go build ./...
 echo "== go test =="
 go test ./...
+echo "== sampling suite (CI accuracy, skip/touch equivalence, accounting) =="
+go test -run 'Sampled|Sampling|Skip' ./internal/sim ./internal/workloads ./internal/server
+go test -run FuzzFunctionalEquivalence ./internal/sim
 echo "== go test -race (sim, figures, server, client, cluster, obs, memsys, cpu, trace) =="
 go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/cluster ./internal/obs ./internal/memsys ./internal/cpu ./internal/trace
 echo "== serve-check (spbd end-to-end smoke) =="

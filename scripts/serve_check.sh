@@ -81,6 +81,40 @@ curl -fsS "$BASE/metrics" >"$TMP/metrics1.txt"
 grep -q 'spbd_cache_hits_total{tier="memory"} 1' "$TMP/metrics1.txt"
 grep -q 'spbd_cache_misses_total 1' "$TMP/metrics1.txt"
 
+echo "== sampled spec round-trips with sample.* stats and full cost accounting =="
+SSPEC='{"workload":"bwaves","policy":"spb","sb":14,"insts":2000000,"sample_interval_insts":250000,"sample_detailed_insts":8000,"sample_warm_insts":12000,"sample_history_insts":100000}'
+curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SSPEC" >"$TMP/samp1.json"
+jq -e '.status == "done" and ((.cached // "") == "")' "$TMP/samp1.json" >/dev/null
+# Every paper-relevant sampled rate ships a mean and a 95% half-width.
+jq -e '.stats["sample.intervals"] == 8' "$TMP/samp1.json" >/dev/null \
+    || { echo "sampled run reported wrong interval count"; jq '.stats' "$TMP/samp1.json"; exit 1; }
+for k in ipc cpi sbStallPerInst dramPerInst; do
+    jq -e --arg m "sample.${k}MeanPPM" --arg c "sample.${k}CI95PPM" \
+        '(.stats | has($m)) and (.stats | has($c))' "$TMP/samp1.json" >/dev/null \
+        || { echo "sampled stats missing sample.$k mean/CI"; exit 1; }
+done
+# Cost accounting covers the whole horizon: detailed + fast-forwarded
+# instructions sum to the spec's insts, in the stats and on the job view.
+jq -e '.stats["sample.detailedInsts"] + .stats["sample.fastForwardInsts"] == 2000000' \
+    "$TMP/samp1.json" >/dev/null || { echo "sampled stats do not account the full horizon"; exit 1; }
+jq -e '.committed + .ff_insts == 2000000' "$TMP/samp1.json" >/dev/null \
+    || { echo "job view committed+ff_insts does not cover the horizon"; exit 1; }
+# The service's sampled stats match spbsim -json bit for bit.
+"$TMP/spbsim" -workload bwaves -policy spb -sb 14 -insts 2000000 \
+    -sample-interval 250000 -sample-detailed 8000 -sample-warm 12000 \
+    -sample-history 100000 -json | jq -ce '.' >"$TMP/samp_local.json"
+jq -ce '.stats' "$TMP/samp1.json" | cmp - "$TMP/samp_local.json" || {
+    echo "sampled service stats differ from spbsim -json"; exit 1; }
+# Sampling knobs are part of the cache identity: a different history bound
+# must miss, the identical spec must hit the memory tier.
+curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$(echo "$SSPEC" | sed 's/100000/50000/')" | jq -e '(.cached // "") == ""' >/dev/null \
+    || { echo "sampled spec with different history served from cache"; exit 1; }
+curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
+    -d "$SSPEC" | jq -e '.cached == "memory"' >/dev/null \
+    || { echo "identical sampled spec not served from cache"; exit 1; }
+
 echo "== cancellation stops the simulation =="
 LONG='{"workload":"bwaves","policy":"spb","sb":14,"insts":2000000000}'
 ID=$(curl -fsS -X POST "$BASE/v1/runs" -H 'Content-Type: application/json' -d "$LONG" | jq -r '.id')
