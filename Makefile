@@ -1,4 +1,4 @@
-.PHONY: check bench bench-sweep bench-warm bench-sampled bench-cluster test build serve-check chaos cluster-check
+.PHONY: check bench bench-sweep bench-warm bench-sampled bench-cluster test build serve-check chaos chaos-kill cluster-check
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -42,6 +42,13 @@ serve-check:
 # corruption quarantine-and-heal, and SIGTERM drain of faulted daemons.
 chaos:
 	sh scripts/chaos_check.sh
+
+# Crash-safety gate: kill -9 a daemon mid-batch and mid-long-run; the
+# restart must recover the job journal (original IDs, recovered markers),
+# resume the interrupted run from its on-disk checkpoint, and produce
+# byte-identical stats and sweep CSVs throughout.
+chaos-kill:
+	sh scripts/chaos_kill_check.sh
 
 # Cluster gate: a real 3-node fleet — gossip convergence, peer cache
 # read-through, work stealing under skewed load, kill/rejoin with epoch

@@ -22,6 +22,12 @@
 // discover the fleet from any one seed. -tenants turns on multi-tenant
 // admission: API keys, weighted-fair scheduling, priority lanes, quotas.
 //
+// With -journal the daemon keeps a durable write-ahead log of accepted
+// jobs and replays it on startup, so queued and running jobs survive a
+// crash (kill -9 included) under their original IDs; -checkpoint-dir
+// additionally checkpoints long runs mid-flight so a restarted daemon
+// resumes them from the last checkpoint with byte-identical results.
+//
 // On SIGTERM/SIGINT the daemon drains: submissions get 503, queued and
 // running jobs finish and persist (bounded by -drain-timeout), then it
 // exits.
@@ -67,6 +73,10 @@ func main() {
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 		queueDepth   = flag.Int("queue", 64, "max queued jobs before 429 backpressure")
 		cacheDir     = flag.String("cache-dir", "", "content-addressed result store directory (empty = memory tier only)")
+		journalPath  = flag.String("journal", "", "durable job journal file: queued and running jobs survive daemon crashes, kill -9 included (empty disables)")
+		ckptDir      = flag.String("checkpoint-dir", "", "mid-run checkpoint directory: long simulations resume from their last checkpoint after a crash (empty disables)")
+		ckptInsts    = flag.Uint64("checkpoint-insts", 10_000_000, "checkpoint cadence in committed instructions per core")
+		storeSync    = flag.Bool("store-sync", true, "fsync disk-store, journal and checkpoint writes (disable only for throwaway test daemons)")
 		runTimeout   = flag.Duration("run-timeout", 0, "per-run execution cap (0 = unlimited)")
 		sseInterval  = flag.Duration("sse-interval", 250*time.Millisecond, "progress event period on /events streams")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight runs are cancelled")
@@ -134,6 +144,11 @@ func main() {
 		Tracer:      tracer,
 		Tenants:     tenants,
 
+		JournalPath:     *journalPath,
+		CheckpointDir:   *ckptDir,
+		CheckpointInsts: *ckptInsts,
+		DisableSync:     !*storeSync,
+
 		DisableWarmStart: !*warmStart,
 	})
 	if err != nil {
@@ -191,7 +206,7 @@ func main() {
 		}
 	}
 
-	hs := &http.Server{Handler: srv}
+	hs := newHTTPServer(srv)
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
@@ -222,6 +237,20 @@ func main() {
 	defer shutCancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("spbd: http shutdown: %v", err)
+	}
+}
+
+// newHTTPServer wraps the daemon handler with connection hygiene: a
+// slowloris client dribbling request headers is cut off, and idle
+// keep-alive connections are reaped instead of accumulating. There is
+// deliberately no global WriteTimeout — /v1/runs/{id}/events (SSE) and
+// /v1/batch (NDJSON) are long-lived streams that must stay open for as long
+// as the work runs; a write deadline would sever every slow sweep.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 

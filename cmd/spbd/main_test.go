@@ -1,0 +1,66 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestNewHTTPServerTimeouts pins the connection-hygiene contract: header
+// reads and idle keep-alives are bounded, but there is no global
+// WriteTimeout — SSE and batch NDJSON streams must be able to stay open
+// indefinitely.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	hs := newHTTPServer(http.NewServeMux())
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set: slowloris clients hold connections forever")
+	}
+	if hs.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set: idle keep-alive connections accumulate")
+	}
+	if hs.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v; a global write deadline would sever long-lived SSE/batch streams", hs.WriteTimeout)
+	}
+}
+
+// TestSlowHeaderConnectionClosed drives a real slowloris: a client that
+// opens a connection and dribbles half a request line must be cut off once
+// ReadHeaderTimeout expires instead of pinning the connection.
+func TestSlowHeaderConnectionClosed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer(http.NewServeMux())
+	hs.ReadHeaderTimeout = 150 * time.Millisecond // the test's budget, same mechanism
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow")); err != nil {
+		t.Fatal(err)
+	}
+	// Never finish the headers. The server must close the connection well
+	// within the read deadline below.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		n, err := conn.Read(buf)
+		if err == io.EOF {
+			return // cut off, as required
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("server never closed the slow-header connection")
+			}
+			return // reset etc. also counts as cut off
+		}
+		_ = n // a 408 response before the close is fine too
+	}
+}

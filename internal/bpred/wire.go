@@ -1,0 +1,44 @@
+package bpred
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Gob wire form of a Snapshot (crash-safe checkpoints, DESIGN.md §15).
+
+type snapshotWire struct {
+	PHT     []uint8
+	History uint64
+	BTBTags []uint64
+
+	Lookups, Mispredicts, BTBMisses uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotWire{
+		PHT: s.pht, History: s.history, BTBTags: s.btbTags,
+		Lookups: s.lookups, Mispredicts: s.mispredicts, BTBMisses: s.btbMisses,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.pht = w.PHT
+	s.history = w.History
+	s.btbTags = w.BTBTags
+	s.lookups = w.Lookups
+	s.mispredicts = w.Mispredicts
+	s.btbMisses = w.BTBMisses
+	return nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"spb/internal/mem"
+)
+
+// Gob wire form of a DetectorSnapshot (crash-safe checkpoints, DESIGN.md
+// §15).
+
+type detectorWire struct {
+	N         int
+	Threshold int
+	Dynamic   bool
+
+	LastBlock  mem.Block
+	SatCounter uint8
+	StoreCount int
+
+	LastBurstPage    mem.Page
+	HasLastBurstPage bool
+
+	Backward    bool
+	CrossPage   bool
+	BackCounter uint8
+
+	WindowBytes int
+
+	Checks   uint64
+	Triggers uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s DetectorSnapshot) GobEncode() ([]byte, error) {
+	w := detectorWire{
+		N: s.d.n, Threshold: s.d.threshold, Dynamic: s.d.dynamic,
+		LastBlock: s.d.lastBlock, SatCounter: s.d.satCounter, StoreCount: s.d.storeCount,
+		LastBurstPage: s.d.lastBurstPage, HasLastBurstPage: s.d.hasLastBurstPage,
+		Backward: s.d.backward, CrossPage: s.d.crossPage, BackCounter: s.d.backCounter,
+		WindowBytes: s.d.windowBytes,
+		Checks:      s.d.Checks, Triggers: s.d.Triggers,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *DetectorSnapshot) GobDecode(data []byte) error {
+	var w detectorWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.d = Detector{
+		n: w.N, threshold: w.Threshold, dynamic: w.Dynamic,
+		lastBlock: w.LastBlock, satCounter: w.SatCounter, storeCount: w.StoreCount,
+		lastBurstPage: w.LastBurstPage, hasLastBurstPage: w.HasLastBurstPage,
+		backward: w.Backward, crossPage: w.CrossPage, backCounter: w.BackCounter,
+		windowBytes: w.WindowBytes,
+		Checks:      w.Checks, Triggers: w.Triggers,
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package dram
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Gob wire form of a Snapshot (crash-safe checkpoints, DESIGN.md §15).
+
+type snapshotWire struct {
+	Latency, Gap, MaxQ uint64
+	NextFree           uint64
+	Reads, Writes      uint64
+	BusyCycles         uint64
+	StallCycles        uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotWire{
+		Latency: s.d.latency, Gap: s.d.gap, MaxQ: s.d.maxQ,
+		NextFree: s.d.nextFree,
+		Reads:    s.d.Reads, Writes: s.d.Writes,
+		BusyCycles: s.d.BusyCycles, StallCycles: s.d.StallCycles,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.d = DRAM{
+		latency: w.Latency, gap: w.Gap, maxQ: w.MaxQ,
+		nextFree: w.NextFree,
+		Reads:    w.Reads, Writes: w.Writes,
+		BusyCycles: w.BusyCycles, StallCycles: w.StallCycles,
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"spb/internal/mem"
+)
+
+// Crash-safe checkpoint support (DESIGN.md §15). Warm-start snapshots
+// deliberately exclude the generic prefetcher (functional warming never
+// trains it), but a mid-run checkpoint interrupts fully-trained tables, so
+// it must carry them. State is the exported, gob-friendly deep copy of any
+// in-tree Prefetcher's mutable state.
+
+// StreamEntryState is the wire form of one stride-detection slot.
+type StreamEntryState struct {
+	PC     uint64
+	Last   mem.Block
+	Stride int64
+	Conf   int8
+	Valid  bool
+}
+
+// State is a deep copy of a prefetcher's mutable state. Kind names the
+// concrete scheme; restoring onto a prefetcher of a different kind is a
+// configuration mismatch and panics (checkpoints embed the spec, so a
+// mismatch indicates a corrupt or mis-keyed checkpoint the caller should
+// have rejected).
+type State struct {
+	Kind  string
+	Table []StreamEntryState
+	// Distance and Degree are the stream prefetcher's current
+	// aggressiveness; for Adaptive they are re-derived from Level, but are
+	// carried anyway so Stream restores without consulting the ladder.
+	Distance int64
+	Degree   int
+	// Level is Adaptive's position on the aggressiveness ladder.
+	Level int
+}
+
+// CaptureState deep-copies p's mutable state.
+func CaptureState(p Prefetcher) State {
+	switch v := p.(type) {
+	case nonePrefetcher:
+		return State{Kind: "none"}
+	case *Adaptive:
+		s := captureStream(&v.Stream)
+		s.Kind = "adaptive"
+		s.Level = v.level
+		return s
+	case *Stream:
+		return captureStream(v)
+	}
+	panic(fmt.Sprintf("prefetch: cannot capture state of %T", p))
+}
+
+func captureStream(v *Stream) State {
+	s := State{
+		Kind:     "stream",
+		Table:    make([]StreamEntryState, len(v.table)),
+		Distance: v.distance,
+		Degree:   v.degree,
+	}
+	for i, e := range v.table {
+		s.Table[i] = StreamEntryState{PC: e.pc, Last: e.last, Stride: e.stride, Conf: e.conf, Valid: e.valid}
+	}
+	return s
+}
+
+// RestoreState overwrites p's mutable state with the capture's. p must be
+// the same kind (and table geometry) the state was captured from.
+func RestoreState(p Prefetcher, s State) {
+	switch v := p.(type) {
+	case nonePrefetcher:
+		if s.Kind != "none" {
+			panic("prefetch: RestoreState kind mismatch")
+		}
+		return
+	case *Adaptive:
+		if s.Kind != "adaptive" {
+			panic("prefetch: RestoreState kind mismatch")
+		}
+		restoreStream(&v.Stream, s)
+		v.level = s.Level
+		return
+	case *Stream:
+		if s.Kind != "stream" {
+			panic("prefetch: RestoreState kind mismatch")
+		}
+		restoreStream(v, s)
+		return
+	}
+	panic(fmt.Sprintf("prefetch: cannot restore state onto %T", p))
+}
+
+func restoreStream(v *Stream, s State) {
+	if len(v.table) != len(s.Table) {
+		panic("prefetch: RestoreState with mismatched table geometry")
+	}
+	for i, e := range s.Table {
+		v.table[i] = streamEntry{pc: e.PC, last: e.Last, stride: e.Stride, conf: e.Conf, valid: e.Valid}
+	}
+	v.distance = s.Distance
+	v.degree = s.Degree
+}

@@ -29,6 +29,9 @@ type JobView struct {
 	Stats     json.RawMessage `json:"stats,omitempty"`
 	TraceID   string          `json:"trace_id,omitempty"`
 	Tenant    string          `json:"tenant,omitempty"`
+	// Recovered marks a job re-admitted from the durable journal after a
+	// daemon restart; its ID and spec are the pre-crash originals.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 func (j *job) view() JobView {
@@ -47,6 +50,7 @@ func (j *job) view() JobView {
 		FFInsts:   j.ffInsts.Load(),
 		Stats:     stats,
 		TraceID:   j.trace.TraceID(),
+		Recovered: j.recovered,
 	}
 	if j.tenant != nil {
 		v.Tenant = j.tenant.Name

@@ -48,6 +48,13 @@ type Metrics struct {
 	StealsReclaimed atomic.Uint64 // handoffs taken back from silent thieves
 	QuotaRejected   atomic.Uint64 // submissions rejected by a tenant quota
 
+	// Crash-safety counters (journal.go + the recovery path in server.go).
+	RecoveryRequeued  atomic.Uint64 // journaled jobs re-admitted to the queue after a restart
+	RecoveryCompleted atomic.Uint64 // recovered jobs answered from the disk tier (terminal record was lost)
+	RecoveryDropped   atomic.Uint64 // journaled jobs that could not be re-admitted
+	JournalErrors     atomic.Uint64 // journal append/sync failures (jobs continue, less durable)
+	OrphanTempsSwept  atomic.Uint64 // leftover atomic-write temp files removed at startup
+
 	// Top-Down stall accounting aggregated over every completed run (paper
 	// §V): raw cycle counters so operators can derive fleet-level stall
 	// ratios, plus how many runs met the >2% SB-bound criterion.
@@ -142,6 +149,11 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degrad
 	counter("spbd_cluster_steals_in_total", "Stolen jobs executed on behalf of victim peers.", m.StealsIn.Load())
 	counter("spbd_cluster_steal_reclaimed_total", "Stolen-job handoffs reclaimed from silent thieves.", m.StealsReclaimed.Load())
 	counter("spbd_tenant_quota_rejected_all_total", "Submissions rejected by any tenant quota.", m.QuotaRejected.Load())
+	counter("spbd_recovery_requeued_total", "Journaled jobs re-admitted to the queue after a restart.", m.RecoveryRequeued.Load())
+	counter("spbd_recovery_completed_total", "Recovered jobs answered from the disk tier (their terminal record was lost in the crash).", m.RecoveryCompleted.Load())
+	counter("spbd_recovery_dropped_total", "Journaled jobs that could not be re-admitted after a restart.", m.RecoveryDropped.Load())
+	counter("spbd_journal_errors_total", "Job journal append/sync failures (jobs continue, less durable).", m.JournalErrors.Load())
+	counter("spbd_orphan_temps_swept_total", "Leftover atomic-write temp files removed at startup.", m.OrphanTempsSwept.Load())
 
 	ss := simStats()
 	counter("spbd_sim_insts_total", "Instructions simulated (functional warming + detailed intervals).", ss.InstsSimulated)
@@ -151,6 +163,9 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, inflight func() int, degrad
 	counter("spbd_sample_runs_total", "Completed runs that used SMARTS sampling.", ss.SampledRuns)
 	counter("spbd_sample_intervals_total", "Detailed measurement intervals executed by sampled runs.", ss.SampleIntervals)
 	counter("spbd_sample_insts_skipped_total", "Instructions functionally warmed instead of detailed-simulated by sampling.", ss.SampleInstsSkipped)
+	counter("spbd_checkpoint_writes_total", "Mid-run checkpoints written to disk.", ss.CheckpointWrites)
+	counter("spbd_checkpoint_resumes_total", "Runs resumed from an on-disk checkpoint instead of from scratch.", ss.CheckpointResumes)
+	counter("spbd_checkpoint_corrupt_total", "Invalid checkpoint files quarantined (the run restarted from scratch).", ss.CheckpointCorrupt)
 
 	fmt.Fprintf(w, "# HELP spbd_topdown_cycles_total Simulated cycles aggregated over completed runs, by Top-Down stall class.\n")
 	fmt.Fprintf(w, "# TYPE spbd_topdown_cycles_total counter\n")

@@ -86,6 +86,7 @@ func (s *Server) StealJobs(max int) []cluster.StolenJob {
 			continue
 		}
 		j.setRunning() // remotely, but running: SSE/status views stay truthful
+		s.journalStarted(j)
 		j.trace.Event("steal-out")
 		tok := stealToken()
 		s.mu.Lock()

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,6 +57,24 @@ type Config struct {
 	// are byte-identical either way; this is the operational escape hatch
 	// (also reachable via SPB_WARMSTART=0).
 	DisableWarmStart bool
+	// JournalPath is the durable job journal (journal.go): accepted,
+	// started and terminal transitions are appended as checksummed NDJSON
+	// and replayed on startup, so queued and running jobs survive a crash
+	// (kill -9 included) under their original IDs. Empty disables.
+	JournalPath string
+	// CheckpointDir roots on-disk mid-run checkpoints: long simulations
+	// periodically serialize their state so a restarted daemon resumes from
+	// the last checkpoint instead of from scratch, with byte-identical
+	// results. Empty disables.
+	CheckpointDir string
+	// CheckpointInsts is the checkpoint cadence in committed instructions
+	// per core (default: 10M). Only meaningful with CheckpointDir.
+	CheckpointInsts uint64
+	// DisableSync turns off fsync on disk-store, journal and checkpoint
+	// writes. The default (false) pays one fsync per durable write — the
+	// discipline that makes "survives kill -9" a property of the filesystem
+	// rather than of luck. Disable only for throwaway test daemons.
+	DisableSync bool
 	// Tenants declares the multi-tenant API keys, weights, priority lanes
 	// and quotas (tenant.go). Empty means single-tenant: no key required,
 	// everything runs as the implicit "default" tenant.
@@ -81,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DiskRetryInterval <= 0 {
 		c.DiskRetryInterval = 5 * time.Second
+	}
+	if c.CheckpointInsts == 0 {
+		c.CheckpointInsts = 10_000_000
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -127,6 +150,17 @@ type job struct {
 	vfinish    float64
 	seq        uint64
 	onTerminal func()
+	// onFinish, when set, observes the terminal status exactly once from
+	// inside finish — the single hook behind the journal's terminal records
+	// (every finish call site, worker, cancel, drain, steal, is covered).
+	onFinish func(Status)
+
+	// journaled marks jobs with an "accepted" record in the job journal;
+	// only those append started/terminal records. Set before the job is
+	// published to workers. recovered marks jobs re-admitted from the
+	// journal after a restart (surfaced in the job view).
+	journaled bool
+	recovered bool
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -174,6 +208,10 @@ func (j *job) finish(st Status, res sim.Result, stats json.RawMessage, errMsg st
 		j.onTerminal()
 		j.onTerminal = nil
 	}
+	if j.onFinish != nil {
+		j.onFinish(st)
+		j.onFinish = nil
+	}
 	return true
 }
 
@@ -193,6 +231,7 @@ type Server struct {
 	cfg     Config
 	runner  *sim.Runner
 	store   *DiskStore // nil when the disk tier is disabled
+	journal *journal   // nil when the job journal is disabled
 	metrics *Metrics
 	mux     *http.ServeMux
 
@@ -262,19 +301,61 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		store.Faults = cfg.Faults
+		store.Sync = !cfg.DisableSync
 		store.OnCorrupt = func(key string, cause error) {
 			s.metrics.StoreCorrupt.Add(1)
 			s.cfg.Logf("spbd: disk cache entry %.12s quarantined: %v (will recompute)", key, cause)
 		}
 		s.store = store
+		s.sweepTemps(cfg.CacheDir)
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+		}
+		s.sweepTemps(cfg.CheckpointDir)
+		s.runner.SetCheckpointPolicy(sim.CheckpointPolicy{
+			Dir:   cfg.CheckpointDir,
+			Insts: cfg.CheckpointInsts,
+			Sync:  !cfg.DisableSync,
+			KeyOf: Key,
+		})
 	}
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.routes()
+	// The journal replays before the worker pool starts: re-admitted jobs
+	// are back in the queue (and in s.jobs under their original IDs) before
+	// anything can race them. In cluster mode this also precedes
+	// AttachCluster/Start (main wires the node after New returns), so a
+	// restarted node always recovers its own journal first; jobs it had
+	// stolen from peers are not journaled here — the victims reclaim those
+	// through the existing steal-timeout janitor.
+	if cfg.JournalPath != "" {
+		s.sweepTemps(filepath.Dir(cfg.JournalPath))
+		jl, recovered, err := openJournal(cfg.JournalPath, !cfg.DisableSync, func(err error) {
+			s.metrics.JournalErrors.Add(1)
+			s.cfg.Logf("spbd: journal write failed: %v (job continues, less durable)", err)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		s.recoverJournal(recovered)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// sweepTemps removes orphaned atomic-write temp files under dir — debris a
+// crashed writer left between CreateTemp and rename.
+func (s *Server) sweepTemps(dir string) {
+	if n := sweepOrphanTemps(dir); n > 0 {
+		s.metrics.OrphanTempsSwept.Add(uint64(n))
+		s.cfg.Logf("spbd: swept %d orphaned temp file(s) under %s", n, dir)
+	}
 }
 
 // Runner exposes the in-memory tier (tests assert on its run count).
@@ -382,8 +463,11 @@ func (s *Server) submit(spec sim.RunSpec, traceID string, tn *tenantState) (*job
 	j := s.newJobLocked(key, spec, tn)
 	// The terminal hook returns the quota slot; it must be in place before
 	// the push makes the job visible to workers (a worker can finish it
-	// before submit resumes).
+	// before submit resumes). Likewise the journal's terminal hook: a
+	// worker may finish the job before submit appends "accepted" — replay
+	// tolerates that order (terminal records win unconditionally).
 	j.onTerminal = tn.finishJob
+	s.hookJournal(j)
 	// Attach the trace before the job becomes visible to workers via the
 	// queue; assigning after the push would race with runJob.
 	j.trace = s.cfg.Tracer.Start(traceID, j.id, key)
@@ -392,6 +476,8 @@ func (s *Server) submit(spec sim.RunSpec, traceID string, tn *tenantState) (*job
 		s.mu.Unlock()
 		tn.release()
 		j.onTerminal = nil
+		j.onFinish = nil
+		j.journaled = false
 		if errors.Is(err, errQueueFull) {
 			s.metrics.QueueRejected.Add(1)
 		}
@@ -401,16 +487,47 @@ func (s *Server) submit(spec sim.RunSpec, traceID string, tn *tenantState) (*job
 	s.jobs[j.id] = j
 	s.active[key] = j
 	s.mu.Unlock()
+	// Durable acceptance: the record (with an fsync unless disabled) is on
+	// disk before the submitter is answered, so a post-202 crash cannot
+	// forget the job.
+	if j.journaled {
+		s.journal.accepted(j.id, key, tn.Name, j.trace.TraceID(), Request(spec))
+	}
 	tn.submitted.Add(1)
 	s.metrics.CacheMisses.Add(1)
 	return j, nil
 }
 
+// hookJournal marks j as journaled and installs the terminal-record hook.
+// No-op on daemons without a journal.
+func (s *Server) hookJournal(j *job) {
+	if s.journal == nil {
+		return
+	}
+	j.journaled = true
+	j.onFinish = func(st Status) { s.journal.terminal(j.id, st) }
+}
+
+// journalStarted appends j's "started" record (local worker pickup or
+// steal-out to a thief peer).
+func (s *Server) journalStarted(j *job) {
+	if j.journaled {
+		s.journal.started(j.id)
+	}
+}
+
 func (s *Server) newJobLocked(key string, spec sim.RunSpec, tn *tenantState) *job {
+	id := fmt.Sprintf("r%06d-%s", s.nextID.Add(1), key[:8])
+	return s.jobWithID(id, key, spec, tn)
+}
+
+// jobWithID constructs a job under an explicit ID — the recovery path
+// re-admits journaled jobs under their pre-crash IDs so clients polling
+// those IDs keep working across the restart.
+func (s *Server) jobWithID(id, key string, spec sim.RunSpec, tn *tenantState) *job {
 	if tn == nil {
 		tn = s.defaultTenant
 	}
-	id := fmt.Sprintf("r%06d-%s", s.nextID.Add(1), key[:8])
 	j := &job{
 		id:          id,
 		key:         key,
@@ -464,6 +581,137 @@ func (s *Server) completedJob(key string, spec sim.RunSpec, res sim.Result, tier
 	return j, nil
 }
 
+// recoverJournal re-admits the journal's live jobs after a restart. Runs
+// single-threaded from New, before the worker pool exists. The ID counter
+// advances past every recovered sequence number first so fresh jobs can
+// never collide with a recovered ID.
+func (s *Server) recoverJournal(recovered []recoveredJob) {
+	var maxSeq uint64
+	for _, rj := range recovered {
+		var seq uint64
+		if _, err := fmt.Sscanf(rj.ID, "r%d-", &seq); err == nil && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	if maxSeq > s.nextID.Load() {
+		s.nextID.Store(maxSeq)
+	}
+	wasRunning := 0
+	for _, rj := range recovered {
+		if rj.Started {
+			wasRunning++
+		}
+		s.readmit(rj)
+	}
+	if len(recovered) > 0 {
+		s.cfg.Logf("spbd: journal recovery: %d live job(s) found (%d were mid-run); requeued %d, completed from disk %d, dropped %d",
+			len(recovered), wasRunning,
+			s.metrics.RecoveryRequeued.Load(), s.metrics.RecoveryCompleted.Load(), s.metrics.RecoveryDropped.Load())
+	}
+}
+
+// readmit re-creates one journaled job under its original ID. Three
+// outcomes: answered from the disk tier (the previous process finished it
+// and died before the terminal record landed), requeued to run again (a
+// checkpointed run resumes mid-flight), or dropped terminal-cancelled when
+// it cannot be re-admitted — the ID still resolves either way, so a client
+// polling across the restart always learns its job's fate.
+func (s *Server) readmit(rj recoveredJob) {
+	spec, err := rj.Req.Spec()
+	if err != nil {
+		// Journaled after validation, so this means the binary changed
+		// under the journal; nothing to re-run.
+		s.journal.terminal(rj.ID, StatusFailed)
+		s.metrics.RecoveryDropped.Add(1)
+		s.cfg.Logf("spbd: journal recovery: dropping %s: spec no longer parses: %v", rj.ID, err)
+		return
+	}
+	spec = spec.Normalized()
+	key := Key(spec)
+	tn := s.tenantByName(rj.Tenant)
+
+	// The disk tier is the tiebreaker for "finished but the terminal record
+	// never landed": serve the persisted result instead of re-running.
+	if s.diskUsable() {
+		if res, ok, gerr := s.store.Get(key); gerr == nil && ok {
+			if stats, serr := res.StatsJSON(); serr == nil {
+				s.runner.Put(spec, res)
+				s.mu.Lock()
+				j := s.jobWithID(rj.ID, key, spec, nil) // like cache hits: quota-free
+				j.recovered = true
+				s.jobs[j.id] = j
+				s.mu.Unlock()
+				j.cached = "disk"
+				j.committed.Store(resultCommitted(&res))
+				j.ffInsts.Store(res.Sample.FastForwardInsts)
+				j.cycles.Store(res.CPU.Cycles)
+				j.trace = s.cfg.Tracer.Start(rj.TraceID, j.id, key)
+				j.trace.Event("recovered")
+				j.finish(StatusDone, res, stats, "")
+				j.trace.Finish()
+				j.retain()
+				s.journal.terminal(j.id, StatusDone)
+				s.metrics.RecoveryCompleted.Add(1)
+				return
+			}
+		}
+	}
+
+	drop := func(j *job, msg string) {
+		j.onTerminal = nil
+		j.finish(StatusCancelled, sim.Result{}, nil, msg)
+		j.trace.Finish()
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		j.retain()
+		s.metrics.RecoveryDropped.Add(1)
+		s.cfg.Logf("spbd: journal recovery: dropping %s: %s", rj.ID, msg)
+	}
+
+	s.mu.Lock()
+	j := s.jobWithID(rj.ID, key, spec, tn)
+	j.recovered = true
+	s.hookJournal(j)
+	j.trace = s.cfg.Tracer.Start(rj.TraceID, j.id, key)
+	j.trace.Event("recovered")
+	if dup := s.active[key]; dup != nil {
+		s.mu.Unlock()
+		drop(j, fmt.Sprintf("recovery: duplicate of recovered job %s", dup.id))
+		return
+	}
+	if !tn.acquire() {
+		s.mu.Unlock()
+		drop(j, fmt.Sprintf("recovery: tenant %q quota exhausted", tn.Name))
+		return
+	}
+	j.onTerminal = tn.finishJob
+	if err := s.tq.push(j); err != nil {
+		s.mu.Unlock()
+		tn.release()
+		drop(j, "recovery: "+err.Error())
+		return
+	}
+	s.jobs[j.id] = j
+	s.active[key] = j
+	s.mu.Unlock()
+	tn.submitted.Add(1)
+	j.retain() // the pre-crash submitter's pin survives the restart
+	s.metrics.RecoveryRequeued.Add(1)
+}
+
+// tenantByName resolves a journaled tenant name against the current
+// configuration; unknown names (the tenant was removed across the restart)
+// fall back to the implicit default tenant rather than losing the job.
+func (s *Server) tenantByName(name string) *tenantState {
+	for _, tn := range s.tenantList {
+		if tn.Name == name {
+			return tn
+		}
+	}
+	return s.defaultTenant
+}
+
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for {
@@ -503,6 +751,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.setRunning()
+	s.journalStarted(j)
 	s.cfg.Faults.Sleep("run", j.ctx.Done())
 
 	ctx := j.ctx
@@ -656,11 +905,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		s.journal.Close() // every surviving job has its terminal record by now
 		return nil
 	case <-ctx.Done():
 		s.baseCancel(fmt.Errorf("drain deadline exceeded: %w", context.Cause(ctx)))
 		<-idle // cancellation propagates within a few thousand sim cycles
 		s.failStolen(fmt.Errorf("drain deadline exceeded"))
+		s.journal.Close()
 		return ctx.Err()
 	}
 }

@@ -38,6 +38,13 @@ type DiskStore struct {
 	Faults *faults.Injector
 	// OnCorrupt, when set, observes every quarantined entry (metrics/logs).
 	OnCorrupt func(key string, err error)
+	// Sync makes Put fsync the temp file before the rename and the parent
+	// directory after it. Without both, "atomically written" only holds
+	// against process crashes — a power loss or kernel panic can still lose
+	// or tear the entry, because neither the data pages nor the directory
+	// update were forced to stable storage. The daemon enables this by
+	// default (Config.DisableSync opts out).
+	Sync bool
 }
 
 // diskEntry is the stored envelope. Spec is kept in wire form for humans
@@ -185,14 +192,21 @@ func (s *DiskStore) Put(key string, res sim.Result) error {
 		return fmt.Errorf("server: disk store put: %w", err)
 	}
 	_, werr := tmp.Write(append(data, '\n'))
+	var serr error
+	if s.Sync && werr == nil {
+		serr = tmp.Sync()
+	}
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("server: disk store put %s: write %v, close %v", key, werr, cerr)
+		return fmt.Errorf("server: disk store put %s: write %v, sync %v, close %v", key, werr, serr, cerr)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: disk store put: %w", err)
+	}
+	if s.Sync {
+		syncDir(filepath.Dir(path))
 	}
 	return nil
 }

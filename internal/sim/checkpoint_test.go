@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spb/internal/config"
+	"spb/internal/core"
+)
+
+// errCrash simulates kill -9 immediately after a durable checkpoint write:
+// the file is on disk, the process is gone.
+var errCrash = errors.New("simulated crash after checkpoint write")
+
+func ckptTestPolicy(dir string, cadence uint64, onWrite func(string) error) CheckpointPolicy {
+	return CheckpointPolicy{
+		Dir:     dir,
+		Insts:   cadence,
+		Sync:    false, // tests don't need durability, just the file
+		KeyOf:   func(s RunSpec) string { return s.Workload },
+		OnWrite: onWrite,
+	}
+}
+
+// crashResumeUntilDone runs spec repeatedly, crashing immediately after the
+// first checkpoint write of every attempt. Attempt 1 dies at the first
+// boundary; attempt k resumes from boundary k-1 and dies at boundary k; the
+// final attempt resumes past the last boundary and completes. Every
+// checkpoint boundary is therefore both written at and resumed from exactly
+// once. Returns the final result and the attempt count.
+func crashResumeUntilDone(t *testing.T, dir string, spec RunSpec, cadence uint64) (Result, int) {
+	t.Helper()
+	attempts := 0
+	for {
+		attempts++
+		if attempts > 64 {
+			t.Fatalf("crash/resume did not converge after %d attempts", attempts)
+		}
+		r := NewRunner()
+		r.SetCheckpointPolicy(ckptTestPolicy(dir, cadence, func(string) error { return errCrash }))
+		res, err := r.Get(spec)
+		if err == nil {
+			if attempts > 1 {
+				if got := r.SimStats().CheckpointResumes; got != 1 {
+					t.Fatalf("final attempt: CheckpointResumes = %d, want 1", got)
+				}
+			}
+			return res, attempts
+		}
+		if !errors.Is(err, errCrash) {
+			t.Fatalf("attempt %d: unexpected error: %v", attempts, err)
+		}
+	}
+}
+
+func assertSameResult(t *testing.T, ref, got Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("%s: Result diverges from uninterrupted run\nref: %+v\ngot: %+v", label, ref, got)
+	}
+	jRef, err := ref.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jGot, err := got.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jRef, jGot) {
+		t.Errorf("%s: stats JSON diverges\nref: %s\ngot: %s", label, jRef, jGot)
+	}
+}
+
+// TestCheckpointResumeEquivalenceDetailed is the crash-safety tentpole
+// invariant for full-detail runs: crashing immediately after every
+// checkpoint boundary and resuming from it produces a Result byte-identical
+// to an uninterrupted run. The spec carries a warmup prefix so the
+// warm-start fork path is the one being checkpointed.
+func TestCheckpointResumeEquivalenceDetailed(t *testing.T) {
+	spec := RunSpec{
+		Workload: "mcf", Policy: core.PolicySPB, SQSize: 14,
+		Prefetcher: config.PrefetchStream,
+		Insts:      40_000, WarmupInsts: 10_000,
+	}
+	ref, err := Run(spec.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const cadence = 8_000
+	got, attempts := crashResumeUntilDone(t, dir, spec, cadence)
+	if attempts < 3 {
+		t.Fatalf("only %d attempts — cadence too coarse to exercise resume at multiple boundaries", attempts)
+	}
+	assertSameResult(t, ref, got, "detailed")
+
+	// The completed run must have cleared its checkpoint.
+	path := filepath.Join(dir, spec.Workload+".ckpt")
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("checkpoint %s survived run completion (stat err: %v)", path, err)
+	}
+}
+
+// TestCheckpointResumeEquivalenceSampled is the same invariant for sampled
+// runs, whose checkpoints sit at sampling-window edges: interrupted-and-
+// resumed sampling must reproduce the exact interval schedule, accumulator
+// contents and confidence intervals.
+func TestCheckpointResumeEquivalenceSampled(t *testing.T) {
+	spec := RunSpec{
+		Workload: "mcf", Policy: core.PolicySPB, SQSize: 14,
+		Prefetcher: config.PrefetchStream,
+		Insts:      100_000, WarmupInsts: 5_000,
+		Sampling: SamplingConfig{IntervalInsts: 20_000, DetailedInsts: 2_000, WarmInsts: 3_000},
+	}
+	ref, err := Run(spec.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const cadence = 20_000
+	got, attempts := crashResumeUntilDone(t, dir, spec, cadence)
+	if attempts < 3 {
+		t.Fatalf("only %d attempts — cadence too coarse to exercise resume at multiple boundaries", attempts)
+	}
+	assertSameResult(t, ref, got, "sampled")
+	if got.Sample.Intervals == 0 {
+		t.Error("sampled run reports zero measured intervals")
+	}
+}
+
+// TestCheckpointMultiCoreResume covers the lock-step multi-core path: all
+// cores' pipelines and the shared directory must restore coherently.
+func TestCheckpointMultiCoreResume(t *testing.T) {
+	spec := RunSpec{
+		Workload: "dedup", Cores: 4, Policy: core.PolicySPB, SQSize: 14,
+		Insts: 12_000, WarmupInsts: 4_000,
+	}
+	ref, err := Run(spec.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	got, attempts := crashResumeUntilDone(t, dir, spec, 4_000)
+	if attempts < 2 {
+		t.Fatalf("only %d attempts — no boundary was hit", attempts)
+	}
+	assertSameResult(t, ref, got, "multicore")
+}
+
+// writeCrashCheckpoint produces one valid checkpoint file for spec (crashing
+// right after the first write) and returns its path.
+func writeCrashCheckpoint(t *testing.T, dir string, spec RunSpec, cadence uint64) string {
+	t.Helper()
+	r := NewRunner()
+	r.SetCheckpointPolicy(ckptTestPolicy(dir, cadence, func(string) error { return errCrash }))
+	if _, err := r.Get(spec); !errors.Is(err, errCrash) {
+		t.Fatalf("expected simulated crash, got %v", err)
+	}
+	path := filepath.Join(dir, spec.Workload+".ckpt")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	return path
+}
+
+// TestCheckpointCorruptionQuarantine is the table test over every way a
+// checkpoint file can be invalid: truncated tail, bad magic, flipped payload
+// byte, version mismatch, and a checksum-valid file for a different spec.
+// Each must be quarantined under the *.corrupt convention and the run must
+// restart from scratch, producing the reference result.
+func TestCheckpointCorruptionQuarantine(t *testing.T) {
+	spec := RunSpec{
+		Workload: "mcf", Policy: core.PolicyAtCommit, SQSize: 14,
+		Insts: 30_000,
+	}
+	ref, err := Run(spec.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cadence = 10_000
+
+	// reseal recomputes the trailing digest so a mutation tests the check it
+	// aims at rather than tripping the checksum first.
+	reseal := func(data []byte) []byte {
+		body := data[:len(data)-sha256.Size]
+		sum := sha256.Sum256(body)
+		return append(append([]byte{}, body...), sum[:]...)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-magic", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[0] ^= 0xFF
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-checksum", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"version-mismatch", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.BigEndian.PutUint32(data[len(ckptMagic):], ckptVersion+1)
+			if err := os.WriteFile(path, reseal(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"spec-mismatch", func(t *testing.T, path string) {
+			// A perfectly valid checkpoint — for a different simulation
+			// point. KeyOf maps both seeds to the same file name, so the
+			// spec embedded in the payload is the only guard.
+			other := spec
+			other.Seed = 7
+			otherPath := writeCrashCheckpoint(t, filepath.Dir(path), other, cadence)
+			if otherPath != path {
+				t.Fatalf("test setup: expected colliding path, got %s vs %s", otherPath, path)
+			}
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := writeCrashCheckpoint(t, dir, spec, cadence)
+			tc.corrupt(t, path)
+
+			r := NewRunner()
+			r.SetCheckpointPolicy(ckptTestPolicy(dir, cadence, nil))
+			got, err := r.Get(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, ref, got, tc.name)
+
+			st := r.SimStats()
+			if st.CheckpointCorrupt != 1 {
+				t.Errorf("CheckpointCorrupt = %d, want 1", st.CheckpointCorrupt)
+			}
+			if st.CheckpointResumes != 0 {
+				t.Errorf("CheckpointResumes = %d, want 0 (must not resume from a bad file)", st.CheckpointResumes)
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Errorf("quarantine file missing: %v", err)
+			}
+			// The from-scratch rerun completed, so no live checkpoint remains.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("checkpoint %s survived run completion (stat err: %v)", path, err)
+			}
+		})
+	}
+}
+
+// TestCheckpointPolicyDoesNotPerturbStats pins the weaker but broader
+// property the caches rely on: merely enabling checkpointing (no crash)
+// leaves the result byte-identical, and the file is gone afterwards.
+func TestCheckpointPolicyDoesNotPerturbStats(t *testing.T) {
+	spec := RunSpec{
+		Workload: "x264", CoreName: "SLM", Policy: core.PolicySPB, SQSize: 16,
+		Insts: 30_000, WarmupInsts: 8_000,
+	}
+	ref, err := Run(spec.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	r := NewRunner()
+	r.SetCheckpointPolicy(ckptTestPolicy(dir, 6_000, nil))
+	got, err := r.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, ref, got, "checkpointing-on")
+	if w := r.SimStats().CheckpointWrites; w == 0 {
+		t.Error("no checkpoints were written — cadence never fired")
+	}
+	if _, err := os.Stat(filepath.Join(dir, spec.Workload+".ckpt")); !os.IsNotExist(err) {
+		t.Errorf("checkpoint survived run completion (stat err: %v)", err)
+	}
+}

@@ -404,10 +404,13 @@ func buildFunctionalState(machine config.MachineConfig, spec RunSpec) (dtlbs []*
 // warm-start-restored) machine. It owns sys, dtlbs and bps: all are released
 // before returning. warmupFF is the number of instructions the shared warmup
 // prefix fast-forwarded (reported in Progress.FastForwardInsts but not
-// counted in SampleStats.FastForwardInsts).
+// counted in SampleStats.FastForwardInsts). ck, when active, checkpoints the
+// run at sampling-window edges (the quiescent top of the window loop); rs,
+// when non-nil, is a loaded checkpoint's scheduler state and the machine
+// passed in must already be restored to it (resumeSampled does both).
 func runSampled(ctx context.Context, tr *obs.Trace, spec RunSpec, machine config.MachineConfig,
 	sys *memsys.System, readers []trace.Reader, dtlbs []*tlb.TLB, bps []*bpred.Predictor,
-	warmupFF uint64, onProgress func(Progress)) (Result, error) {
+	warmupFF uint64, onProgress func(Progress), ck *runCkpt, rs *sampledCkpt) (Result, error) {
 
 	loopSpan := tr.StartSpan("run.sim")
 	start := time.Now()
@@ -431,6 +434,14 @@ func runSampled(ctx context.Context, tr *obs.Trace, spec RunSpec, machine config
 		detailedInsts uint64 // detail-simulated insts (incl. detailed warming)
 		measuredInsts uint64 // committed insts inside measured windows
 	)
+	if rs != nil {
+		aggCPU = rs.AggCPU
+		aggMem = rs.AggMem
+		acc = sampleAccum{n: rs.AccN, sum: rs.AccSum, sumsq: rs.AccSumsq}
+		ffInsts = rs.FFInsts
+		detailedInsts = rs.DetailedInsts
+		measuredInsts = rs.MeasuredInsts
+	}
 	target := spec.Insts * nCores
 	report := func(segCommitted uint64) {
 		p := Progress{
@@ -489,6 +500,9 @@ func runSampled(ctx context.Context, tr *obs.Trace, spec RunSpec, machine config
 	// divides the sampling period). The xorshift sequence depends only on
 	// the spec seed: same spec, same schedule, byte-identical output.
 	jitter := spec.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	if rs != nil {
+		jitter = rs.Jitter
+	}
 	// cycleBase carries the clock across detailed segments: the memory
 	// system is persistent and stamps its state with absolute cycles, so
 	// each segment's cores continue where the previous segment's clock
@@ -496,7 +510,55 @@ func runSampled(ctx context.Context, tr *obs.Trace, spec RunSpec, machine config
 	// anything the last segment left in flight is simply ready when the next
 	// one begins, which is exactly what the elided gap would have done.
 	cycleBase := uint64(0)
+	if rs != nil {
+		remaining = rs.Remaining
+		pendingSkip = rs.PendingSkip
+		cycleBase = rs.CycleBase
+	}
 	for remaining > 0 {
+		if ck.active() {
+			// Checkpoint at the quiescent top of the window loop — no cores
+			// exist here, so the persistent functional state (memory system,
+			// prefetchers, TLBs, predictors) plus the scheduler locals are the
+			// entire machine. Boundaries are per-core stream progress crossing
+			// the cadence, i.e. sampling-window edges.
+			progress := spec.Insts - remaining
+			if progress >= ck.nextCkpt {
+				for ck.nextCkpt <= progress {
+					ck.nextCkpt += ck.step
+				}
+				st := &sampledCkpt{
+					Remaining:     remaining,
+					PendingSkip:   pendingSkip,
+					Jitter:        jitter,
+					CycleBase:     cycleBase,
+					FFInsts:       ffInsts,
+					DetailedInsts: detailedInsts,
+					MeasuredInsts: measuredInsts,
+					AggCPU:        aggCPU,
+					AggMem:        aggMem,
+					AccN:          acc.n,
+					AccSum:        acc.sum,
+					AccSumsq:      acc.sumsq,
+					Consumed:      spec.WarmupInsts + progress - pendingSkip,
+					Sys:           sys.Snapshot(),
+					PF:            sys.PrefetcherStates(),
+					DTLBs:         make([]*tlb.Snapshot, len(dtlbs)),
+					BPs:           make([]bpWire, len(bps)),
+				}
+				for i := range dtlbs {
+					st.DTLBs[i] = dtlbs[i].Snapshot()
+					if bps[i] != nil {
+						st.BPs[i] = bpWire{BP: bps[i].Snapshot()}
+					}
+				}
+				cf := &ckptFile{Spec: spec, WarmupFF: warmupFF, NextCkpt: ck.nextCkpt, Sampled: st}
+				if err := ck.c.save(cf); err != nil {
+					release()
+					return Result{}, err
+				}
+			}
+		}
 		span := min(cfg.IntervalInsts, remaining)
 		remaining -= span
 		dk := min(cfg.DetailedInsts, span)
@@ -525,7 +587,7 @@ func runSampled(ctx context.Context, tr *obs.Trace, spec RunSpec, machine config
 		// consistent architectural state.
 		segSpec := spec
 		segSpec.Insts = wk + dk
-		cores := buildCores(segSpec, machine, sys, readers, cycleBase)
+		cores, _ := buildCores(segSpec, machine, sys, readers, cycleBase)
 		for i, c := range cores {
 			c.DTLB().Restore(dtlbs[i].Snapshot())
 			if bp := c.BranchPredictor(); bp != nil {

@@ -286,6 +286,14 @@ func Run(spec RunSpec) (Result, error) {
 // onProgress is non-nil it is invoked periodically (every progressEvery
 // rounds) from the simulating goroutine; it must be cheap and must not block.
 func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Result, error) {
+	return runPoint(ctx, spec, onProgress, nil)
+}
+
+// runPoint is RunCtx with an optional checkpoint context (DESIGN.md §15):
+// when ck is active the detailed or sampled loop periodically serializes its
+// state so a killed daemon resumes instead of restarting. Checkpointing
+// never changes the produced statistics.
+func runPoint(ctx context.Context, spec RunSpec, onProgress func(Progress), ck *runCkpt) (Result, error) {
 	// When the caller's context carries an obs.Trace (the spbd request path
 	// does), the run's internal phases are recorded as sub-spans of the
 	// job-level "run" span. With no trace in ctx (every in-process caller)
@@ -327,9 +335,9 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 		}
 		buildSpan.End()
 		return runSampled(ctx, tr, spec, machine, sys, readers, dtlbs, bps,
-			spec.WarmupInsts*uint64(spec.Cores), onProgress)
+			spec.WarmupInsts*uint64(spec.Cores), onProgress, ck, nil)
 	}
-	cores := buildCores(spec, machine, sys, readers, 0)
+	cores, lims := buildCores(spec, machine, sys, readers, 0)
 	if spec.WarmupInsts > 0 {
 		// In-place functional warming — the warm-start-off reference path.
 		// Cores are built first: their Limit wrappers bind to the underlying
@@ -348,7 +356,7 @@ func RunCtx(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Resul
 		}
 	}
 	buildSpan.End()
-	return runDetailed(ctx, tr, spec, sys, cores, spec.WarmupInsts*uint64(spec.Cores), onProgress)
+	return runDetailed(ctx, tr, spec, sys, cores, lims, spec.WarmupInsts*uint64(spec.Cores), onProgress, ck)
 }
 
 // machineConfig resolves and validates the spec's full machine configuration.
@@ -391,8 +399,12 @@ func buildReaders(spec RunSpec) ([]trace.Reader, error) {
 // standalone run; a sampled run passes the previous detailed segment's end
 // cycle so every segment shares the memory system's cycle domain (see
 // cpu.Options.StartCycle).
-func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, readers []trace.Reader, startCycle uint64) []*cpu.Core {
+// Besides the cores it returns their Limit wrappers: a checkpoint records
+// each wrapper's position so a resume can replay the underlying stream and
+// re-budget the remainder.
+func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, readers []trace.Reader, startCycle uint64) ([]*cpu.Core, []*trace.LimitReader) {
 	cores := make([]*cpu.Core, spec.Cores)
+	lims := make([]*trace.LimitReader, spec.Cores)
 	opts := cpu.Options{
 		CoalesceSB:         spec.CoalesceSB,
 		BackwardBursts:     spec.BackwardBursts,
@@ -402,10 +414,11 @@ func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, 
 		StartCycle:         startCycle,
 	}
 	for i := range cores {
+		lims[i] = trace.Limit(spec.Insts, readers[i])
 		cores[i] = cpu.NewWithOptions(machine.Core, spec.Policy, machine.SPB, machine.TLB, opts,
-			sys.Port(i), trace.Limit(spec.Insts, readers[i]), spec.Seed+uint64(i)*7919)
+			sys.Port(i), lims[i], spec.Seed+uint64(i)*7919)
 	}
-	return cores
+	return cores, lims
 }
 
 // runDetailed executes the detailed (statistics-gathering) interval on an
@@ -414,7 +427,7 @@ func buildCores(spec RunSpec, machine config.MachineConfig, sys *memsys.System, 
 // warmupFF is the functionally-covered instruction count reported in
 // Progress.FastForwardInsts (the warmup prefix, whether this run executed it
 // or a warm-start fork elided it).
-func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.System, cores []*cpu.Core, warmupFF uint64, onProgress func(Progress)) (Result, error) {
+func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.System, cores []*cpu.Core, lims []*trace.LimitReader, warmupFF uint64, onProgress func(Progress), ck *runCkpt) (Result, error) {
 	loopSpan := tr.StartSpan("run.sim")
 	start := time.Now()
 	report := func() {
@@ -436,14 +449,44 @@ func runDetailed(ctx context.Context, tr *obs.Trace, spec RunSpec, sys *memsys.S
 	useFF := !spec.DisableFastForward
 	guard := spec.Insts*1000*uint64(spec.Cores) + 1_000_000
 	done := ctx.Done()
-	observed := done != nil || onProgress != nil
-	for round := uint64(0); ; round++ {
+	ckActive := ck.active()
+	observed := done != nil || onProgress != nil || ckActive
+	startRound := uint64(0)
+	if ckActive {
+		startRound = ck.startRound
+	}
+	for round := startRound; ; round++ {
 		if observed && round%progressEvery == 0 {
 			if done != nil {
 				select {
 				case <-done:
 					return Result{}, ctx.Err()
 				default:
+				}
+			}
+			if ckActive {
+				// Checkpoint when aggregate committed instructions cross the
+				// cadence boundary. Capture is read-only — snapshots copy state
+				// out — so a checkpointed run's statistics are byte-identical
+				// to an unobserved one. The boundary round and NextCkpt are
+				// recorded so a resume continues the identical loop schedule.
+				total := uint64(0)
+				for _, c := range cores {
+					total += c.St.Committed
+				}
+				if total >= ck.nextCkpt {
+					for ck.nextCkpt <= total {
+						ck.nextCkpt += ck.step
+					}
+					cf := &ckptFile{
+						Spec:     spec,
+						WarmupFF: warmupFF,
+						NextCkpt: ck.nextCkpt,
+						Detailed: captureDetailed(spec, sys, cores, lims, round),
+					}
+					if err := ck.c.save(cf); err != nil {
+						return Result{}, err
+					}
 				}
 			}
 			if onProgress != nil && round > 0 {
@@ -594,6 +637,12 @@ type Runner struct {
 	sampledRuns        atomic.Uint64 // runs executed in sampling mode
 	sampleIntervals    atomic.Uint64 // measured detailed intervals
 	sampleInstsSkipped atomic.Uint64 // insts covered functionally by sampling
+
+	// Crash-safe checkpoints (DESIGN.md §15); ckpt is guarded by warmMu.
+	ckpt        CheckpointPolicy
+	ckptWrites  atomic.Uint64 // checkpoint files durably written
+	ckptResumes atomic.Uint64 // runs resumed from a checkpoint
+	ckptCorrupt atomic.Uint64 // checkpoint files quarantined as invalid
 }
 
 // runCall is one in-flight simulation other callers of the same spec wait on
@@ -657,6 +706,14 @@ type RunnerStats struct {
 	// SampleInstsSkipped counts instructions sampled runs covered with fast
 	// functional warming instead of detailed simulation.
 	SampleInstsSkipped uint64
+	// CheckpointWrites counts mid-run checkpoint files durably written.
+	CheckpointWrites uint64
+	// CheckpointResumes counts runs that resumed from an on-disk checkpoint
+	// instead of restarting from scratch.
+	CheckpointResumes uint64
+	// CheckpointCorrupt counts checkpoint files rejected (bad magic,
+	// version, checksum or spec) and quarantined under *.corrupt.
+	CheckpointCorrupt uint64
 }
 
 // SimStats returns the runner's execution counters.
@@ -670,6 +727,9 @@ func (r *Runner) SimStats() RunnerStats {
 		SampledRuns:        r.sampledRuns.Load(),
 		SampleIntervals:    r.sampleIntervals.Load(),
 		SampleInstsSkipped: r.sampleInstsSkipped.Load(),
+		CheckpointWrites:   r.ckptWrites.Load(),
+		CheckpointResumes:  r.ckptResumes.Load(),
+		CheckpointCorrupt:  r.ckptCorrupt.Load(),
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 
 	"spb/internal/bpred"
@@ -284,16 +285,65 @@ type warmCall struct {
 
 // execute runs one normalized spec, forking from the group's shared warm
 // snapshot when warm-start is enabled. Falls back to the plain in-place path
-// (RunCtx) when warm-start is off, the spec has no warmup, or the workload's
-// readers cannot be snapshotted.
+// (runPoint) when warm-start is off, the spec has no warmup, or the
+// workload's readers cannot be snapshotted. With a checkpoint policy
+// installed, a valid on-disk checkpoint for the spec short-circuits
+// everything — including the warm-start fork, since the checkpointed state
+// is already past warmup — and the run resumes mid-flight; fresh runs carry
+// a checkpoint context so they can be resumed in turn. Either way the
+// checkpoint file is removed once the run completes.
 func (r *Runner) execute(ctx context.Context, spec RunSpec, onProgress func(Progress)) (Result, error) {
+	ckp := r.checkpointerFor(spec)
+	var rc *runCkpt
+	if ckp != nil {
+		step := r.CheckpointPolicy().Insts
+		if !spec.Sampling.Enabled() {
+			// Detailed boundaries are in aggregate committed instructions;
+			// sampled boundaries in per-core stream progress.
+			step *= uint64(spec.Cores)
+		}
+		rc = &runCkpt{c: ckp, step: step, nextCkpt: step}
+		if cf, ok := ckp.load(); ok {
+			tr := obs.FromContext(ctx)
+			var res Result
+			var err error
+			if cf.Detailed != nil {
+				res, err = resumeDetailed(ctx, tr, spec, cf, rc, onProgress)
+			} else {
+				res, err = resumeSampled(ctx, tr, spec, cf, rc, onProgress)
+			}
+			if err == nil {
+				ckp.clear()
+				r.ckptResumes.Add(1)
+				r.instsSimulated.Add(r.executedInsts(res, 0))
+				r.noteSampled(res)
+				return res, nil
+			}
+			if !errors.Is(err, errCkptInvalid) {
+				return Result{}, err
+			}
+			// A structurally invalid payload that still passed the checksum:
+			// quarantine it and fall through to a from-scratch run.
+			ckp.quarantine()
+		}
+	}
+	res, err := r.executeFresh(ctx, spec, onProgress, rc)
+	if err == nil && ckp != nil {
+		ckp.clear()
+	}
+	return res, err
+}
+
+// executeFresh is the pre-checkpoint execute body: warm-start fork when
+// possible, in-place run otherwise, threading the run's checkpoint context.
+func (r *Runner) executeFresh(ctx context.Context, spec RunSpec, onProgress func(Progress), rc *runCkpt) (Result, error) {
 	if spec.WarmupInsts > 0 && r.WarmStart() {
 		ws, err := r.warmFor(ctx, spec)
 		if err != nil {
 			return Result{}, err
 		}
 		if ws != nil {
-			res, err := r.runForked(ctx, spec, ws, onProgress)
+			res, err := r.runForked(ctx, spec, ws, onProgress, rc)
 			if err == nil {
 				r.instsSimulated.Add(r.executedInsts(res, 0))
 				r.noteSampled(res)
@@ -302,7 +352,7 @@ func (r *Runner) execute(ctx context.Context, spec RunSpec, onProgress func(Prog
 		}
 		// ws == nil: readers are not forkable; warm in place below.
 	}
-	res, err := RunCtx(ctx, spec, onProgress)
+	res, err := runPoint(ctx, spec, onProgress, rc)
 	if err == nil {
 		r.instsSimulated.Add(r.executedInsts(res, spec.WarmupInsts*uint64(spec.Cores)))
 		r.noteSampled(res)
@@ -440,7 +490,7 @@ func (r *Runner) buildWarmState(ctx context.Context, spec RunSpec) (*warmState, 
 // trace cursors — then runs the detailed interval. The cores themselves are
 // fresh in both modes (warming never touches a pipeline), so a fork is
 // indistinguishable from an in-place warm-then-run.
-func (r *Runner) runForked(ctx context.Context, spec RunSpec, ws *warmState, onProgress func(Progress)) (Result, error) {
+func (r *Runner) runForked(ctx context.Context, spec RunSpec, ws *warmState, onProgress func(Progress), ck *runCkpt) (Result, error) {
 	tr := obs.FromContext(ctx)
 	buildSpan := tr.StartSpan("run.build")
 	machine, err := spec.machineConfig()
@@ -471,9 +521,9 @@ func (r *Runner) runForked(ctx context.Context, spec RunSpec, ws *warmState, onP
 		if ws.forks.Add(1) > 1 {
 			r.warmInstsSaved.Add(warmupFF)
 		}
-		return runSampled(ctx, tr, spec, machine, sys, readers, dtlbs, bps, warmupFF, onProgress)
+		return runSampled(ctx, tr, spec, machine, sys, readers, dtlbs, bps, warmupFF, onProgress, ck, nil)
 	}
-	cores := buildCores(spec, machine, sys, readers, 0)
+	cores, lims := buildCores(spec, machine, sys, readers, 0)
 	for i, c := range cores {
 		c.DTLB().Restore(ws.dtlbs[i])
 		if bp := c.BranchPredictor(); bp != nil {
@@ -488,5 +538,5 @@ func (r *Runner) runForked(ctx context.Context, spec RunSpec, ws *warmState, onP
 		// would have re-simulated.
 		r.warmInstsSaved.Add(warmupFF)
 	}
-	return runDetailed(ctx, tr, spec, sys, cores, warmupFF, onProgress)
+	return runDetailed(ctx, tr, spec, sys, cores, lims, warmupFF, onProgress, ck)
 }

@@ -257,7 +257,7 @@ func FuzzWarmSnapshotAliasing(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := r.runForked(ctx, spec, parent, nil); err != nil {
+		if _, err := r.runForked(ctx, spec, parent, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(parent.sys, twin.sys) {

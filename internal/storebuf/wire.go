@@ -1,0 +1,49 @@
+package storebuf
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Gob wire form of a Snapshot (crash-safe checkpoints, DESIGN.md §15).
+// Entry's fields are all exported, so it travels as-is.
+
+type snapshotWire struct {
+	Entries  []Entry
+	HeadSeq  uint64
+	TailSeq  uint64
+	Seniors  int
+	MaxOcc   int
+	Merged   uint64
+	BlockCnt [sbFilterSize]uint16
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotWire{
+		Entries: s.entries, HeadSeq: s.headSeq, TailSeq: s.tailSeq,
+		Seniors: s.seniors, MaxOcc: s.maxOcc, Merged: s.merged,
+		BlockCnt: s.blockCnt,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.entries = w.Entries
+	s.headSeq = w.HeadSeq
+	s.tailSeq = w.TailSeq
+	s.seniors = w.Seniors
+	s.maxOcc = w.MaxOcc
+	s.merged = w.Merged
+	s.blockCnt = w.BlockCnt
+	return nil
+}

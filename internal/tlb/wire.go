@@ -1,0 +1,57 @@
+package tlb
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"spb/internal/mem"
+)
+
+// Gob wire form of a Snapshot (crash-safe checkpoints, DESIGN.md §15).
+
+type entryWire struct {
+	Page    mem.Page
+	LastUse uint64
+	Valid   bool
+}
+
+type snapshotWire struct {
+	Entries []entryWire
+	Clock   uint64
+	Hits    uint64
+	Misses  uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotWire{
+		Entries: make([]entryWire, len(s.entries)),
+		Clock:   s.clock,
+		Hits:    s.hits,
+		Misses:  s.misses,
+	}
+	for i, e := range s.entries {
+		w.Entries[i] = entryWire{Page: e.page, LastUse: e.lastUse, Valid: e.valid}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.entries = make([]entry, len(w.Entries))
+	for i, e := range w.Entries {
+		s.entries[i] = entry{page: e.Page, lastUse: e.LastUse, valid: e.Valid}
+	}
+	s.clock = w.Clock
+	s.hits = w.Hits
+	s.misses = w.Misses
+	return nil
+}

@@ -1,0 +1,27 @@
+package trace
+
+// Crash-safe checkpoint support (DESIGN.md §15). Trace state is never
+// serialized wholesale: a Program's cursor after n instructions is a pure
+// function of (workload, seed, n), and Skip(n) is state-equivalent to n
+// successful Next calls (TestProgramSkipEquivalence), so a checkpoint only
+// records how many instructions each reader has consumed and a resume
+// replays the generator to that point. The two accessors below are the
+// pieces of reader state the replay cannot reconstruct on its own: the
+// Limit wrapper's budget position, which belongs to the wrapper rather than
+// the underlying stream.
+
+// Seen reports how many instructions the wrapper has produced — equivalently
+// how many successful Next calls it has forwarded to the underlying reader.
+func (l *LimitReader) Seen() uint64 { return l.seen }
+
+// SetSeen overwrites the wrapper's produced-instruction count. Checkpoint
+// resume uses it after replaying the underlying reader to the recorded
+// position, so the remaining budget (n - seen) matches the interrupted run.
+func (l *LimitReader) SetSeen(seen uint64) { l.seen = seen }
+
+// State exposes the generator's xorshift state for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's xorshift state. The state must come
+// from State() of a live generator; it is never zero.
+func (r *RNG) SetState(s uint64) { r.state = s }

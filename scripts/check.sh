@@ -21,6 +21,8 @@ echo "== serve-check (spbd end-to-end smoke) =="
 sh scripts/serve_check.sh
 echo "== chaos-check (fault injection + self-healing) =="
 sh scripts/chaos_check.sh
+echo "== chaos-kill (kill -9 crash/recovery gate) =="
+sh scripts/chaos_kill_check.sh
 echo "== cluster-check (3-node fleet: gossip, stealing, peering, tenants) =="
 sh scripts/cluster_check.sh
 echo "OK"
