@@ -1,4 +1,4 @@
-.PHONY: check bench bench-sweep bench-warm bench-sampled bench-cluster test build serve-check chaos chaos-kill cluster-check
+.PHONY: check bench bench-sweep bench-warm bench-sampled bench-cluster bench-prefetch test build serve-check chaos chaos-kill cluster-check
 
 # Full pre-merge gate: vet + build + tests + race pass on the concurrent
 # packages.
@@ -30,6 +30,11 @@ bench-sampled:
 # weighted-fair tenant completion shares) into BENCH_cluster.json.
 bench-cluster:
 	sh scripts/bench_cluster.sh
+
+# Record the prefetcher-zoo grid (policy x prefetcher sweep, byte-identical
+# across repeats, per-prefetcher cycle ratios) into BENCH_prefetch.json.
+bench-prefetch:
+	sh scripts/bench_prefetch.sh
 
 # End-to-end smoke of the spbd service: build, start on a random port,
 # verify cold-run stats match spbsim -json, cache hit on repeat, cancel,

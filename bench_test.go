@@ -233,6 +233,22 @@ func BenchmarkAblation_Extensions(b *testing.B) {
 	})
 }
 
+func BenchmarkZoo_Prefetchers(b *testing.B) {
+	h := benchHarness()
+	runFigure(b, h.PFZoo, func(b *testing.B, tabs []figures.Table) {
+		for _, r := range tabs[0].Rows {
+			switch r.Name {
+			case "bop":
+				b.ReportMetric(r.Vals[3], "spb-bop-sbbound")
+			case "dspatch":
+				b.ReportMetric(r.Vals[3], "spb-dspatch-sbbound")
+			case "hybrid":
+				b.ReportMetric(r.Vals[3], "spb-hybrid-sbbound")
+			}
+		}
+	})
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // instructions per wall-clock second for one representative run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

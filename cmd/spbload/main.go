@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"spb/internal/client"
+	"spb/internal/config"
 	"spb/internal/core"
 	"spb/internal/obs"
 	"spb/internal/server"
@@ -266,6 +267,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-request timeout")
 		workloads = flag.String("workloads", "bwaves,mcf,roms", "comma-separated workload mix")
 		policies  = flag.String("policies", "spb,at-commit", "comma-separated policy mix")
+		prefetch  = flag.String("prefetchers", "stream", "comma-separated generic L1 prefetcher mix ("+config.PrefetcherNames+")")
 		sbs       = flag.String("sb", "14,56", "comma-separated store-buffer sizes")
 		insts     = flag.Uint64("insts", 50_000, "committed instructions per request")
 		distinct  = flag.Int("distinct", 0, "number of distinct seeds cycled through (0 = every request unique: all cache misses)")
@@ -285,18 +287,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "spbload:", err)
 				os.Exit(2)
 			}
-			for _, sb := range strings.Split(*sbs, ",") {
-				var n int
-				if _, err := fmt.Sscanf(strings.TrimSpace(sb), "%d", &n); err != nil {
-					fmt.Fprintf(os.Stderr, "spbload: bad -sb entry %q\n", sb)
+			for _, pf := range strings.Split(*prefetch, ",") {
+				kind, err := config.ParsePrefetcher(strings.TrimSpace(pf))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "spbload:", err)
 					os.Exit(2)
 				}
-				specs = append(specs, sim.RunSpec{
-					Workload: strings.TrimSpace(w),
-					Policy:   pol,
-					SQSize:   n,
-					Insts:    *insts,
-				})
+				for _, sb := range strings.Split(*sbs, ",") {
+					var n int
+					if _, err := fmt.Sscanf(strings.TrimSpace(sb), "%d", &n); err != nil {
+						fmt.Fprintf(os.Stderr, "spbload: bad -sb entry %q\n", sb)
+						os.Exit(2)
+					}
+					specs = append(specs, sim.RunSpec{
+						Workload:   strings.TrimSpace(w),
+						Policy:     pol,
+						Prefetcher: kind,
+						SQSize:     n,
+						Insts:      *insts,
+					})
+				}
 			}
 		}
 	}

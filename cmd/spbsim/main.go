@@ -23,7 +23,7 @@ func main() {
 		workload   = flag.String("workload", "bwaves", "workload name (SPEC-like for 1 core, PARSEC-like for >1)")
 		policy     = flag.String("policy", "spb", "store-prefetch policy: none|at-execute|at-commit|spb|ideal")
 		sb         = flag.Int("sb", 56, "store-buffer (store-queue) entries")
-		prefetcher = flag.String("prefetcher", "stream", "generic L1 prefetcher: stream|aggressive|adaptive|none")
+		prefetcher = flag.String("prefetcher", "stream", "generic L1 prefetcher: "+config.PrefetcherNames)
 		coreName   = flag.String("core", "", "Table II core config (SLM|NHL|HSW|SKL|SNC); empty = Table I Skylake")
 		cores      = flag.Int("cores", 1, "core count (PARSEC workloads)")
 		insts      = flag.Uint64("insts", 500_000, "committed instructions per core")

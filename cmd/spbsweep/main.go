@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"spb/internal/client"
+	"spb/internal/config"
 	"spb/internal/core"
 	"spb/internal/prof"
 	"spb/internal/sim"
@@ -59,11 +60,24 @@ func parsePolicies(s string) ([]core.Policy, error) {
 	return out, nil
 }
 
+func parsePrefetchers(s string) ([]config.PrefetcherKind, error) {
+	var out []config.PrefetcherKind
+	for _, part := range strings.Split(s, ",") {
+		k, err := config.ParsePrefetcher(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		suite    = flag.String("suite", "spec", "workload suite: spec|sbbound|parsec")
 		sbList   = flag.String("sb", "14,28,56", "comma-separated SB sizes")
 		policies = flag.String("policies", "at-commit,spb,ideal", "comma-separated policies")
+		pfList   = flag.String("prefetchers", "stream", "comma-separated generic L1 prefetchers: "+config.PrefetcherNames)
 		nList    = flag.String("spb-n", "48", "comma-separated SPB window sizes")
 		cores    = flag.Int("cores", 0, "core count (default: 1 for spec, 8 for parsec)")
 		insts    = flag.Uint64("insts", 200_000, "committed instructions per core")
@@ -114,6 +128,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spbsweep:", err)
 		os.Exit(2)
 	}
+	pfs, err := parsePrefetchers(*pfList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbsweep:", err)
+		os.Exit(2)
+	}
 
 	var names []string
 	nCores := *cores
@@ -156,12 +175,15 @@ func main() {
 	for _, name := range names {
 		for _, sb := range sbs {
 			for _, p := range pols {
-				for _, n := range ns {
-					specs = append(specs, sim.RunSpec{
-						Workload: name, Policy: p, SQSize: sb,
-						Cores: nCores, Insts: *insts, WarmupInsts: *warmup,
-						WindowN: n, Sampling: sampling, Seed: *seed,
-					})
+				for _, pf := range pfs {
+					for _, n := range ns {
+						specs = append(specs, sim.RunSpec{
+							Workload: name, Policy: p, SQSize: sb,
+							Prefetcher: pf,
+							Cores:      nCores, Insts: *insts, WarmupInsts: *warmup,
+							WindowN: n, Sampling: sampling, Seed: *seed,
+						})
+					}
 				}
 			}
 		}
@@ -219,7 +241,7 @@ func main() {
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	header := []string{
-		"workload", "policy", "sb", "spb_n", "cores", "insts",
+		"workload", "policy", "prefetcher", "sb", "spb_n", "cores", "insts",
 		"cycles", "ipc", "sb_stall_ratio", "sb_stall_cycles", "other_stall_cycles",
 		"exec_stall_l1d_pending", "spb_bursts",
 		"spf_issued", "spf_successful", "spf_late", "spf_early",
@@ -238,6 +260,7 @@ func main() {
 		row := []string{
 			r.Spec.Workload,
 			r.Spec.Policy.String(),
+			r.Spec.Prefetcher.String(),
 			strconv.Itoa(r.Spec.SQSize),
 			strconv.Itoa(r.Spec.WindowN),
 			strconv.Itoa(r.Spec.Cores),

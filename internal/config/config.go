@@ -20,6 +20,18 @@ const (
 	PrefetchAdaptive
 	// PrefetchNone disables the generic L1 prefetcher.
 	PrefetchNone
+	// PrefetchBOP is the Best-Offset prefetcher (Michaud, HPCA 2016):
+	// offset scoring over a recent-requests table with phase-based
+	// best-offset election.
+	PrefetchBOP
+	// PrefetchDSPatch is a DSPatch-style dual spatial-pattern prefetcher
+	// (Bera et al., MICRO 2019): per-page access bitmaps merged into
+	// coverage-biased and accuracy-biased trigger-relative patterns, with
+	// feedback-directed selection between the two.
+	PrefetchDSPatch
+	// PrefetchHybrid arbitrates a shared prefetch-issue budget across the
+	// stream, BOP and DSPatch engines by per-epoch accuracy feedback.
+	PrefetchHybrid
 )
 
 func (k PrefetcherKind) String() string {
@@ -32,12 +44,32 @@ func (k PrefetcherKind) String() string {
 		return "adaptive"
 	case PrefetchNone:
 		return "none"
+	case PrefetchBOP:
+		return "bop"
+	case PrefetchDSPatch:
+		return "dspatch"
+	case PrefetchHybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("PrefetcherKind(%d)", int(k))
 }
 
+// Valid reports whether k names an implemented prefetcher. Specs arrive from
+// decoded wire input (HTTP bodies, checkpoint files, gob streams), so the
+// kind must be validated before it reaches the prefetcher constructor.
+func (k PrefetcherKind) Valid() bool {
+	return k >= PrefetchStream && k <= PrefetchHybrid
+}
+
+// PrefetcherNames is the pipe-separated list of valid prefetcher names, for
+// flag help strings and error messages.
+const PrefetcherNames = "stream|aggressive|adaptive|none|bop|dspatch|hybrid"
+
 // Prefetchers lists every prefetcher kind in declaration order.
-var Prefetchers = []PrefetcherKind{PrefetchStream, PrefetchAggressive, PrefetchAdaptive, PrefetchNone}
+var Prefetchers = []PrefetcherKind{
+	PrefetchStream, PrefetchAggressive, PrefetchAdaptive, PrefetchNone,
+	PrefetchBOP, PrefetchDSPatch, PrefetchHybrid,
+}
 
 // ParsePrefetcher maps a prefetcher name (the String() form) back to the
 // kind. Shared by CLI flags and the spbd HTTP API.
@@ -47,7 +79,7 @@ func ParsePrefetcher(s string) (PrefetcherKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown prefetcher %q (want stream|aggressive|adaptive|none)", s)
+	return 0, fmt.Errorf("unknown prefetcher %q (want %s)", s, PrefetcherNames)
 }
 
 // CoreConfig holds the out-of-order core parameters (Table I core details
@@ -200,6 +232,12 @@ func (m MachineConfig) Validate() error {
 	}
 	if m.SPB.WindowN < 8 {
 		return fmt.Errorf("config: SPB window N must be at least 8, got %d", m.SPB.WindowN)
+	}
+	if !m.Prefetcher.Valid() {
+		// Prefetcher kinds reach here from decoded input (HTTP specs,
+		// checkpoint files); rejecting them at validation time keeps the
+		// prefetcher constructor panic-free on every reachable path.
+		return fmt.Errorf("config: unknown prefetcher kind %d (want %s)", int(m.Prefetcher), PrefetcherNames)
 	}
 	return nil
 }

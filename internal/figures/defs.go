@@ -808,6 +808,7 @@ func (h *Harness) All() map[string]func() ([]Table, error) {
 		"sb20":       h.SB20,
 		"sensN":      h.SensN,
 		"extensions": h.Extensions,
+		"pfzoo":      h.PFZoo,
 	}
 }
 
@@ -815,5 +816,5 @@ func (h *Harness) All() map[string]func() ([]Table, error) {
 var Order = []string{
 	"tableI", "tableII", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
 	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-	"fig17", "fig18", "sb20", "sensN", "extensions",
+	"fig17", "fig18", "sb20", "sensN", "extensions", "pfzoo",
 }

@@ -232,6 +232,45 @@ func TestSB20Claim(t *testing.T) {
 	}
 }
 
+// TestPFZooShape runs the prefetcher-zoo grid end to end at test scale and
+// checks the per-prefetcher normalization is sane: one row per kind, every
+// value positive, and nothing wildly above Ideal (a policy can exceed 1.0
+// only by measurement noise, not by construction).
+func TestPFZooShape(t *testing.T) {
+	h := tiny()
+	tabs, err := h.PFZoo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 {
+		t.Fatalf("PFZoo returned %d tables, want 1", len(tabs))
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("PFZoo has %d rows, want one per prefetcher kind (5)", len(tab.Rows))
+	}
+	wantRows := []string{"none", "stream", "bop", "dspatch", "hybrid"}
+	for i, r := range tab.Rows {
+		if r.Name != wantRows[i] {
+			t.Fatalf("row %d = %q, want %q", i, r.Name, wantRows[i])
+		}
+		if len(r.Vals) != len(tab.Cols) {
+			t.Fatalf("row %q has %d vals for %d cols", r.Name, len(r.Vals), len(tab.Cols))
+		}
+		for j, v := range r.Vals {
+			if v <= 0 || v > 1.10 {
+				t.Fatalf("row %q col %q = %v, want in (0, 1.10]", r.Name, tab.Cols[j], v)
+			}
+		}
+		// SPB must close at least as much of the store-stall gap as
+		// at-commit under every prefetcher (the paper's core claim, which
+		// generic prefetching must not undo).
+		if r.Vals[2] < r.Vals[0]*0.98 {
+			t.Fatalf("row %q: spb %v worse than at-commit %v", r.Name, r.Vals[2], r.Vals[0])
+		}
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
 	h := tiny()
 	all := h.All()

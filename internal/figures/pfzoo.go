@@ -1,0 +1,61 @@
+package figures
+
+import (
+	"spb/internal/config"
+	"spb/internal/core"
+	"spb/internal/sim"
+)
+
+// PFZoo extends Figure 16 to the full prefetcher zoo: the store-prefetch
+// policies under every generic L1 prefetcher — none, the baseline stream,
+// Best-Offset, DSPatch and the hybrid arbiter — at the stressful 14-entry
+// SB. Normalization is per-prefetcher, Fig. 16 style: each policy is
+// divided into the Ideal SB running the SAME prefetcher, so the columns
+// isolate how much of the remaining store-stall gap each policy closes
+// given that prefetcher, rather than how good the prefetcher itself is.
+func (h *Harness) PFZoo() ([]Table, error) {
+	kinds := []config.PrefetcherKind{
+		config.PrefetchNone, config.PrefetchStream, config.PrefetchBOP,
+		config.PrefetchDSPatch, config.PrefetchHybrid,
+	}
+	pols := []core.Policy{core.PolicyAtCommit, core.PolicySPB, core.PolicyIdeal}
+	res, err := h.runMatrix(func(name string) []sim.RunSpec {
+		var specs []sim.RunSpec
+		for _, k := range kinds {
+			for _, p := range pols {
+				s := h.spec(name, p, 14)
+				s.Prefetcher = k
+				specs = append(specs, s)
+			}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Prefetcher zoo (SB14): policies normalized per-prefetcher to Ideal with the same prefetcher",
+		Cols: []string{
+			"at-commit ALL", "at-commit SB-BOUND", "spb ALL", "spb SB-BOUND",
+		},
+		Note: "rows are generic L1 prefetchers; a column value of 1.0 means the policy fully hides store stalls under that prefetcher",
+	}
+	for ki, k := range kinds {
+		row := Row{Name: k.String()}
+		base := ki * len(pols)
+		for pi := range pols[:2] {
+			var av, bv []float64
+			for _, w := range h.suite() {
+				rr := res[w.Name]
+				v := float64(rr[base+2].CPU.Cycles) / float64(rr[base+pi].CPU.Cycles)
+				av = append(av, v)
+				if w.SBBound {
+					bv = append(bv, v)
+				}
+			}
+			row.Vals = append(row.Vals, geomean(av), geomean(bv))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}

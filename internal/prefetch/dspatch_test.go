@@ -1,0 +1,138 @@
+package prefetch
+
+import (
+	"testing"
+
+	"spb/internal/mem"
+)
+
+// dspVisit replays one page visit (trigger first) for a trigger PC.
+func dspVisit(d *DSPatch, pc uint64, page mem.Page, idxs ...int) {
+	base := mem.Block(uint64(page) * mem.BlocksPerPage)
+	for _, idx := range idxs {
+		d.Observe(Event{PC: pc, Block: base + mem.Block(idx), Miss: true}, nil)
+	}
+}
+
+// dspFlush cycles dspPages fresh filler pages through the active-page
+// buffer, forcing every older footprint to commit. Pages come from a high
+// counter so they never collide with test pages.
+var dspFillerPage = mem.Page(1 << 20)
+
+func dspFlush(d *DSPatch, fillerPC uint64) {
+	for i := 0; i < dspPages; i++ {
+		dspVisit(d, fillerPC, dspFillerPage, 0)
+		dspFillerPage++
+	}
+}
+
+func TestDSPatchRotatesFootprints(t *testing.T) {
+	const pc, filler = 0x1000, 0x2000
+	if dspSig(pc) == dspSig(filler) {
+		t.Fatal("test PCs collide in the pattern table")
+	}
+	d := NewDSPatch()
+	// Page 0 entered at block index 5, footprint {5, 6, 9}: stored
+	// trigger-relative as bits {0, 1, 4}.
+	dspVisit(d, pc, 0, 5, 6, 9)
+	dspFlush(d, filler)
+	covP, accP, ok := d.PatternFor(pc)
+	want := uint64(1)<<0 | 1<<1 | 1<<4
+	if !ok || covP != want || accP != want {
+		t.Fatalf("pattern = (%#x, %#x, %v), want (%#x, %#x, true)", covP, accP, ok, want, want)
+	}
+	// A new page entered at index 10 rotates the pattern to the new trigger:
+	// predictions at +1 and +4, nearest first.
+	trigger := mem.Block(100*mem.BlocksPerPage + 10)
+	out := d.Observe(Event{PC: pc, Block: trigger, Miss: true}, nil)
+	if len(out) != 2 || out[0] != trigger+1 || out[1] != trigger+4 {
+		t.Fatalf("predictions = %v, want [%d %d]", out, trigger+1, trigger+4)
+	}
+}
+
+func TestDSPatchDualPatterns(t *testing.T) {
+	const pc, filler = 0x1000, 0x2000
+	d := NewDSPatch()
+	// Two visits with different footprints: CovP is their union, AccP their
+	// intersection.
+	dspVisit(d, pc, 0, 0, 1, 2)
+	dspFlush(d, filler)
+	dspVisit(d, pc, 1, 0, 1, 3)
+	dspFlush(d, filler)
+	covP, accP, ok := d.PatternFor(pc)
+	if !ok {
+		t.Fatal("pattern not stored")
+	}
+	if want := uint64(1)<<0 | 1<<1 | 1<<2 | 1<<3; covP != want {
+		t.Fatalf("covP = %#x, want %#x (OR of footprints)", covP, want)
+	}
+	if want := uint64(1)<<0 | 1<<1; accP != want {
+		t.Fatalf("accP = %#x, want %#x (AND of footprints)", accP, want)
+	}
+	// Coverage mode predicts the union minus the trigger...
+	trigger := mem.Block(100 * mem.BlocksPerPage)
+	out := d.Observe(Event{PC: pc, Block: trigger, Miss: true}, nil)
+	if len(out) != 3 {
+		t.Fatalf("CovP predictions = %v, want 3 blocks", out)
+	}
+	// ...while accuracy mode, selected by collapsing feedback accuracy,
+	// predicts only the intersection.
+	d.Epoch(Feedback{Issued: 100, Used: 10})
+	if !d.UsingAccuracy() {
+		t.Fatal("low accuracy must select AccP")
+	}
+	trigger = mem.Block(101 * mem.BlocksPerPage)
+	out = d.Observe(Event{PC: pc, Block: trigger, Miss: true}, nil)
+	if len(out) != 1 || out[0] != trigger+1 {
+		t.Fatalf("AccP predictions = %v, want [%d]", out, trigger+1)
+	}
+}
+
+func TestDSPatchSelectorHysteresis(t *testing.T) {
+	d := NewDSPatch()
+	if d.UsingAccuracy() {
+		t.Fatal("fresh DSPatch must start in coverage mode")
+	}
+	d.Epoch(Feedback{Issued: 100, Used: 30}) // 0.30 < dspAccLow
+	if !d.UsingAccuracy() {
+		t.Fatal("accuracy 0.30 must switch to AccP")
+	}
+	d.Epoch(Feedback{Issued: 100, Used: 55}) // between the thresholds
+	if !d.UsingAccuracy() {
+		t.Fatal("0.55 is inside the hysteresis band; AccP must stick")
+	}
+	d.Epoch(Feedback{Issued: 100, Used: 70}) // 0.70 >= dspAccHysUp
+	if d.UsingAccuracy() {
+		t.Fatal("accuracy 0.70 must relax back to CovP")
+	}
+	d.Epoch(Feedback{}) // idle epoch: no information, no change
+	if d.UsingAccuracy() {
+		t.Fatal("empty epoch must not change the selector")
+	}
+}
+
+func TestDSPatchDegreeQuota(t *testing.T) {
+	const pc, filler = 0x1000, 0x2000
+	d := NewDSPatch()
+	// A dense footprint (every block of the page) predicts far more than the
+	// issue quota; the quota spends itself nearest the trigger.
+	idxs := make([]int, mem.BlocksPerPage)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	dspVisit(d, pc, 0, idxs...)
+	dspFlush(d, filler)
+	trigger := mem.Block(100*mem.BlocksPerPage + 30)
+	out := d.Observe(Event{PC: pc, Block: trigger, Miss: true}, nil)
+	if len(out) != dspDegree {
+		t.Fatalf("issued %d, want the degree quota %d", len(out), dspDegree)
+	}
+	for _, b := range out {
+		if mem.PageOfBlock(b) != mem.PageOfBlock(trigger) {
+			t.Fatalf("prediction %d leaves the trigger page", b)
+		}
+		if diff := int64(b) - int64(trigger); diff > dspDegree/2+1 || diff < -(dspDegree/2+1) {
+			t.Fatalf("prediction %d not nearest-first (trigger %d)", b, trigger)
+		}
+	}
+}

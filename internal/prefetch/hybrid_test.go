@@ -1,0 +1,125 @@
+package prefetch
+
+import (
+	"testing"
+
+	"spb/internal/mem"
+)
+
+// stubPF proposes fixed offsets from every trigger, for arbiter tests.
+type stubPF struct {
+	name string
+	offs []int64
+}
+
+func (s *stubPF) Name() string { return s.name }
+
+func (s *stubPF) Observe(ev Event, out []mem.Block) []mem.Block {
+	for _, o := range s.offs {
+		b := int64(ev.Block) + o
+		if b >= 0 {
+			out = append(out, mem.Block(b))
+		}
+	}
+	return out
+}
+
+func (s *stubPF) Epoch(Feedback) {}
+
+func TestHybridStartsWithEvenSplit(t *testing.T) {
+	h := NewHybridOf(&stubPF{name: "a"}, &stubPF{name: "b"})
+	if a := h.Alloc(); len(a) != 2 || a[0] != hybridBudget/2 || a[1] != hybridBudget/2 {
+		t.Fatalf("initial allocation = %v, want an even split of %d", a, hybridBudget)
+	}
+}
+
+func TestHybridBudgetCapAndDedup(t *testing.T) {
+	a := &stubPF{name: "a", offs: []int64{1, 2, 3}}
+	b := &stubPF{name: "b", offs: []int64{1, 5}}
+	h := NewHybridOf(a, b)
+	out := h.Observe(Event{Block: 100, Miss: true}, nil)
+	if len(out) > hybridBudget {
+		t.Fatalf("issued %d > budget %d", len(out), hybridBudget)
+	}
+	seen := map[mem.Block]bool{}
+	for _, blk := range out {
+		if seen[blk] {
+			t.Fatalf("duplicate prefetch %d in %v", blk, out)
+		}
+		seen[blk] = true
+	}
+	// Block 101 is proposed by both; the arbiter must emit it once and still
+	// give b its other proposal.
+	if !seen[101] || !seen[105] {
+		t.Fatalf("round-robin drain lost a proposal: %v", out)
+	}
+}
+
+func TestHybridReallocatesBudgetByAccuracy(t *testing.T) {
+	good := &stubPF{name: "good", offs: []int64{1}} // next block: demanded next access
+	bad := &stubPF{name: "bad", offs: []int64{-50}} // behind the stream: never demanded
+	h := NewHybridOf(good, bad)
+	var out []mem.Block
+	for i := 0; i < 200; i++ {
+		out = h.Observe(Event{Block: mem.Block(1000 + i), Miss: true}, out[:0])
+	}
+	h.Epoch(Feedback{})
+	a := h.Alloc()
+	if a[0] <= a[1] {
+		t.Fatalf("allocation = %v, want the accurate sub favored", a)
+	}
+	if a[0]+a[1] != hybridBudget {
+		t.Fatalf("allocation %v does not sum to the budget %d", a, hybridBudget)
+	}
+	// Laplace smoothing must let a starved sub recover: if bad's quota hit
+	// zero it issues nothing next epoch, which smoothing scores as perfect,
+	// pulling it back toward an even share rather than starving it forever.
+	for i := 200; i < 250; i++ {
+		out = h.Observe(Event{Block: mem.Block(1000 + i), Miss: true}, out[:0])
+	}
+	h.Epoch(Feedback{})
+	if a2 := h.Alloc(); a2[1] < 1 {
+		t.Fatalf("allocation = %v, want the idle sub to regain at least one slot", a2)
+	}
+}
+
+func TestHybridRespectsQuotas(t *testing.T) {
+	// With the whole budget on sub 0, sub 1's proposals cannot issue.
+	a := &stubPF{name: "a", offs: []int64{1, 2, 3, 4, 5}}
+	b := &stubPF{name: "b", offs: []int64{10}}
+	h := NewHybridOf(a, b)
+	h.alloc[0], h.alloc[1] = hybridBudget, 0
+	out := h.Observe(Event{Block: 100, Miss: true}, nil)
+	if len(out) != hybridBudget {
+		t.Fatalf("issued %v, want %d from the funded sub", out, hybridBudget)
+	}
+	for _, blk := range out {
+		if blk == 110 {
+			t.Fatalf("zero-quota sub issued %d", blk)
+		}
+	}
+}
+
+func TestHybridDefaultComposition(t *testing.T) {
+	h := NewHybrid()
+	if h.Name() != "hybrid" {
+		t.Fatalf("Name() = %q", h.Name())
+	}
+	if len(h.subs) != 3 {
+		t.Fatalf("default hybrid has %d subs, want stream+bop+dspatch", len(h.subs))
+	}
+	// A unit-stride stream must produce prefetches without exceeding the
+	// shared budget on any single trigger.
+	var out []mem.Block
+	total := 0
+	for i := 0; i < 64; i++ {
+		out = h.Observe(Event{PC: 0x400000, Block: mem.Block(i), Miss: true}, out[:0])
+		if len(out) > hybridBudget {
+			t.Fatalf("trigger issued %d > budget %d", len(out), hybridBudget)
+		}
+		total += len(out)
+	}
+	if total == 0 {
+		t.Fatal("default hybrid issued nothing on a unit-stride stream")
+	}
+}

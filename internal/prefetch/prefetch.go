@@ -43,7 +43,10 @@ type Prefetcher interface {
 	Epoch(fb Feedback)
 }
 
-// New constructs the prefetcher selected by kind.
+// New constructs the prefetcher selected by kind. Unknown kinds panic:
+// config.MachineConfig.Validate rejects them on every decoded-input path
+// (HTTP specs, checkpoint files) before a kind can reach this constructor,
+// so a panic here means an internal caller skipped validation.
 func New(kind config.PrefetcherKind) Prefetcher {
 	switch kind {
 	case config.PrefetchStream:
@@ -55,15 +58,26 @@ func New(kind config.PrefetcherKind) Prefetcher {
 		return NewAdaptive()
 	case config.PrefetchNone:
 		return nonePrefetcher{}
+	case config.PrefetchBOP:
+		return NewBOP()
+	case config.PrefetchDSPatch:
+		return NewDSPatch()
+	case config.PrefetchHybrid:
+		return NewHybrid()
 	}
-	panic("prefetch: unknown kind")
+	panic("prefetch: unknown kind (caller bypassed config validation)")
 }
 
 type nonePrefetcher struct{}
 
-func (nonePrefetcher) Name() string                           { return "none" }
-func (nonePrefetcher) Observe(Event, []mem.Block) []mem.Block { return nil }
-func (nonePrefetcher) Epoch(Feedback)                         {}
+func (nonePrefetcher) Name() string { return "none" }
+
+// Observe implements Prefetcher. It must return out unchanged — not nil —
+// to honor the append contract: the caller reuses the returned slice as its
+// scratch buffer, and nilling it would discard the buffer every call.
+func (nonePrefetcher) Observe(_ Event, out []mem.Block) []mem.Block { return out }
+
+func (nonePrefetcher) Epoch(Feedback) {}
 
 // streamEntry is one PC-indexed stride-detection slot.
 type streamEntry struct {
@@ -213,7 +227,9 @@ func (a *Adaptive) apply() {
 
 // Epoch implements Prefetcher: the FDP decision tree. High accuracy with
 // late prefetches asks for more aggressiveness; low accuracy or pollution
-// throttles down.
+// throttles down; accurate, timely and clean holds the level steady
+// (Srinath et al., Table 2 — the current aggressiveness is already paying
+// off, so ramping further would only risk pollution).
 func (a *Adaptive) Epoch(fb Feedback) {
 	if fb.Issued == 0 {
 		return
@@ -231,9 +247,6 @@ func (a *Adaptive) Epoch(fb Feedback) {
 		a.level--
 	case pol > fdpPollute && a.level > 1:
 		a.level--
-	case acc >= fdpAccHigh && pol <= fdpPollute && late <= fdpLateness && a.level < 5:
-		// Accurate, timely and clean: cautiously ramp up.
-		a.level++
 	}
 	a.apply()
 }

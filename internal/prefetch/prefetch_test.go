@@ -189,15 +189,48 @@ func TestAdaptiveBoundsHold(t *testing.T) {
 	}
 }
 
-func TestNewCoversAllKinds(t *testing.T) {
-	kinds := []config.PrefetcherKind{
-		config.PrefetchStream, config.PrefetchAggressive,
-		config.PrefetchAdaptive, config.PrefetchNone,
+// TestAdaptiveEpochTrajectory is the table-driven FDP decision-tree test:
+// it pins the level trajectory across every branch, and in particular that
+// accurate, timely and clean feedback HOLDS the level (Srinath et al.,
+// Table 2) instead of ramping up.
+func TestAdaptiveEpochTrajectory(t *testing.T) {
+	hold := Feedback{Issued: 1000, Used: 900, Late: 20}           // acc .90, late .02, pol 0
+	rampUp := Feedback{Issued: 1000, Used: 900, Late: 500}        // acc .90, late .56
+	inaccurate := Feedback{Issued: 1000, Used: 200}               // acc .20
+	polluting := Feedback{Issued: 1000, Used: 600, Polluted: 100} // acc .60, pol .10
+	steps := []struct {
+		name string
+		fb   Feedback
+		want int
+	}{
+		{"hold at start", hold, 3},
+		{"accurate+late ramps", rampUp, 4},
+		{"hold at 4", hold, 4},
+		{"accurate+late ramps", rampUp, 5},
+		{"hold at ceiling", hold, 5},
+		{"inaccurate throttles", inaccurate, 4},
+		{"polluting throttles", polluting, 3},
+		{"hold after throttle", hold, 3},
+		{"empty epoch holds", Feedback{}, 3},
+		{"ramp resumes", rampUp, 4},
 	}
-	for _, k := range kinds {
+	a := NewAdaptive()
+	for _, s := range steps {
+		a.Epoch(s.fb)
+		if a.Level() != s.want {
+			t.Fatalf("%s: level = %d, want %d", s.name, a.Level(), s.want)
+		}
+	}
+}
+
+func TestNewCoversAllKinds(t *testing.T) {
+	for _, k := range config.Prefetchers {
 		p := New(k)
 		if p == nil {
 			t.Fatalf("New(%v) returned nil", k)
+		}
+		if p.Name() == "" {
+			t.Fatalf("New(%v).Name() is empty", k)
 		}
 	}
 }

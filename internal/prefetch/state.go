@@ -21,6 +21,53 @@ type StreamEntryState struct {
 	Valid  bool
 }
 
+// BOPState is the wire form of the Best-Offset prefetcher's learning state.
+type BOPState struct {
+	RR        []mem.Block
+	RRNext    int
+	RRFilled  bool
+	Scores    []uint8
+	CandIdx   int
+	Round     int
+	Best      int32
+	BestScore uint8
+}
+
+// DSPatchPageState is the wire form of one active-page buffer slot.
+type DSPatchPageState struct {
+	Page    mem.Page
+	Sig     uint32
+	Trigger int
+	Bitmap  uint64
+	Valid   bool
+}
+
+// DSPatchEntryState is the wire form of one dual-pattern table entry.
+type DSPatchEntryState struct {
+	CovP  uint64
+	AccP  uint64
+	Valid bool
+}
+
+// DSPatchState is the wire form of the DSPatch prefetcher's state.
+type DSPatchState struct {
+	Pages   []DSPatchPageState
+	PageClk int
+	Table   []DSPatchEntryState
+	UseAcc  bool
+}
+
+// HybridState is the wire form of the hybrid arbiter: the nested states of
+// its sub-prefetchers plus the attribution and allocation machinery.
+type HybridState struct {
+	Subs   []State
+	Recent [][]mem.Block
+	RNext  []int
+	Issued []uint64
+	Hits   []uint64
+	Alloc  []int
+}
+
 // State is a deep copy of a prefetcher's mutable state. Kind names the
 // concrete scheme; restoring onto a prefetcher of a different kind is a
 // configuration mismatch and panics (checkpoints embed the spec, so a
@@ -36,6 +83,10 @@ type State struct {
 	Degree   int
 	// Level is Adaptive's position on the aggressiveness ladder.
 	Level int
+	// Exactly one of the following is non-nil for the matching Kind.
+	BOP     *BOPState
+	DSPatch *DSPatchState
+	Hybrid  *HybridState
 }
 
 // CaptureState deep-copies p's mutable state.
@@ -50,6 +101,47 @@ func CaptureState(p Prefetcher) State {
 		return s
 	case *Stream:
 		return captureStream(v)
+	case *BOP:
+		return State{Kind: "bop", BOP: &BOPState{
+			RR:        append([]mem.Block(nil), v.rr...),
+			RRNext:    v.rrNext,
+			RRFilled:  v.rrFilled,
+			Scores:    append([]uint8(nil), v.scores...),
+			CandIdx:   v.candIdx,
+			Round:     v.round,
+			Best:      v.best,
+			BestScore: v.bestScore,
+		}}
+	case *DSPatch:
+		d := &DSPatchState{
+			Pages:   make([]DSPatchPageState, len(v.pages)),
+			PageClk: v.pageClk,
+			Table:   make([]DSPatchEntryState, len(v.table)),
+			UseAcc:  v.useAcc,
+		}
+		for i, pg := range v.pages {
+			d.Pages[i] = DSPatchPageState{Page: pg.page, Sig: pg.sig, Trigger: pg.trigger, Bitmap: pg.bitmap, Valid: pg.valid}
+		}
+		for i, e := range v.table {
+			d.Table[i] = DSPatchEntryState{CovP: e.covP, AccP: e.accP, Valid: e.valid}
+		}
+		return State{Kind: "dspatch", DSPatch: d}
+	case *Hybrid:
+		h := &HybridState{
+			Subs:   make([]State, len(v.subs)),
+			Recent: make([][]mem.Block, len(v.recent)),
+			RNext:  append([]int(nil), v.rnext...),
+			Issued: append([]uint64(nil), v.issued...),
+			Hits:   append([]uint64(nil), v.hits...),
+			Alloc:  append([]int(nil), v.alloc...),
+		}
+		for i, sub := range v.subs {
+			h.Subs[i] = CaptureState(sub)
+		}
+		for i, r := range v.recent {
+			h.Recent[i] = append([]mem.Block(nil), r...)
+		}
+		return State{Kind: "hybrid", Hybrid: h}
 	}
 	panic(fmt.Sprintf("prefetch: cannot capture state of %T", p))
 }
@@ -88,6 +180,60 @@ func RestoreState(p Prefetcher, s State) {
 			panic("prefetch: RestoreState kind mismatch")
 		}
 		restoreStream(v, s)
+		return
+	case *BOP:
+		if s.Kind != "bop" || s.BOP == nil {
+			panic("prefetch: RestoreState kind mismatch")
+		}
+		if len(v.rr) != len(s.BOP.RR) || len(v.scores) != len(s.BOP.Scores) {
+			panic("prefetch: RestoreState with mismatched table geometry")
+		}
+		copy(v.rr, s.BOP.RR)
+		v.rrNext = s.BOP.RRNext
+		v.rrFilled = s.BOP.RRFilled
+		copy(v.scores, s.BOP.Scores)
+		v.candIdx = s.BOP.CandIdx
+		v.round = s.BOP.Round
+		v.best = s.BOP.Best
+		v.bestScore = s.BOP.BestScore
+		return
+	case *DSPatch:
+		if s.Kind != "dspatch" || s.DSPatch == nil {
+			panic("prefetch: RestoreState kind mismatch")
+		}
+		if len(v.pages) != len(s.DSPatch.Pages) || len(v.table) != len(s.DSPatch.Table) {
+			panic("prefetch: RestoreState with mismatched table geometry")
+		}
+		for i, pg := range s.DSPatch.Pages {
+			v.pages[i] = dspPage{page: pg.Page, sig: pg.Sig, trigger: pg.Trigger, bitmap: pg.Bitmap, valid: pg.Valid}
+		}
+		v.pageClk = s.DSPatch.PageClk
+		for i, e := range s.DSPatch.Table {
+			v.table[i] = dspEntry{covP: e.CovP, accP: e.AccP, valid: e.Valid}
+		}
+		v.useAcc = s.DSPatch.UseAcc
+		return
+	case *Hybrid:
+		if s.Kind != "hybrid" || s.Hybrid == nil {
+			panic("prefetch: RestoreState kind mismatch")
+		}
+		hs := s.Hybrid
+		if len(v.subs) != len(hs.Subs) || len(v.recent) != len(hs.Recent) {
+			panic("prefetch: RestoreState with mismatched table geometry")
+		}
+		for i, sub := range v.subs {
+			RestoreState(sub, hs.Subs[i])
+		}
+		for i, r := range hs.Recent {
+			if len(v.recent[i]) != len(r) {
+				panic("prefetch: RestoreState with mismatched table geometry")
+			}
+			copy(v.recent[i], r)
+		}
+		copy(v.rnext, hs.RNext)
+		copy(v.issued, hs.Issued)
+		copy(v.hits, hs.Hits)
+		copy(v.alloc, hs.Alloc)
 		return
 	}
 	panic(fmt.Sprintf("prefetch: cannot restore state onto %T", p))

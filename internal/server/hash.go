@@ -14,8 +14,10 @@ import (
 // results the current binary would not produce. v2: WarmupInsts joined the
 // spec (a warmed run's statistics differ from a cold run's). v3: SMARTS
 // sampling joined the spec (a sampled run's statistics are estimates over
-// measured windows, not full-run totals).
-const keyVersion = "spb-runspec-v3"
+// measured windows, not full-run totals). v4: the FDP decision tree was
+// fixed to hold the level on accurate/timely/clean epochs (Srinath et al.,
+// Table 2), changing adaptive-prefetcher statistics.
+const keyVersion = "spb-runspec-v4"
 
 // Key returns the content address of a simulation point: a hex SHA-256 over
 // an explicit, field-by-field rendering of the normalized spec. Two specs

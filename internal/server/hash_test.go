@@ -3,6 +3,7 @@ package server
 import (
 	"testing"
 
+	"spb/internal/config"
 	"spb/internal/core"
 	"spb/internal/sim"
 )
@@ -40,9 +41,9 @@ func TestKeyStableAcrossRestarts(t *testing.T) {
 		key  string
 	}{
 		{sim.RunSpec{Workload: "bwaves"},
-			"90c36d1bb1c03077b207cbf1d2c301e68fecaa03b37b299ebaeb71a68dc344dd"},
+			"d2cbb053e2f0c1baaf5e17bc557b61f808f4a5ad1391742d6023f4eda4ce738d"},
 		{sim.RunSpec{Workload: "dedup", Cores: 8, SQSize: 56},
-			"4e2fa6c6072fe0693b972bd4c50318096a812ccc29b4457e9d213fc781c12d97"},
+			"f30721de44effa9d4c90d14385e1e3a0fa1208ba1ae751b20c45cad9ee851081"},
 	}
 	for _, g := range golden {
 		if got := Key(g.spec); got != g.key {
@@ -77,6 +78,11 @@ func TestKeyDistinguishesSpecs(t *testing.T) {
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, ModelBranchPredictor: true},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, DisableFastForward: true},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, CoreName: "SLM"},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Prefetcher: config.PrefetchAdaptive},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Prefetcher: config.PrefetchNone},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Prefetcher: config.PrefetchBOP},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Prefetcher: config.PrefetchDSPatch},
+		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14, Prefetcher: config.PrefetchHybrid},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14,
 			Sampling: sim.SamplingConfig{IntervalInsts: 100_000}},
 		{Workload: "bwaves", Policy: core.PolicySPB, SQSize: 14,

@@ -607,6 +607,49 @@ func TestBadSpecRejected(t *testing.T) {
 	}
 }
 
+// TestPrefetcherZooEndToEnd: the new prefetcher kinds are selectable over
+// the wire and return byte-identical stats to an in-process run, while a
+// kind the spec grammar does not know is rejected at spec-parse time with a
+// 400 — it must never reach a worker and panic in prefetch.New.
+func TestPrefetcherZooEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	for _, pf := range []string{"bop", "dspatch", "hybrid"} {
+		req := smallSpec
+		req.Prefetcher = pf
+		resp, v := postRun(t, ts, req, "?wait=1")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: POST = %d", pf, resp.StatusCode)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("%s: status = %s (%s)", pf, v.Status, v.Error)
+		}
+		spec, err := req.Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := res.StatsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v.Stats) != string(want) {
+			t.Fatalf("%s: remote stats differ from in-process stats:\n  got  %s\n  want %s", pf, v.Stats, want)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"workload":"bwaves","prefetcher":"markov"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown prefetcher kind = %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestUnknownWorkloadFailsJob: a spec that parses but names a missing
 // workload must fail the job, not wedge it.
 func TestUnknownWorkloadFailsJob(t *testing.T) {

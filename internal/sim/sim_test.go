@@ -112,6 +112,41 @@ func TestUnknownCoreErrors(t *testing.T) {
 	}
 }
 
+// TestUnknownPrefetcherKindErrors: an out-of-range kind decoded from the
+// wire (checkpoint, batch file) must surface as a spec error, never reach
+// prefetch.New and panic a worker.
+func TestUnknownPrefetcherKindErrors(t *testing.T) {
+	spec := quickSpec("gcc", core.PolicyAtCommit, 56)
+	spec.Prefetcher = config.PrefetcherKind(99)
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown prefetcher kind should error")
+	}
+}
+
+// TestNewPrefetcherKindsRun smoke-tests the prefetcher zoo end-to-end: every
+// kind simulates deterministically.
+func TestNewPrefetcherKindsRun(t *testing.T) {
+	for _, k := range []config.PrefetcherKind{config.PrefetchBOP, config.PrefetchDSPatch, config.PrefetchHybrid} {
+		spec := quickSpec("mcf", core.PolicySPB, 28)
+		spec.Prefetcher = k
+		spec.Insts = 20_000
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if res.CPU.Committed != 20_000 {
+			t.Fatalf("%s: committed %d", k, res.CPU.Committed)
+		}
+		res2, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CPU.Cycles != res2.CPU.Cycles {
+			t.Fatalf("%s: nondeterministic cycles %d vs %d", k, res.CPU.Cycles, res2.CPU.Cycles)
+		}
+	}
+}
+
 func TestTableIICoreRuns(t *testing.T) {
 	spec := quickSpec("gcc", core.PolicyAtCommit, 16)
 	spec.CoreName = "SLM"

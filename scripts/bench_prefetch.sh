@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench_prefetch.sh — record the prefetcher-zoo grid in BENCH_prefetch.json.
+#
+# Runs the policy × prefetcher sweep (every SB-bound workload, SB14,
+# at-commit/spb/ideal × none/stream/bop/dspatch/hybrid) twice and checks
+# the CSVs are byte-identical — the zoo engines (BOP's RR ring, DSPatch's
+# clock and dual bitmaps, the hybrid arbiter's attribution rings) must be
+# fully deterministic. Wall time on a shared box is noisy, so the recorded
+# wall clock is the minimum of N runs; the simulated counters are exact.
+set -eu
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-3}"
+OUT="${OUT:-BENCH_prefetch.json}"
+SWEEP_ARGS="-suite sbbound -sb 14 -policies at-commit,spb,ideal -prefetchers none,stream,bop,dspatch,hybrid -insts 20000"
+
+echo "== building spbsweep =="
+go build -o /tmp/spbsweep_pf ./cmd/spbsweep
+
+echo "== policy x prefetcher grid, min of $RUNS runs =="
+MIN_MS=""
+for i in $(seq 1 "$RUNS"); do
+    S="$(date +%s%N)"
+    /tmp/spbsweep_pf $SWEEP_ARGS >"/tmp/spbsweep_pf_$i.csv" 2>/dev/null
+    E="$(date +%s%N)"
+    MS=$(( (E - S) / 1000000 ))
+    echo "  run $i: ${MS}ms" >&2
+    if [ -z "$MIN_MS" ] || [ "$MS" -lt "$MIN_MS" ]; then MIN_MS="$MS"; fi
+done
+
+echo "== byte-determinism gate =="
+for i in $(seq 2 "$RUNS"); do
+    cmp "/tmp/spbsweep_pf_1.csv" "/tmp/spbsweep_pf_$i.csv" || {
+        echo "run $i CSV differs from run 1 — zoo engines are nondeterministic"; exit 1; }
+done
+echo "  $RUNS identical CSVs"
+
+ROWS=$(( $(wc -l < /tmp/spbsweep_pf_1.csv) - 1 ))
+
+# Per-prefetcher summary from the (deterministic) CSV: total cycles under
+# spb and at-commit, and the cycle ratio — how much of at-commit's time the
+# burst policy needs given that generic prefetcher.
+# Columns: 2=policy 3=prefetcher 8=cycles (see spbsweep's header).
+summary() {
+    awk -F, -v pf="$1" '
+        NR > 1 && $3 == pf && $2 == "spb"       { spb += $8 }
+        NR > 1 && $3 == pf && $2 == "at-commit" { ac  += $8 }
+        END { printf "{\"spb_cycles\": %d, \"at_commit_cycles\": %d, \"spb_over_at_commit\": %.4f}",
+              spb, ac, (ac > 0 ? spb / ac : 0) }' /tmp/spbsweep_pf_1.csv
+}
+
+cat > "$OUT" <<EOF
+{
+  "sweep": "$SWEEP_ARGS",
+  "runs": $RUNS,
+  "min_wall_ms": $MIN_MS,
+  "grid_rows": $ROWS,
+  "byte_deterministic": true,
+  "per_prefetcher": {
+    "none": $(summary none),
+    "stream": $(summary stream),
+    "bop": $(summary bop),
+    "dspatch": $(summary dspatch),
+    "hybrid": $(summary hybrid)
+  }
+}
+EOF
+echo "wrote $OUT"

@@ -15,8 +15,8 @@ go test ./...
 echo "== sampling suite (CI accuracy, skip/touch equivalence, accounting) =="
 go test -run 'Sampled|Sampling|Skip' ./internal/sim ./internal/workloads ./internal/server
 go test -run FuzzFunctionalEquivalence ./internal/sim
-echo "== go test -race (sim, figures, server, client, cluster, obs, memsys, cpu, trace) =="
-go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/cluster ./internal/obs ./internal/memsys ./internal/cpu ./internal/trace
+echo "== go test -race (sim, figures, server, client, cluster, obs, memsys, cpu, trace, prefetch) =="
+go test -race ./internal/sim ./internal/figures ./internal/server ./internal/client ./internal/cluster ./internal/obs ./internal/memsys ./internal/cpu ./internal/trace ./internal/prefetch
 echo "== serve-check (spbd end-to-end smoke) =="
 sh scripts/serve_check.sh
 echo "== chaos-check (fault injection + self-healing) =="

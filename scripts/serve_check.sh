@@ -186,6 +186,34 @@ done
 grep -q 'spbd_tenant_weight{tenant="default"} 1' "$TMP/metrics3.txt" \
     || { echo "metrics missing the implicit default tenant series"; exit 1; }
 
+echo "== prefetcher zoo: every new kind byte-identical remote vs local, bad kind -> 400 =="
+# The bop/dspatch/hybrid engines carry private state (RR rings, dual
+# bitmaps, arbiter attribution) through the checkpoint wire; the service
+# must produce exactly the bytes spbsim computes in-process for each kind.
+for pf in bop dspatch hybrid; do
+    PFSPEC="{\"workload\":\"bwaves\",\"policy\":\"spb\",\"sb\":14,\"insts\":20000,\"prefetcher\":\"$pf\"}"
+    curl -fsS -X POST "$BASE/v1/runs?wait=1" -H 'Content-Type: application/json' \
+        -d "$PFSPEC" >"$TMP/pf_$pf.json"
+    jq -e '.status == "done"' "$TMP/pf_$pf.json" >/dev/null \
+        || { echo "prefetcher $pf run did not finish"; cat "$TMP/pf_$pf.json"; exit 1; }
+    "$TMP/spbsim" -workload bwaves -policy spb -sb 14 -insts 20000 -prefetcher "$pf" -json \
+        | jq -ce '.' >"$TMP/pf_${pf}_local.json"
+    jq -ce '.stats' "$TMP/pf_$pf.json" | cmp - "$TMP/pf_${pf}_local.json" \
+        || { echo "prefetcher $pf: service stats differ from spbsim -json"; exit 1; }
+done
+# The kinds must be distinguishable: same spec, different prefetcher,
+# different cycle counts (a collapsed cache key would alias them).
+CYC_BOP=$(jq -r '.stats["cpu.cycles"]' "$TMP/pf_bop.json")
+CYC_DSP=$(jq -r '.stats["cpu.cycles"]' "$TMP/pf_dspatch.json")
+[ -n "$CYC_BOP" ] && [ "$CYC_BOP" != "null" ] || { echo "bop run missing cpu.cycles"; exit 1; }
+[ "$CYC_BOP" != "$CYC_DSP" ] || echo "note: bop and dspatch happen to tie on cycles ($CYC_BOP)"
+# An unknown prefetcher name must be a 400 at the API boundary, never a
+# worker panic.
+CODE=$(curl -sS -o "$TMP/pf_bad.json" -w '%{http_code}' -X POST "$BASE/v1/runs" \
+    -H 'Content-Type: application/json' \
+    -d '{"workload":"bwaves","policy":"spb","sb":14,"insts":20000,"prefetcher":"markov"}')
+[ "$CODE" = "400" ] || { echo "bad prefetcher returned $CODE, want 400"; cat "$TMP/pf_bad.json"; exit 1; }
+
 echo "== SIGTERM drains cleanly =="
 kill -TERM "$SPBD_PID"
 wait "$SPBD_PID"

@@ -47,8 +47,8 @@ func TestFacadeSuites(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 21 {
-		t.Fatalf("got %d experiments, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("got %d experiments, want 22", len(ids))
 	}
 	h := NewHarness(Scale{Insts: 10_000, SBBoundOnly: true})
 	tabs, err := h.TableI()
